@@ -1,0 +1,121 @@
+// Ablations over TD-AC's design choices (the decisions DESIGN.md calls
+// out): silhouette-selected k vs fixed k vs the planted k; Hamming vs
+// sparse-aware masked distance on low-coverage data; serial vs parallel
+// per-group execution; k-means restart count.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+#include "gen/synthetic.h"
+#include "partition/partition_metrics.h"
+#include "td/accu.h"
+#include "tdac/tdac.h"
+
+namespace {
+
+struct AblationRow {
+  std::string variant;
+  double accuracy;
+  double ari;
+  int chosen_k;
+  double seconds;
+};
+
+AblationRow Run(const std::string& variant, const tdac::TdacOptions& opts,
+                const tdac::GeneratedData& data) {
+  tdac::Tdac algo(opts);
+  tdac::WallTimer timer;
+  auto report = algo.DiscoverWithReport(data.dataset);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    std::exit(1);
+  }
+  double accuracy =
+      tdac::Evaluate(data.dataset, report->result.predicted, data.truth)
+          .accuracy;
+  double ari = 0.0;
+  auto agreement = tdac::ComparePartitions(report->partition, data.planted);
+  if (agreement.ok()) ari = agreement->adjusted_rand_index;
+  return {variant, accuracy, ari, report->chosen_k, timer.ElapsedSeconds()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdac_bench::BenchArgs args = tdac_bench::ParseArgs(argc, argv);
+  const int objects = args.objects > 0 ? args.objects : 250;
+
+  tdac::Accu accu;
+
+  for (double coverage : {1.0, 0.5}) {
+    auto config = tdac::PaperSyntheticConfig(1, args.seed).MoveValue();
+    config.num_objects = objects;
+    config.coverage = coverage;
+    auto data = tdac::GenerateSynthetic(config);
+    if (!data.ok()) {
+      std::cerr << data.status() << "\n";
+      return 1;
+    }
+
+    std::vector<AblationRow> rows;
+
+    tdac::TdacOptions base_opts;
+    base_opts.base = &accu;
+    rows.push_back(Run("silhouette k (paper)", base_opts, *data));
+
+    for (int k : {2, 3, 4}) {
+      tdac::TdacOptions fixed = base_opts;
+      fixed.min_k = k;
+      fixed.max_k = k;
+      rows.push_back(Run("fixed k=" + std::to_string(k), fixed, *data));
+    }
+
+    tdac::TdacOptions planted_k = base_opts;
+    planted_k.min_k = static_cast<int>(data->planted.num_groups());
+    planted_k.max_k = planted_k.min_k;
+    rows.push_back(Run("oracle k=" +
+                           std::to_string(data->planted.num_groups()),
+                       planted_k, *data));
+
+    tdac::TdacOptions sparse = base_opts;
+    sparse.sparse_aware = true;
+    rows.push_back(Run("sparse-aware distance", sparse, *data));
+
+    tdac::TdacOptions parallel = base_opts;
+    parallel.parallel_groups = true;
+    rows.push_back(Run("parallel groups", parallel, *data));
+
+    tdac::TdacOptions one_restart = base_opts;
+    one_restart.kmeans.num_restarts = 1;
+    rows.push_back(Run("k-means restarts=1", one_restart, *data));
+
+    tdac::TdacOptions agglomerative = base_opts;
+    agglomerative.backend = tdac::ClusteringBackend::kAgglomerative;
+    rows.push_back(Run("agglomerative (avg linkage)", agglomerative, *data));
+
+    tdac::TdacOptions complete = agglomerative;
+    complete.linkage = tdac::Linkage::kComplete;
+    rows.push_back(Run("agglomerative (complete)", complete, *data));
+
+    tdac::TdacOptions refined = base_opts;
+    refined.refinement_rounds = 2;
+    rows.push_back(Run("refinement rounds=2", refined, *data));
+
+    tdac::TablePrinter table(
+        {"Variant", "Accuracy", "ARI vs planted", "chosen k", "Time(s)"});
+    for (const AblationRow& r : rows) {
+      table.AddRow({r.variant, tdac::FormatDouble(r.accuracy, 3),
+                    tdac::FormatDouble(r.ari, 2), std::to_string(r.chosen_k),
+                    tdac::FormatDouble(r.seconds, 3)});
+    }
+    std::cout << "TD-AC ablations on DS1-style data, coverage="
+              << tdac::FormatDouble(coverage * 100, 0) << "%\n\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#ifndef TDAC_BENCH_BENCH_COMMON_H_
+#define TDAC_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table-reproduction benches: a tiny flag parser
+// (--objects=N --seed=S --full), construction of the paper's five standard
+// algorithms, and experiment-table printing.
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "td/accu.h"
+#include "td/accu_sim.h"
+#include "td/depen.h"
+#include "td/majority_vote.h"
+#include "td/truth_finder.h"
+
+namespace tdac_bench {
+
+struct BenchArgs {
+  /// Scale override for synthetic benches (0 = bench default).
+  int objects = 0;
+
+  uint64_t seed = 42;
+
+  /// Run at full paper scale / full sweep ranges (slower).
+  bool full = false;
+
+  /// When non-empty, benches that back a paper figure also write the
+  /// figure's data series as CSV + gnuplot script into this directory.
+  std::string export_dir;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value_of = [&](const std::string& prefix) -> std::string {
+      return a.substr(prefix.size());
+    };
+    if (a.rfind("--objects=", 0) == 0) {
+      args.objects = std::stoi(value_of("--objects="));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = std::stoull(value_of("--seed="));
+    } else if (a == "--full") {
+      args.full = true;
+    } else if (a.rfind("--export-dir=", 0) == 0) {
+      args.export_dir = value_of("--export-dir=");
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "flags: [--objects=N] [--seed=S] [--full] "
+                   "[--export-dir=DIR]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << a << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// The five standard algorithms of the paper's Section 4.1, with their
+/// published default hyper-parameters.
+struct StandardAlgorithms {
+  tdac::MajorityVote majority_vote;
+  tdac::TruthFinder truth_finder;
+  tdac::Depen depen;
+  tdac::Accu accu;
+  tdac::AccuSim accu_sim;
+
+  std::vector<const tdac::TruthDiscovery*> all() const {
+    return {&majority_vote, &truth_finder, &depen, &accu, &accu_sim};
+  }
+};
+
+/// Runs `algorithms` on (data, truth) and prints a paper-style table;
+/// exits non-zero on failure. Returns the rows for further shape checks.
+inline std::vector<tdac::ExperimentRow> RunAndPrint(
+    const std::string& title,
+    const std::vector<const tdac::TruthDiscovery*>& algorithms,
+    const tdac::Dataset& data, const tdac::GroundTruth& truth) {
+  auto rows = tdac::RunExperiments(algorithms, data, truth);
+  if (!rows.ok()) {
+    std::cerr << "bench failed: " << rows.status() << "\n";
+    std::exit(1);
+  }
+  tdac::PrintPerformanceTable(title, *rows, std::cout);
+  return std::move(rows).value();
+}
+
+inline const tdac::ExperimentRow& RowOf(
+    const std::vector<tdac::ExperimentRow>& rows, const std::string& name) {
+  for (const auto& r : rows) {
+    if (r.algorithm == name) return r;
+  }
+  std::cerr << "missing row " << name << "\n";
+  std::exit(1);
+}
+
+}  // namespace tdac_bench
+
+#endif  // TDAC_BENCH_BENCH_COMMON_H_

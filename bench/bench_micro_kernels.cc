@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks of the library's kernels: k-means,
+// silhouette, truth-vector construction, and each truth-discovery algorithm
+// per claim volume. These are throughput sanity checks (the table benches
+// report end-to-end times).
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/kmeans.h"
+#include "clustering/silhouette.h"
+#include "common/random.h"
+#include "gen/synthetic.h"
+#include "td/accu.h"
+#include "td/majority_vote.h"
+#include "td/truth_finder.h"
+#include "tdac/truth_vectors.h"
+
+namespace {
+
+std::vector<tdac::FeatureVector> RandomPoints(int n, int dim, uint64_t seed) {
+  tdac::Rng rng(seed);
+  std::vector<tdac::FeatureVector> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tdac::FeatureVector p(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      p[static_cast<size_t>(d)] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+tdac::GeneratedData SyntheticData(int objects, uint64_t seed) {
+  tdac::SyntheticConfig config;
+  config.num_objects = objects;
+  config.num_sources = 10;
+  config.planted_groups = {{0, 1}, {2, 3}, {4, 5}};
+  config.reliability_levels = {1.0, 0.2, 0.8};
+  config.seed = seed;
+  auto data = tdac::GenerateSynthetic(config);
+  if (!data.ok()) std::abort();
+  return data.MoveValue();
+}
+
+void BM_KMeans(benchmark::State& state) {
+  auto points = RandomPoints(static_cast<int>(state.range(0)), 256, 1);
+  tdac::KMeansOptions opts;
+  opts.k = 4;
+  opts.num_restarts = 2;
+  for (auto _ : state) {
+    auto r = tdac::KMeans(points, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Silhouette(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto points = RandomPoints(n, 256, 2);
+  std::vector<int> assignment;
+  for (int i = 0; i < n; ++i) assignment.push_back(i % 4);
+  for (auto _ : state) {
+    auto r = tdac::Silhouette(points, assignment, 4);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Silhouette)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_TruthVectors(benchmark::State& state) {
+  auto data = SyntheticData(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto m = tdac::BuildTruthVectors(data.dataset, data.truth);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_TruthVectors)->Arg(100)->Arg(400);
+
+void BM_MajorityVote(benchmark::State& state) {
+  auto data = SyntheticData(static_cast<int>(state.range(0)), 4);
+  tdac::MajorityVote algo;
+  for (auto _ : state) {
+    auto r = algo.Discover(data.dataset);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MajorityVote)->Arg(100)->Arg(400);
+
+void BM_TruthFinder(benchmark::State& state) {
+  auto data = SyntheticData(static_cast<int>(state.range(0)), 5);
+  tdac::TruthFinder algo;
+  for (auto _ : state) {
+    auto r = algo.Discover(data.dataset);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TruthFinder)->Arg(100)->Arg(200);
+
+void BM_Accu(benchmark::State& state) {
+  auto data = SyntheticData(static_cast<int>(state.range(0)), 6);
+  tdac::Accu algo;
+  for (auto _ : state) {
+    auto r = algo.Discover(data.dataset);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Accu)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Scalability study supporting the paper's conclusion ("the running time
+// becomes important when the number of attributes, objects and sources is
+// very large"): wall-clock of MajorityVote, Accu, TD-AC(F=Accu), and the
+// brute-force AccuGenPartition while scaling objects, sources, and
+// attributes independently. The brute force is only run while its Bell-
+// number search space stays tractable.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "gen/synthetic.h"
+#include "partition/gen_partition.h"
+#include "tdac/tdac.h"
+
+namespace {
+
+tdac::GeneratedData Generate(int objects, int sources, int attributes,
+                             uint64_t seed) {
+  tdac::SyntheticConfig config;
+  config.num_objects = objects;
+  config.num_sources = sources;
+  config.planted_groups.clear();
+  // Attribute groups of 2 (plus a trailing group of the remainder).
+  for (int a = 0; a < attributes; a += 2) {
+    std::vector<tdac::AttributeId> group{a};
+    if (a + 1 < attributes) group.push_back(a + 1);
+    config.planted_groups.push_back(std::move(group));
+  }
+  config.reliability_levels = {1.0, 0.0, 0.8};
+  config.level_weights = {0.25, 0.5, 0.25};
+  config.stratified_levels = true;
+  config.distractor_rate = 0.8;
+  config.num_false_values = 10;
+  config.seed = seed;
+  auto data = tdac::GenerateSynthetic(config);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    std::exit(1);
+  }
+  return data.MoveValue();
+}
+
+double TimeIt(const tdac::TruthDiscovery& algo, const tdac::Dataset& data) {
+  tdac::WallTimer timer;
+  auto r = algo.Discover(data);
+  if (!r.ok()) {
+    std::cerr << algo.name() << ": " << r.status() << "\n";
+    std::exit(1);
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdac_bench::BenchArgs args = tdac_bench::ParseArgs(argc, argv);
+
+  struct Point {
+    int objects;
+    int sources;
+    int attributes;
+  };
+  std::vector<Point> points;
+  for (int objects : {100, 300, 600, args.full ? 1500 : 1000}) {
+    points.push_back({objects, 10, 6});
+  }
+  for (int sources : {20, 40}) points.push_back({200, sources, 6});
+  for (int attributes : {10, 16}) points.push_back({200, 10, attributes});
+
+  tdac::TablePrinter table({"objects", "sources", "attrs", "claims",
+                            "MV(s)", "Accu(s)", "TD-AC(s)", "BruteForce(s)",
+                            "partitions"});
+  for (const Point& p : points) {
+    tdac::GeneratedData data =
+        Generate(p.objects, p.sources, p.attributes, args.seed);
+
+    tdac::MajorityVote mv;
+    tdac::Accu accu;
+    tdac::TdacOptions topts;
+    topts.base = &accu;
+    tdac::Tdac td(topts);
+
+    double mv_s = TimeIt(mv, data.dataset);
+    double accu_s = TimeIt(accu, data.dataset);
+    double td_s = TimeIt(td, data.dataset);
+
+    std::string brute_s = "-";
+    std::string partitions = "-";
+    if (p.attributes <= 8) {
+      tdac::GenPartitionOptions gopts;
+      gopts.base = &accu;
+      gopts.weighting = tdac::WeightingFunction::kAvg;
+      tdac::GenPartitionAlgorithm brute(gopts);
+      brute_s = tdac::FormatDouble(TimeIt(brute, data.dataset), 3);
+      partitions = std::to_string(tdac::BellNumber(p.attributes));
+    }
+
+    table.AddRow({std::to_string(p.objects), std::to_string(p.sources),
+                  std::to_string(p.attributes),
+                  std::to_string(data.dataset.num_claims()),
+                  tdac::FormatDouble(mv_s, 3), tdac::FormatDouble(accu_s, 3),
+                  tdac::FormatDouble(td_s, 3), brute_s, partitions});
+  }
+
+  std::cout << "Scalability: wall-clock seconds while scaling each dimension "
+               "(brute force skipped when Bell(#attrs) explodes)\n\n";
+  table.Print(std::cout);
+  return 0;
+}

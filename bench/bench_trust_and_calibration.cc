@@ -1,0 +1,81 @@
+// Mechanism study: the paper argues TD-AC wins because per-partition
+// reliability estimates are unbiased. This bench measures that directly —
+// correlation between estimated source trust and empirical source accuracy,
+// plus confidence calibration (ECE), for Accu vs TD-AC(F=Accu) on the
+// synthetic datasets.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/calibration.h"
+#include "eval/trust_eval.h"
+#include "gen/synthetic.h"
+#include "td/accu.h"
+#include "tdac/tdac.h"
+
+int main(int argc, char** argv) {
+  tdac_bench::BenchArgs args = tdac_bench::ParseArgs(argc, argv);
+  const int objects = args.objects > 0 ? args.objects : 300;
+
+  tdac::TablePrinter table({"Dataset", "Algorithm", "trust Pearson",
+                            "trust Spearman", "trust MAE", "ECE",
+                            "accuracy"});
+
+  for (int which = 1; which <= 3; ++which) {
+    auto config = tdac::PaperSyntheticConfig(which, args.seed);
+    if (!config.ok()) {
+      std::cerr << config.status() << "\n";
+      return 1;
+    }
+    config->num_objects = objects;
+    auto data = tdac::GenerateSynthetic(*config);
+    if (!data.ok()) {
+      std::cerr << data.status() << "\n";
+      return 1;
+    }
+
+    tdac::Accu accu;
+    tdac::TdacOptions topts;
+    topts.base = &accu;
+    tdac::Tdac td(topts);
+
+    struct Entry {
+      const char* label;
+      const tdac::TruthDiscovery* algo;
+    };
+    for (const Entry& entry :
+         {Entry{"Accu", &accu}, Entry{"TD-AC(F=Accu)", &td}}) {
+      auto result = entry.algo->Discover(data->dataset);
+      if (!result.ok()) {
+        std::cerr << result.status() << "\n";
+        return 1;
+      }
+      auto trust = tdac::EvaluateTrust(data->dataset, result->source_trust,
+                                       data->truth);
+      auto calibration =
+          tdac::EvaluateCalibration(data->dataset, *result, data->truth);
+      auto metrics =
+          tdac::Evaluate(data->dataset, result->predicted, data->truth);
+      if (!trust.ok() || !calibration.ok()) {
+        std::cerr << "evaluation failed\n";
+        return 1;
+      }
+      table.AddRow({"DS" + std::to_string(which), entry.label,
+                    tdac::FormatDouble(trust->pearson, 3),
+                    tdac::FormatDouble(trust->spearman, 3),
+                    tdac::FormatDouble(trust->mean_abs_error, 3),
+                    tdac::FormatDouble(
+                        calibration->expected_calibration_error, 3),
+                    tdac::FormatDouble(metrics.accuracy, 3)});
+    }
+  }
+
+  std::cout << "Reliability-estimation mechanism: trust-vs-empirical "
+               "correlation and confidence calibration\n"
+               "(the paper's Section 4.5 explanation — partitioning "
+               "de-biases per-source accuracy estimates)\n\n";
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Builds the project, runs the full test suite, regenerates every paper
+# table/figure, and exports figure data series. Outputs land next to the
+# build tree.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== benches (paper tables and figures) =="
+mkdir -p build/figures
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "----- $(basename "$b") -----"
+  "$b" --export-dir=build/figures 2>/dev/null || "$b"
+done
+
+echo "figure data series (CSV + gnuplot) in build/figures/"

@@ -1,0 +1,62 @@
+#include "clustering/distance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tdac {
+
+double HammingDistance(const FeatureVector& a, const FeatureVector& b) {
+  TDAC_CHECK(a.size() == b.size()) << "HammingDistance: size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc;
+}
+
+double SquaredEuclideanDistance(const FeatureVector& a,
+                                const FeatureVector& b) {
+  TDAC_CHECK(a.size() == b.size()) << "SquaredEuclidean: size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double EuclideanDistance(const FeatureVector& a, const FeatureVector& b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+double MaskedHammingDistance(const FeatureVector& a, const FeatureVector& b,
+                             const std::vector<uint8_t>& mask_a,
+                             const std::vector<uint8_t>& mask_b) {
+  TDAC_CHECK(a.size() == b.size() && a.size() == mask_a.size() &&
+             a.size() == mask_b.size())
+      << "MaskedHammingDistance: size mismatch";
+  double acc = 0.0;
+  size_t observed = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (mask_a[i] && mask_b[i]) {
+      acc += std::fabs(a[i] - b[i]);
+      ++observed;
+    }
+  }
+  if (observed == 0) return 0.5 * static_cast<double>(a.size());
+  return acc * static_cast<double>(a.size()) / static_cast<double>(observed);
+}
+
+double Distance(DistanceMetric metric, const FeatureVector& a,
+                const FeatureVector& b) {
+  switch (metric) {
+    case DistanceMetric::kHamming:
+      return HammingDistance(a, b);
+    case DistanceMetric::kSquaredEuclidean:
+      return SquaredEuclideanDistance(a, b);
+    case DistanceMetric::kEuclidean:
+      return EuclideanDistance(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace tdac

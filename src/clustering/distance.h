@@ -1,0 +1,44 @@
+#ifndef TDAC_CLUSTERING_DISTANCE_H_
+#define TDAC_CLUSTERING_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tdac {
+
+/// Dense feature vector; attribute truth vectors store 0/1 coordinates but
+/// centroids are real-valued, so everything is double.
+using FeatureVector = std::vector<double>;
+
+/// L1 distance; on binary vectors this is exactly the paper's Hamming
+/// distance (Eq. 2).
+double HammingDistance(const FeatureVector& a, const FeatureVector& b);
+
+/// Squared Euclidean distance. On binary vectors it coincides with Hamming.
+double SquaredEuclideanDistance(const FeatureVector& a, const FeatureVector& b);
+
+/// Euclidean distance.
+double EuclideanDistance(const FeatureVector& a, const FeatureVector& b);
+
+/// Sparse-aware Hamming: compares only coordinates observed on both sides
+/// (mask value != 0) and rescales the sum to the full dimension; the
+/// distance of two vectors with no common observed coordinate is half the
+/// dimension (maximal uncertainty). This is the conclusion's missing-value
+/// extension, used by TD-AC's sparse mode on low-DCR data.
+double MaskedHammingDistance(const FeatureVector& a, const FeatureVector& b,
+                             const std::vector<uint8_t>& mask_a,
+                             const std::vector<uint8_t>& mask_b);
+
+/// Metric selector used by the clustering entry points.
+enum class DistanceMetric {
+  kHamming,
+  kSquaredEuclidean,
+  kEuclidean,
+};
+
+double Distance(DistanceMetric metric, const FeatureVector& a,
+                const FeatureVector& b);
+
+}  // namespace tdac
+
+#endif  // TDAC_CLUSTERING_DISTANCE_H_

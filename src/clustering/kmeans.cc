@@ -1,0 +1,171 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tdac {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, each next centroid drawn with
+/// probability proportional to squared distance to the nearest chosen one.
+std::vector<FeatureVector> SeedPlusPlus(const std::vector<FeatureVector>& points,
+                                        int k, Rng* rng) {
+  std::vector<FeatureVector> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(points[rng->NextBounded(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i],
+                       SquaredEuclideanDistance(points[i], centroids.back()));
+    }
+    size_t pick = rng->NextWeighted(d2);
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<int> assignment;
+  std::vector<FeatureVector> centroids;
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+LloydOutcome RunLloyd(const std::vector<FeatureVector>& points, int k,
+                      const KMeansOptions& options, Rng* rng) {
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  LloydOutcome out;
+  out.centroids = SeedPlusPlus(points, k, rng);
+  out.assignment.assign(n, -1);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = SquaredEuclideanDistance(points[i], out.centroids[0]);
+      for (int c = 1; c < k; ++c) {
+        double d = SquaredEuclideanDistance(points[i],
+                                            out.centroids[static_cast<size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (out.assignment[i] != best) {
+        out.assignment[i] = best;
+        changed = true;
+      }
+      inertia += best_d;
+    }
+    out.inertia = inertia;
+
+    // Update step.
+    std::vector<FeatureVector> sums(static_cast<size_t>(k),
+                                    FeatureVector(dim, 0.0));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto& sum = sums[static_cast<size_t>(out.assignment[i])];
+      for (size_t d = 0; d < dim; ++d) sum[d] += points[i][d];
+      ++counts[static_cast<size_t>(out.assignment[i])];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Empty-cluster repair: re-seed at the point farthest from its
+        // centroid.
+        size_t farthest = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          double d = SquaredEuclideanDistance(
+              points[i],
+              out.centroids[static_cast<size_t>(out.assignment[i])]);
+          if (d > far_d) {
+            far_d = d;
+            farthest = i;
+          }
+        }
+        out.centroids[static_cast<size_t>(c)] = points[farthest];
+        changed = true;
+        continue;
+      }
+      auto& centroid = out.centroids[static_cast<size_t>(c)];
+      const auto& sum = sums[static_cast<size_t>(c)];
+      for (size_t d = 0; d < dim; ++d) {
+        centroid[d] = sum[d] / counts[static_cast<size_t>(c)];
+      }
+    }
+
+    if (!changed) break;
+    if (prev_inertia - inertia >= 0 &&
+        prev_inertia - inertia < options.tolerance && iter > 0) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+
+  // Recompute the final inertia against the final centroids.
+  double inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    inertia += SquaredEuclideanDistance(
+        points[i], out.centroids[static_cast<size_t>(out.assignment[i])]);
+  }
+  out.inertia = inertia;
+  return out;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
+                            const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KMeans: no points");
+  }
+  if (options.k < 1 || options.k > static_cast<int>(points.size())) {
+    return Status::InvalidArgument(
+        "KMeans: k must be in [1, #points], got k=" +
+        std::to_string(options.k) + " with " + std::to_string(points.size()) +
+        " points");
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("KMeans: inconsistent point dimensions");
+    }
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("KMeans: zero-dimensional points");
+  }
+
+  const int restarts = std::max(1, options.num_restarts);
+  LloydOutcome best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < restarts; ++r) {
+    Rng rng(options.seed + static_cast<uint64_t>(r));
+    LloydOutcome attempt = RunLloyd(points, options.k, options, &rng);
+    if (attempt.inertia < best.inertia) best = std::move(attempt);
+  }
+
+  KMeansResult result;
+  result.assignment = std::move(best.assignment);
+  result.centroids = std::move(best.centroids);
+  result.inertia = best.inertia;
+  result.iterations = best.iterations;
+  result.cluster_sizes.assign(static_cast<size_t>(options.k), 0);
+  for (int a : result.assignment) {
+    ++result.cluster_sizes[static_cast<size_t>(a)];
+  }
+  return result;
+}
+
+}  // namespace tdac

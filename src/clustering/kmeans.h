@@ -1,0 +1,55 @@
+#ifndef TDAC_CLUSTERING_KMEANS_H_
+#define TDAC_CLUSTERING_KMEANS_H_
+
+#include <vector>
+
+#include "clustering/distance.h"
+#include "common/result.h"
+
+namespace tdac {
+
+/// \brief Options for Lloyd's k-means with k-means++ seeding.
+struct KMeansOptions {
+  /// Number of clusters; must satisfy 1 <= k <= #points.
+  int k = 2;
+
+  /// Lloyd iteration cap per restart.
+  int max_iterations = 100;
+
+  /// Independent seeded restarts; the run with the lowest inertia wins.
+  int num_restarts = 8;
+
+  /// RNG seed for k-means++ seeding (restart r uses seed + r).
+  uint64_t seed = 42;
+
+  /// Early stop when inertia improves by less than this between iterations.
+  double tolerance = 1e-9;
+};
+
+/// \brief Result of a k-means run.
+struct KMeansResult {
+  /// Cluster index in [0, k) per input point.
+  std::vector<int> assignment;
+
+  /// Final centroids (means of assigned points).
+  std::vector<FeatureVector> centroids;
+
+  /// Sum over points of squared Euclidean distance to their centroid
+  /// (the paper's within-cluster "Inertia" objective, Eq. 3).
+  double inertia = 0.0;
+
+  /// Lloyd iterations of the winning restart.
+  int iterations = 0;
+
+  /// Points per cluster.
+  std::vector<int> cluster_sizes;
+};
+
+/// Runs k-means over `points`. All points must share one dimension.
+/// Deterministic for a fixed (points, options) pair.
+Result<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
+                            const KMeansOptions& options);
+
+}  // namespace tdac
+
+#endif  // TDAC_CLUSTERING_KMEANS_H_

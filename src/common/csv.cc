@@ -1,0 +1,120 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tdac {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) buffer_ += delimiter_;
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f, delimiter_)) {
+      buffer_ += '"';
+      for (char c : f) {
+        if (c == '"') buffer_ += '"';
+        buffer_ += c;
+      }
+      buffer_ += '"';
+    } else {
+      buffer_ += f;
+    }
+  }
+  buffer_ += '\n';
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else if (c == '"' && !field_started && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+    } else if (c == delimiter) {
+      end_field();
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // tolerated; the matching '\n' ends the row
+    } else if (c == '\n') {
+      end_row();
+      ++i;
+    } else {
+      field += c;
+      field_started = true;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV ends inside a quoted field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delimiter) {
+  TDAC_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCsv(text, delimiter);
+}
+
+Status WriteFile(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace tdac

@@ -1,0 +1,49 @@
+#ifndef TDAC_COMMON_CSV_H_
+#define TDAC_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tdac {
+
+/// \brief Minimal RFC-4180-style CSV support used by the dataset I/O layer.
+///
+/// Fields containing the delimiter, double quotes, or newlines are quoted;
+/// embedded quotes are doubled. Only '\n' record separators are produced;
+/// both "\r\n" and "\n" are accepted on input.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char delimiter = ',') : delimiter_(delimiter) {}
+
+  /// Appends one record to the in-memory buffer.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Returns everything written so far.
+  const std::string& contents() const { return buffer_; }
+
+ private:
+  char delimiter_;
+  std::string buffer_;
+};
+
+/// Parses a full CSV document into rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char delimiter = ',');
+
+/// Reads and parses a CSV file from disk.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delimiter = ',');
+
+/// Writes `text` to `path`, overwriting.
+Status WriteFile(const std::string& path, std::string_view text);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_CSV_H_

@@ -1,0 +1,75 @@
+#ifndef TDAC_COMMON_LOGGING_H_
+#define TDAC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tdac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level below which log lines are dropped.
+/// Defaults to kInfo; tests and benches may lower it to kDebug.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  bool fatal_ = false;
+  std::ostringstream stream_;
+
+  friend class FatalLogMessage;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal
+
+#define TDAC_LOG_DEBUG \
+  ::tdac::internal::LogMessage(::tdac::LogLevel::kDebug, __FILE__, __LINE__)
+#define TDAC_LOG_INFO \
+  ::tdac::internal::LogMessage(::tdac::LogLevel::kInfo, __FILE__, __LINE__)
+#define TDAC_LOG_WARNING \
+  ::tdac::internal::LogMessage(::tdac::LogLevel::kWarning, __FILE__, __LINE__)
+#define TDAC_LOG_ERROR \
+  ::tdac::internal::LogMessage(::tdac::LogLevel::kError, __FILE__, __LINE__)
+
+/// Internal invariant check: logs and aborts when `cond` is false.
+#define TDAC_CHECK(cond)                                 \
+  if (!(cond))                                           \
+  ::tdac::internal::FatalLogMessage(__FILE__, __LINE__)  \
+      << "Check failed: " #cond " "
+
+#define TDAC_CHECK_OK(expr)                                   \
+  do {                                                        \
+    ::tdac::Status _st = (expr);                              \
+    if (!_st.ok())                                            \
+      ::tdac::internal::FatalLogMessage(__FILE__, __LINE__)   \
+          << "Status not OK: " << _st.ToString();             \
+  } while (false)
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_LOGGING_H_

@@ -1,0 +1,94 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tdac {
+
+double Logistic(double x) {
+  if (x >= 0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double SafeLog(double x, double floor) { return std::log(std::max(x, floor)); }
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TDAC_CHECK(a.size() == b.size()) << "CosineSimilarity: size mismatch";
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void SoftmaxInPlace(std::vector<double>* log_scores) {
+  if (log_scores->empty()) return;
+  double mx = *std::max_element(log_scores->begin(), log_scores->end());
+  double total = 0.0;
+  for (double& x : *log_scores) {
+    x = std::exp(x - mx);
+    total += x;
+  }
+  for (double& x : *log_scores) x /= total;
+}
+
+unsigned long long BellNumber(int n) {
+  TDAC_CHECK(n >= 0 && n <= 25) << "BellNumber supports 0 <= n <= 25";
+  // Bell triangle.
+  std::vector<std::vector<unsigned long long>> tri(
+      static_cast<size_t>(n) + 1);
+  tri[0] = {1};
+  for (int i = 1; i <= n; ++i) {
+    tri[i].resize(static_cast<size_t>(i) + 1);
+    tri[i][0] = tri[i - 1].back();
+    for (int j = 1; j <= i; ++j) {
+      tri[i][j] = tri[i][j - 1] + tri[i - 1][j - 1];
+    }
+  }
+  return tri[n][0];
+}
+
+unsigned long long Binomial(int n, int k) {
+  TDAC_CHECK(n >= 0 && k >= 0) << "Binomial requires non-negative arguments";
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  unsigned long long r = 1;
+  for (int i = 1; i <= k; ++i) {
+    r = r * static_cast<unsigned long long>(n - k + i) /
+        static_cast<unsigned long long>(i);
+  }
+  return r;
+}
+
+}  // namespace tdac

@@ -1,0 +1,39 @@
+#ifndef TDAC_COMMON_MATH_UTIL_H_
+#define TDAC_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tdac {
+
+/// Logistic function 1 / (1 + e^{-x}).
+double Logistic(double x);
+
+/// Natural log clamped away from log(0): returns log(max(x, floor)).
+double SafeLog(double x, double floor = 1e-12);
+
+/// Clamps `x` into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; returns 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& v);
+
+/// Cosine similarity of two equal-length vectors; 0 if either has zero norm.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Numerically-stable softmax normalization of log-scores, in place.
+void SoftmaxInPlace(std::vector<double>* log_scores);
+
+/// n-th Bell number (number of set partitions); n <= 25 to stay in uint64.
+unsigned long long BellNumber(int n);
+
+/// Binomial coefficient C(n, k) with 64-bit intermediate math.
+unsigned long long Binomial(int n, int k);
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_MATH_UTIL_H_

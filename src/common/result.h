@@ -1,0 +1,93 @@
+#ifndef TDAC_COMMON_RESULT_H_
+#define TDAC_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tdac {
+
+/// \brief A value-or-error holder, analogous to arrow::Result.
+///
+/// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of an errored result aborts the process with a
+/// diagnostic (library code must check `ok()` first or use the
+/// TDAC_ASSIGN_OR_RETURN macro).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+  /// Constructs an OK result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of the result. Aborts if not OK.
+  T MoveValue() {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!status_.ok()) {
+      std::cerr << "Accessed value of errored Result: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define TDAC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define TDAC_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define TDAC_ASSIGN_OR_RETURN_CONCAT(x, y) TDAC_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define TDAC_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  TDAC_ASSIGN_OR_RETURN_IMPL(                                                 \
+      TDAC_ASSIGN_OR_RETURN_CONCAT(_tdac_result_, __LINE__), lhs, rexpr)
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_RESULT_H_

@@ -1,0 +1,68 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tdac {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TDAC_CHECK(cells.size() <= headers_.size())
+      << "row has more cells than headers";
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::vector<size_t> TablePrinter::ComputeWidths() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  const std::vector<size_t> widths = ComputeWidths();
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      os << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintMarkdown(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      os << " " << (c < row.size() ? row[c] : std::string()) << " |";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace tdac

@@ -1,0 +1,42 @@
+#ifndef TDAC_COMMON_TABLE_PRINTER_H_
+#define TDAC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdac {
+
+/// \brief Renders aligned plain-text tables; used by every bench binary to
+/// print rows in the same layout as the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; it may have fewer cells than there are headers (the
+  /// remainder renders empty) but not more.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 3 decimals, keeps strings verbatim.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the table with a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders as a GitHub-flavored markdown table.
+  void PrintMarkdown(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<size_t> ComputeWidths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,31 @@
+#ifndef TDAC_COMMON_TIMER_H_
+#define TDAC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tdac {
+
+/// \brief Wall-clock stopwatch used to report execution times in the bench
+/// harnesses (the paper's Time(s) columns).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_TIMER_H_

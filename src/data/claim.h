@@ -1,0 +1,28 @@
+#ifndef TDAC_DATA_CLAIM_H_
+#define TDAC_DATA_CLAIM_H_
+
+#include "data/ids.h"
+#include "data/value.h"
+
+namespace tdac {
+
+/// \brief One observation: source `source` claims that attribute `attribute`
+/// of object `object` has value `value`.
+///
+/// The paper calls the full set of claims the "observations" of a dataset
+/// (e.g. 60,000 observations for each synthetic dataset).
+struct Claim {
+  SourceId source = kInvalidId;
+  ObjectId object = kInvalidId;
+  AttributeId attribute = kInvalidId;
+  Value value;
+
+  bool operator==(const Claim& other) const {
+    return source == other.source && object == other.object &&
+           attribute == other.attribute && value == other.value;
+  }
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_CLAIM_H_

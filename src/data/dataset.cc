@@ -1,0 +1,148 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tdac {
+
+namespace {
+const std::vector<int32_t>& EmptyIndexVector() {
+  static const std::vector<int32_t>* empty = new std::vector<int32_t>();
+  return *empty;
+}
+}  // namespace
+
+const std::vector<int32_t>& Dataset::ClaimsOn(ObjectId object,
+                                              AttributeId attribute) const {
+  auto it = by_item_.find(ObjectAttrKey(object, attribute));
+  if (it == by_item_.end()) return EmptyIndexVector();
+  return it->second;
+}
+
+const Value* Dataset::ValueOf(SourceId source, ObjectId object,
+                              AttributeId attribute) const {
+  for (int32_t idx : ClaimsOn(object, attribute)) {
+    if (claims_[static_cast<size_t>(idx)].source == source) {
+      return &claims_[static_cast<size_t>(idx)].value;
+    }
+  }
+  return nullptr;
+}
+
+double Dataset::DataCoverageRate() const {
+  // Per object o: S_o = sources with >= 1 claim on o, A_o = attributes with
+  // >= 1 claim on o. The numerator of the missing mass is
+  // |S_o| * |A_o| - sum_{s in S_o} |A_{o-s}| and the second sum is simply the
+  // number of claims on o (claims are unique per (s, o, a)).
+  if (claims_.empty()) return 0.0;
+  struct PerObject {
+    std::unordered_set<int32_t> sources;
+    std::unordered_set<int32_t> attributes;
+    size_t claims = 0;
+  };
+  std::unordered_map<int32_t, PerObject> per_object;
+  for (const Claim& c : claims_) {
+    PerObject& po = per_object[c.object];
+    po.sources.insert(c.source);
+    po.attributes.insert(c.attribute);
+    ++po.claims;
+  }
+  double full = 0.0;
+  double present = 0.0;
+  for (const auto& [object, po] : per_object) {
+    full += static_cast<double>(po.sources.size()) *
+            static_cast<double>(po.attributes.size());
+    present += static_cast<double>(po.claims);
+  }
+  if (full <= 0.0) return 0.0;
+  return 100.0 * present / full;
+}
+
+Dataset Dataset::RestrictToAttributes(
+    const std::vector<AttributeId>& attributes) const {
+  std::vector<char> keep(attribute_names_.size(), 0);
+  for (AttributeId a : attributes) {
+    TDAC_CHECK(a >= 0 && a < num_attributes())
+        << "RestrictToAttributes: attribute id out of range: " << a;
+    keep[static_cast<size_t>(a)] = 1;
+  }
+  Dataset out;
+  out.source_names_ = source_names_;
+  out.object_names_ = object_names_;
+  out.attribute_names_ = attribute_names_;
+  out.claims_.reserve(claims_.size());
+  for (const Claim& c : claims_) {
+    if (keep[static_cast<size_t>(c.attribute)]) out.claims_.push_back(c);
+  }
+  out.BuildIndexes();
+  return out;
+}
+
+Dataset Dataset::RestrictToObjects(const std::vector<ObjectId>& objects) const {
+  std::vector<char> keep(object_names_.size(), 0);
+  for (ObjectId o : objects) {
+    TDAC_CHECK(o >= 0 && o < num_objects())
+        << "RestrictToObjects: object id out of range: " << o;
+    keep[static_cast<size_t>(o)] = 1;
+  }
+  Dataset out;
+  out.source_names_ = source_names_;
+  out.object_names_ = object_names_;
+  out.attribute_names_ = attribute_names_;
+  out.claims_.reserve(claims_.size());
+  for (const Claim& c : claims_) {
+    if (keep[static_cast<size_t>(c.object)]) out.claims_.push_back(c);
+  }
+  out.BuildIndexes();
+  return out;
+}
+
+std::vector<ObjectId> Dataset::ActiveObjects() const {
+  std::vector<char> seen(object_names_.size(), 0);
+  for (const Claim& c : claims_) seen[static_cast<size_t>(c.object)] = 1;
+  std::vector<ObjectId> out;
+  for (size_t o = 0; o < seen.size(); ++o) {
+    if (seen[o]) out.push_back(static_cast<ObjectId>(o));
+  }
+  return out;
+}
+
+std::vector<AttributeId> Dataset::ActiveAttributes() const {
+  std::vector<char> seen(attribute_names_.size(), 0);
+  for (const Claim& c : claims_) seen[static_cast<size_t>(c.attribute)] = 1;
+  std::vector<AttributeId> out;
+  for (size_t a = 0; a < seen.size(); ++a) {
+    if (seen[a]) out.push_back(static_cast<AttributeId>(a));
+  }
+  return out;
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream os;
+  os << num_sources() << " sources, " << num_objects() << " objects, "
+     << num_attributes() << " attributes, " << num_claims()
+     << " observations, DCR=" << FormatDouble(DataCoverageRate(), 1) << "%";
+  return os.str();
+}
+
+void Dataset::BuildIndexes() {
+  by_item_.clear();
+  by_source_.assign(source_names_.size(), {});
+  items_.clear();
+  for (size_t i = 0; i < claims_.size(); ++i) {
+    const Claim& c = claims_[i];
+    by_item_[ObjectAttrKey(c.object, c.attribute)].push_back(
+        static_cast<int32_t>(i));
+    by_source_[static_cast<size_t>(c.source)].push_back(
+        static_cast<int32_t>(i));
+  }
+  items_.reserve(by_item_.size());
+  for (const auto& [key, indices] : by_item_) items_.push_back(key);
+  std::sort(items_.begin(), items_.end());
+}
+
+}  // namespace tdac

@@ -1,0 +1,119 @@
+#ifndef TDAC_DATA_DATASET_H_
+#define TDAC_DATA_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/claim.h"
+#include "data/ids.h"
+
+namespace tdac {
+
+/// \brief An immutable, indexed collection of conflicting claims.
+///
+/// A `Dataset` is the triplet (S, A, O) of the paper plus the observations:
+/// name tables for sources, objects, and attributes, and the claim list with
+/// two indexes — by data item (object, attribute) and by source. Datasets are
+/// built with `DatasetBuilder` and are cheap to copy-restrict to an
+/// attribute subset (`RestrictToAttributes`), which is how TD-AC runs a base
+/// algorithm per attribute cluster while keeping the original id space.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  int num_sources() const { return static_cast<int>(source_names_.size()); }
+  int num_objects() const { return static_cast<int>(object_names_.size()); }
+  int num_attributes() const {
+    return static_cast<int>(attribute_names_.size());
+  }
+  size_t num_claims() const { return claims_.size(); }
+
+  const std::string& source_name(SourceId s) const {
+    return source_names_[static_cast<size_t>(s)];
+  }
+  const std::string& object_name(ObjectId o) const {
+    return object_names_[static_cast<size_t>(o)];
+  }
+  const std::string& attribute_name(AttributeId a) const {
+    return attribute_names_[static_cast<size_t>(a)];
+  }
+
+  const std::vector<std::string>& source_names() const {
+    return source_names_;
+  }
+  const std::vector<std::string>& object_names() const {
+    return object_names_;
+  }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+
+  const std::vector<Claim>& claims() const { return claims_; }
+  const Claim& claim(size_t index) const { return claims_[index]; }
+
+  /// Indices (into claims()) of all claims about the data item
+  /// (object, attribute); empty when no source covers it.
+  const std::vector<int32_t>& ClaimsOn(ObjectId object,
+                                       AttributeId attribute) const;
+
+  /// Indices of all claims made by `source`.
+  const std::vector<int32_t>& ClaimsBySource(SourceId source) const {
+    return by_source_[static_cast<size_t>(source)];
+  }
+
+  /// Keys (see ObjectAttrKey) of every data item with at least one claim,
+  /// in ascending key order (object-major).
+  const std::vector<uint64_t>& DataItems() const { return items_; }
+
+  /// The value `source` claims for (object, attribute), or nullptr when the
+  /// source does not cover that data item.
+  const Value* ValueOf(SourceId source, ObjectId object,
+                       AttributeId attribute) const;
+
+  /// Data Coverage Rate in percent, per the paper's Eq. 7 (Section 4.4):
+  /// the fraction of (source, data item) pairs that carry a claim, over
+  /// sources and attributes active per object.
+  double DataCoverageRate() const;
+
+  /// A dataset containing only claims whose attribute is in `attributes`.
+  /// Name tables and id spaces are preserved, so predictions on the
+  /// restriction can be merged directly with predictions on its complement.
+  Dataset RestrictToAttributes(const std::vector<AttributeId>& attributes) const;
+
+  /// The object-axis analogue of RestrictToAttributes (used by the TD-OC
+  /// object-partitioning extension).
+  Dataset RestrictToObjects(const std::vector<ObjectId>& objects) const;
+
+  /// Attributes that have at least one claim.
+  std::vector<AttributeId> ActiveAttributes() const;
+
+  /// Objects that have at least one claim.
+  std::vector<ObjectId> ActiveObjects() const;
+
+  /// Human-readable one-line summary (counts + DCR).
+  std::string Summary() const;
+
+ private:
+  friend class DatasetBuilder;
+
+  void BuildIndexes();
+
+  std::vector<std::string> source_names_;
+  std::vector<std::string> object_names_;
+  std::vector<std::string> attribute_names_;
+  std::vector<Claim> claims_;
+
+  std::unordered_map<uint64_t, std::vector<int32_t>> by_item_;
+  std::vector<std::vector<int32_t>> by_source_;
+  std::vector<uint64_t> items_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_DATASET_H_

@@ -1,0 +1,56 @@
+#ifndef TDAC_DATA_DATASET_BUILDER_H_
+#define TDAC_DATA_DATASET_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace tdac {
+
+/// \brief Incremental constructor for `Dataset`.
+///
+/// Names are interned: adding an existing name returns the existing id.
+/// Claims must be unique per (source, object, attribute) — the one-truth
+/// setting allows a source a single claim per data item.
+class DatasetBuilder {
+ public:
+  DatasetBuilder() = default;
+
+  /// Returns the id of `name`, creating it on first use.
+  SourceId AddSource(const std::string& name);
+  ObjectId AddObject(const std::string& name);
+  AttributeId AddAttribute(const std::string& name);
+
+  /// Looks up an existing name; kInvalidId when absent.
+  SourceId FindSource(const std::string& name) const;
+  ObjectId FindObject(const std::string& name) const;
+  AttributeId FindAttribute(const std::string& name) const;
+
+  /// Records a claim. Fails with AlreadyExists if this (source, object,
+  /// attribute) already has a claim, and with InvalidArgument on bad ids.
+  Status AddClaim(SourceId source, ObjectId object, AttributeId attribute,
+                  Value value);
+
+  /// Name-based convenience overload (interns all three names).
+  Status AddClaim(const std::string& source, const std::string& object,
+                  const std::string& attribute, Value value);
+
+  size_t num_claims() const { return dataset_.claims_.size(); }
+
+  /// Finalizes the dataset and resets the builder. Fails when empty.
+  Result<Dataset> Build();
+
+ private:
+  Dataset dataset_;
+  std::unordered_map<std::string, SourceId> source_ids_;
+  std::unordered_map<std::string, ObjectId> object_ids_;
+  std::unordered_map<std::string, AttributeId> attribute_ids_;
+  std::unordered_map<uint64_t, std::unordered_map<int32_t, char>> seen_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_DATASET_BUILDER_H_

@@ -1,0 +1,181 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "data/dataset_builder.h"
+
+namespace tdac {
+
+namespace {
+
+const char* KindName(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kString:
+      return "string";
+    case Value::Kind::kInt:
+      return "int";
+    case Value::Kind::kDouble:
+      return "double";
+  }
+  return "string";
+}
+
+Result<Value::Kind> ParseKind(const std::string& s) {
+  if (s == "string") return Value::Kind::kString;
+  if (s == "int") return Value::Kind::kInt;
+  if (s == "double") return Value::Kind::kDouble;
+  return Status::InvalidArgument("unknown value kind: " + s);
+}
+
+}  // namespace
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  CsvWriter w;
+  w.WriteRow({"source", "object", "attribute", "kind", "value"});
+  for (const Claim& c : dataset.claims()) {
+    w.WriteRow({dataset.source_name(c.source), dataset.object_name(c.object),
+                dataset.attribute_name(c.attribute), KindName(c.value.kind()),
+                c.value.ToString()});
+  }
+  return w.contents();
+}
+
+Result<Dataset> DatasetFromCsv(const std::string& text) {
+  TDAC_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty()) return Status::InvalidArgument("empty claim CSV");
+  DatasetBuilder builder;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 5) {
+      return Status::InvalidArgument("claim CSV row " + std::to_string(i) +
+                                     " must have 5 fields");
+    }
+    TDAC_ASSIGN_OR_RETURN(Value::Kind kind, ParseKind(row[3]));
+    TDAC_RETURN_NOT_OK(
+        builder.AddClaim(row[0], row[1], row[2], Value::FromText(kind, row[4])));
+  }
+  return builder.Build();
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  return WriteFile(path, DatasetToCsv(dataset));
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  TDAC_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return DatasetFromCsv(text);
+}
+
+std::string GroundTruthToCsv(const GroundTruth& truth,
+                             const Dataset& dataset) {
+  CsvWriter w;
+  w.WriteRow({"object", "attribute", "kind", "value"});
+  for (uint64_t key : truth.SortedKeys()) {
+    ObjectId o = ObjectFromKey(key);
+    AttributeId a = AttributeFromKey(key);
+    const Value* v = truth.Get(o, a);
+    w.WriteRow({dataset.object_name(o), dataset.attribute_name(a),
+                KindName(v->kind()), v->ToString()});
+  }
+  return w.contents();
+}
+
+Result<GroundTruth> GroundTruthFromCsv(const std::string& text,
+                                       const Dataset& dataset) {
+  TDAC_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty()) return Status::InvalidArgument("empty truth CSV");
+  std::unordered_map<std::string, ObjectId> objects;
+  for (int o = 0; o < dataset.num_objects(); ++o) {
+    objects[dataset.object_name(o)] = o;
+  }
+  std::unordered_map<std::string, AttributeId> attributes;
+  for (int a = 0; a < dataset.num_attributes(); ++a) {
+    attributes[dataset.attribute_name(a)] = a;
+  }
+  GroundTruth truth;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 4) {
+      return Status::InvalidArgument("truth CSV row " + std::to_string(i) +
+                                     " must have 4 fields");
+    }
+    auto oit = objects.find(row[0]);
+    if (oit == objects.end()) {
+      return Status::NotFound("unknown object: " + row[0]);
+    }
+    auto ait = attributes.find(row[1]);
+    if (ait == attributes.end()) {
+      return Status::NotFound("unknown attribute: " + row[1]);
+    }
+    TDAC_ASSIGN_OR_RETURN(Value::Kind kind, ParseKind(row[2]));
+    truth.Set(oit->second, ait->second, Value::FromText(kind, row[3]));
+  }
+  return truth;
+}
+
+Status SaveGroundTruth(const GroundTruth& truth, const Dataset& dataset,
+                       const std::string& path) {
+  return WriteFile(path, GroundTruthToCsv(truth, dataset));
+}
+
+std::string SourceTrustToCsv(const std::vector<double>& trust,
+                             const Dataset& dataset) {
+  CsvWriter w;
+  w.WriteRow({"source", "trust"});
+  const size_t n = std::min(trust.size(),
+                            static_cast<size_t>(dataset.num_sources()));
+  for (size_t s = 0; s < n; ++s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", trust[s]);
+    w.WriteRow({dataset.source_name(static_cast<SourceId>(s)), buf});
+  }
+  return w.contents();
+}
+
+Result<std::vector<double>> SourceTrustFromCsv(const std::string& text,
+                                               const Dataset& dataset) {
+  TDAC_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty()) return Status::InvalidArgument("empty trust CSV");
+  std::unordered_map<std::string, SourceId> sources;
+  for (int s = 0; s < dataset.num_sources(); ++s) {
+    sources[dataset.source_name(s)] = s;
+  }
+  std::vector<double> trust(static_cast<size_t>(dataset.num_sources()), 0.0);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 2) {
+      return Status::InvalidArgument("trust CSV row " + std::to_string(i) +
+                                     " must have 2 fields");
+    }
+    auto it = sources.find(row[0]);
+    if (it == sources.end()) {
+      return Status::NotFound("unknown source: " + row[0]);
+    }
+    Value parsed = Value::FromText(Value::Kind::kDouble, row[1]);
+    trust[static_cast<size_t>(it->second)] = parsed.AsDouble();
+  }
+  return trust;
+}
+
+Status SaveSourceTrust(const std::vector<double>& trust,
+                       const Dataset& dataset, const std::string& path) {
+  return WriteFile(path, SourceTrustToCsv(trust, dataset));
+}
+
+Result<std::vector<double>> LoadSourceTrust(const std::string& path,
+                                            const Dataset& dataset) {
+  TDAC_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return SourceTrustFromCsv(text, dataset);
+}
+
+Result<GroundTruth> LoadGroundTruth(const std::string& path,
+                                    const Dataset& dataset) {
+  TDAC_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return GroundTruthFromCsv(text, dataset);
+}
+
+}  // namespace tdac

@@ -1,0 +1,58 @@
+#ifndef TDAC_DATA_DATASET_IO_H_
+#define TDAC_DATA_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace tdac {
+
+/// \brief CSV serialization for datasets and ground truths.
+///
+/// Claim files have a header row `source,object,attribute,kind,value` where
+/// kind is `string` | `int` | `double`. Truth files have
+/// `object,attribute,kind,value` and resolve names against a dataset.
+
+/// Renders `dataset` as claim-file CSV text.
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Parses claim-file CSV text into a Dataset.
+Result<Dataset> DatasetFromCsv(const std::string& text);
+
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+Result<Dataset> LoadDataset(const std::string& path);
+
+/// Renders `truth` (with names resolved via `dataset`) as truth-file CSV.
+std::string GroundTruthToCsv(const GroundTruth& truth, const Dataset& dataset);
+
+/// Parses truth-file CSV, resolving names against `dataset`. Rows naming
+/// unknown objects/attributes fail with NotFound.
+Result<GroundTruth> GroundTruthFromCsv(const std::string& text,
+                                       const Dataset& dataset);
+
+Status SaveGroundTruth(const GroundTruth& truth, const Dataset& dataset,
+                       const std::string& path);
+Result<GroundTruth> LoadGroundTruth(const std::string& path,
+                                    const Dataset& dataset);
+
+/// Renders per-source trust (indexed by SourceId) as `source,trust` CSV.
+std::string SourceTrustToCsv(const std::vector<double>& trust,
+                             const Dataset& dataset);
+
+/// Parses a trust CSV back into a vector indexed by `dataset`'s source ids;
+/// sources absent from the file keep 0. Unknown names fail with NotFound.
+Result<std::vector<double>> SourceTrustFromCsv(const std::string& text,
+                                               const Dataset& dataset);
+
+Status SaveSourceTrust(const std::vector<double>& trust,
+                       const Dataset& dataset, const std::string& path);
+Result<std::vector<double>> LoadSourceTrust(const std::string& path,
+                                            const Dataset& dataset);
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_DATASET_IO_H_

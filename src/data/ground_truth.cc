@@ -1,0 +1,15 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+
+namespace tdac {
+
+std::vector<uint64_t> GroundTruth::SortedKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(truth_.size());
+  for (const auto& [key, value] : truth_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace tdac

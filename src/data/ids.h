@@ -1,0 +1,34 @@
+#ifndef TDAC_DATA_IDS_H_
+#define TDAC_DATA_IDS_H_
+
+#include <cstdint>
+
+namespace tdac {
+
+/// Dense zero-based identifiers into a Dataset's source / object / attribute
+/// tables. They are plain integers (not strong types) because they index
+/// directly into contiguous arrays on every hot path.
+using SourceId = int32_t;
+using ObjectId = int32_t;
+using AttributeId = int32_t;
+
+/// Sentinel for "no id".
+inline constexpr int32_t kInvalidId = -1;
+
+/// Packs an (object, attribute) pair into one 64-bit map key.
+inline uint64_t ObjectAttrKey(ObjectId object, AttributeId attribute) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(object)) << 32) |
+         static_cast<uint32_t>(attribute);
+}
+
+inline ObjectId ObjectFromKey(uint64_t key) {
+  return static_cast<ObjectId>(key >> 32);
+}
+
+inline AttributeId AttributeFromKey(uint64_t key) {
+  return static_cast<AttributeId>(key & 0xffffffffu);
+}
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_IDS_H_

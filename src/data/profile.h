@@ -1,0 +1,56 @@
+#ifndef TDAC_DATA_PROFILE_H_
+#define TDAC_DATA_PROFILE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace tdac {
+
+/// \brief Descriptive statistics of a claim dataset, beyond the Table 8
+/// columns: conflict structure per data item and coverage per source.
+/// Used by `tdac_cli stats` and handy when calibrating simulators.
+struct DatasetProfile {
+  // Table 8 columns.
+  int num_sources = 0;
+  int num_objects = 0;
+  int num_attributes = 0;   // active attributes (with >= 1 claim)
+  size_t num_claims = 0;
+  double dcr = 0.0;
+
+  // Conflict structure.
+  size_t num_items = 0;
+  double mean_claims_per_item = 0.0;
+  size_t max_claims_per_item = 0;
+  double mean_distinct_values_per_item = 0.0;
+  size_t max_distinct_values_per_item = 0;
+
+  /// Fraction of data items with at least two distinct claimed values.
+  double conflict_rate = 0.0;
+
+  /// Fraction of conflicted items where the plurality value holds a strict
+  /// majority of the claims (how decisive naive voting would be).
+  double majority_decisive_rate = 0.0;
+
+  // Source coverage.
+  double mean_claims_per_source = 0.0;
+  size_t min_claims_per_source = 0;
+  size_t max_claims_per_source = 0;
+
+  /// histogram[d] = number of items with exactly d distinct values, for
+  /// d in [1, histogram.size()); the last bucket aggregates the tail.
+  std::vector<size_t> distinct_value_histogram;
+};
+
+/// Computes the profile in one pass over the indexes.
+DatasetProfile ProfileDataset(const Dataset& data);
+
+/// Renders the profile as an aligned key/value table.
+void PrintProfile(const DatasetProfile& profile, std::ostream& os);
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_PROFILE_H_

@@ -1,0 +1,123 @@
+#include "data/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace tdac {
+
+const std::string& Value::AsString() const {
+  TDAC_CHECK(is_string()) << "Value is not a string";
+  return std::get<std::string>(rep_);
+}
+
+int64_t Value::AsInt() const {
+  TDAC_CHECK(is_int()) << "Value is not an int";
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  TDAC_CHECK(is_double()) << "Value is not a double";
+  return std::get<double>(rep_);
+}
+
+double Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
+  TDAC_CHECK(is_double()) << "Value is not numeric";
+  return std::get<double>(rep_);
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kString:
+      return std::get<std::string>(rep_);
+    case Kind::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(rep_));
+      return buf;
+    }
+  }
+  return {};
+}
+
+Value Value::FromText(Kind kind, std::string_view text) {
+  switch (kind) {
+    case Kind::kString:
+      return Value(std::string(text));
+    case Kind::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        TDAC_LOG_WARNING << "Value::FromText: bad int '" << std::string(text)
+                         << "', defaulting to 0";
+        v = 0;
+      }
+      return Value(v);
+    }
+    case Kind::kDouble: {
+      // std::from_chars for double is not available everywhere; use strtod.
+      std::string tmp(text);
+      char* end = nullptr;
+      double v = std::strtod(tmp.c_str(), &end);
+      if (end != tmp.c_str() + tmp.size()) {
+        TDAC_LOG_WARNING << "Value::FromText: bad double '" << tmp
+                         << "', defaulting to 0";
+        v = 0.0;
+      }
+      return Value(v);
+    }
+  }
+  return Value();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (rep_.index() != other.rep_.index()) {
+    return rep_.index() < other.rep_.index();
+  }
+  return rep_ < other.rep_;
+}
+
+uint64_t Value::Hash() const {
+  // FNV-1a over a kind tag byte plus the payload bytes.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  unsigned char tag = static_cast<unsigned char>(kind());
+  mix(&tag, 1);
+  switch (kind()) {
+    case Kind::kString: {
+      const std::string& s = std::get<std::string>(rep_);
+      mix(s.data(), s.size());
+      break;
+    }
+    case Kind::kInt: {
+      int64_t v = std::get<int64_t>(rep_);
+      mix(&v, sizeof(v));
+      break;
+    }
+    case Kind::kDouble: {
+      double d = std::get<double>(rep_);
+      if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0
+      mix(&d, sizeof(d));
+      break;
+    }
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace tdac

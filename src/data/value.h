@@ -1,0 +1,80 @@
+#ifndef TDAC_DATA_VALUE_H_
+#define TDAC_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace tdac {
+
+/// \brief A typed claim value: string, 64-bit integer, or double.
+///
+/// Truth-discovery vote counting uses exact equality (`operator==`);
+/// graded closeness between distinct values (used by TruthFinder's
+/// implication and AccuSim's similarity support) lives in
+/// `td/value_similarity.h`.
+class Value {
+ public:
+  enum class Kind { kString = 0, kInt = 1, kDouble = 2 };
+
+  /// Default-constructs the empty string value.
+  Value() : rep_(std::string()) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(int i) : rep_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : rep_(d) {}
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+
+  /// Accessors abort on kind mismatch (programming error).
+  const std::string& AsString() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+
+  /// Numeric view: the int or double payload widened to double.
+  /// Aborts for string values.
+  double AsNumeric() const;
+
+  /// True when the value carries a number (int or double).
+  bool IsNumeric() const { return !is_string(); }
+
+  /// Renders the payload ("x", "42", "3.5"). Doubles use shortest
+  /// round-trippable formatting.
+  std::string ToString() const;
+
+  /// Parses a typed value from text produced by ToString plus a kind tag.
+  static Value FromText(Kind kind, std::string_view text);
+
+  /// Exact equality: same kind and same payload. An int 2 and a double 2.0
+  /// are *different* values (sources claiming "2" vs "2.0" disagree).
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order (kind first, then payload) used for deterministic
+  /// tie-breaking in vote counting.
+  bool operator<(const Value& other) const;
+
+  /// Stable 64-bit hash of kind and payload.
+  uint64_t Hash() const;
+
+ private:
+  std::variant<std::string, int64_t, double> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_VALUE_H_

@@ -1,0 +1,65 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace tdac {
+
+Result<CalibrationReport> EvaluateCalibration(
+    const Dataset& data, const TruthDiscoveryResult& result,
+    const GroundTruth& gold, int num_bins) {
+  if (num_bins < 1) {
+    return Status::InvalidArgument("EvaluateCalibration: num_bins >= 1");
+  }
+  CalibrationReport report;
+  report.bins.resize(static_cast<size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    report.bins[static_cast<size_t>(b)].lower =
+        static_cast<double>(b) / num_bins;
+    report.bins[static_cast<size_t>(b)].upper =
+        static_cast<double>(b + 1) / num_bins;
+  }
+
+  std::vector<double> conf_sum(static_cast<size_t>(num_bins), 0.0);
+  std::vector<double> correct(static_cast<size_t>(num_bins), 0.0);
+  for (uint64_t key : data.DataItems()) {
+    ObjectId o = ObjectFromKey(key);
+    AttributeId a = AttributeFromKey(key);
+    const Value* elected = result.predicted.Get(o, a);
+    const Value* g = gold.Get(o, a);
+    auto conf_it = result.confidence.find(key);
+    if (elected == nullptr || g == nullptr ||
+        conf_it == result.confidence.end()) {
+      continue;
+    }
+    double confidence = Clamp(conf_it->second, 0.0, 1.0);
+    int bin = std::min(num_bins - 1,
+                       static_cast<int>(confidence * num_bins));
+    auto& cb = report.bins[static_cast<size_t>(bin)];
+    ++cb.count;
+    conf_sum[static_cast<size_t>(bin)] += confidence;
+    if (*elected == *g) correct[static_cast<size_t>(bin)] += 1.0;
+    ++report.items_evaluated;
+  }
+  if (report.items_evaluated == 0) {
+    return Status::FailedPrecondition(
+        "EvaluateCalibration: no evaluable items");
+  }
+  for (int b = 0; b < num_bins; ++b) {
+    auto& cb = report.bins[static_cast<size_t>(b)];
+    if (cb.count == 0) continue;
+    cb.mean_confidence =
+        conf_sum[static_cast<size_t>(b)] / static_cast<double>(cb.count);
+    cb.empirical_accuracy =
+        correct[static_cast<size_t>(b)] / static_cast<double>(cb.count);
+    report.expected_calibration_error +=
+        std::fabs(cb.empirical_accuracy - cb.mean_confidence) *
+        static_cast<double>(cb.count) /
+        static_cast<double>(report.items_evaluated);
+  }
+  return report;
+}
+
+}  // namespace tdac

@@ -1,0 +1,44 @@
+#ifndef TDAC_EVAL_CALIBRATION_H_
+#define TDAC_EVAL_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief One confidence bucket of a reliability diagram.
+struct CalibrationBin {
+  double lower = 0.0;              // bin range [lower, upper)
+  double upper = 0.0;
+  double mean_confidence = 0.0;    // mean reported confidence in the bin
+  double empirical_accuracy = 0.0; // fraction of elected values correct
+  size_t count = 0;                // data items in the bin
+};
+
+/// \brief Reliability diagram + expected calibration error of an
+/// algorithm's per-item confidences.
+struct CalibrationReport {
+  std::vector<CalibrationBin> bins;
+
+  /// ECE = sum over bins of |accuracy - confidence| * count / total.
+  double expected_calibration_error = 0.0;
+
+  /// Items evaluated (elected value + confidence + gold all present).
+  size_t items_evaluated = 0;
+};
+
+/// Buckets `result`'s confidences into `num_bins` equal-width bins over
+/// [0, 1] and compares each bin's mean confidence to the empirical
+/// accuracy of the elected values against `gold`.
+Result<CalibrationReport> EvaluateCalibration(const Dataset& data,
+                                              const TruthDiscoveryResult& result,
+                                              const GroundTruth& gold,
+                                              int num_bins = 10);
+
+}  // namespace tdac
+
+#endif  // TDAC_EVAL_CALIBRATION_H_

@@ -1,0 +1,33 @@
+#include "eval/experiment.h"
+
+#include "common/timer.h"
+
+namespace tdac {
+
+Result<ExperimentRow> RunExperiment(const TruthDiscovery& algorithm,
+                                    const Dataset& data,
+                                    const GroundTruth& gold) {
+  ExperimentRow row;
+  row.algorithm = std::string(algorithm.name());
+  WallTimer timer;
+  TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult result, algorithm.Discover(data));
+  row.seconds = timer.ElapsedSeconds();
+  row.iterations = result.iterations;
+  row.metrics = Evaluate(data, result.predicted, gold);
+  return row;
+}
+
+Result<std::vector<ExperimentRow>> RunExperiments(
+    const std::vector<const TruthDiscovery*>& algorithms, const Dataset& data,
+    const GroundTruth& gold) {
+  std::vector<ExperimentRow> rows;
+  rows.reserve(algorithms.size());
+  for (const TruthDiscovery* algorithm : algorithms) {
+    TDAC_ASSIGN_OR_RETURN(ExperimentRow row,
+                          RunExperiment(*algorithm, data, gold));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace tdac

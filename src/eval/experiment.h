@@ -1,0 +1,40 @@
+#ifndef TDAC_EVAL_EXPERIMENT_H_
+#define TDAC_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "eval/metrics.h"
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief One row of a paper-style performance table.
+struct ExperimentRow {
+  std::string algorithm;
+  PerformanceMetrics metrics;
+
+  /// Wall-clock seconds of the Discover call.
+  double seconds = 0.0;
+
+  /// Outer iterations; negative means "not applicable" (rendered "-").
+  int iterations = 0;
+};
+
+/// Runs `algorithm` on `data`, times it, and evaluates against `gold`.
+Result<ExperimentRow> RunExperiment(const TruthDiscovery& algorithm,
+                                    const Dataset& data,
+                                    const GroundTruth& gold);
+
+/// Runs several algorithms on the same dataset; any individual failure
+/// fails the batch.
+Result<std::vector<ExperimentRow>> RunExperiments(
+    const std::vector<const TruthDiscovery*>& algorithms, const Dataset& data,
+    const GroundTruth& gold);
+
+}  // namespace tdac
+
+#endif  // TDAC_EVAL_EXPERIMENT_H_

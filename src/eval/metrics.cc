@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+namespace tdac {
+
+PerformanceMetrics MetricsFromCounts(const ConfusionCounts& counts) {
+  PerformanceMetrics m;
+  m.counts = counts;
+  const double tp = static_cast<double>(counts.tp);
+  const double fp = static_cast<double>(counts.fp);
+  const double tn = static_cast<double>(counts.tn);
+  const double fn = static_cast<double>(counts.fn);
+  if (tp + fp > 0) m.precision = tp / (tp + fp);
+  if (tp + fn > 0) m.recall = tp / (tp + fn);
+  if (tp + fp + tn + fn > 0) m.accuracy = (tp + tn) / (tp + fp + tn + fn);
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+PerformanceMetrics Evaluate(const Dataset& data, const GroundTruth& predicted,
+                            const GroundTruth& gold) {
+  ConfusionCounts counts;
+  size_t items_correct = 0;
+  size_t items_evaluated = 0;
+
+  // Item-level accuracy.
+  for (uint64_t key : data.DataItems()) {
+    ObjectId o = ObjectFromKey(key);
+    AttributeId a = AttributeFromKey(key);
+    const Value* p = predicted.Get(o, a);
+    const Value* g = gold.Get(o, a);
+    if (p == nullptr || g == nullptr) continue;
+    ++items_evaluated;
+    if (*p == *g) ++items_correct;
+  }
+
+  // Claim-level confusion.
+  for (const Claim& c : data.claims()) {
+    const Value* p = predicted.Get(c.object, c.attribute);
+    const Value* g = gold.Get(c.object, c.attribute);
+    if (p == nullptr || g == nullptr) {
+      ++counts.skipped_claims;
+      continue;
+    }
+    const bool predicted_positive = (c.value == *p);
+    const bool actually_positive = (c.value == *g);
+    if (predicted_positive && actually_positive) {
+      ++counts.tp;
+    } else if (predicted_positive && !actually_positive) {
+      ++counts.fp;
+    } else if (!predicted_positive && actually_positive) {
+      ++counts.fn;
+    } else {
+      ++counts.tn;
+    }
+  }
+
+  PerformanceMetrics m = MetricsFromCounts(counts);
+  m.items_evaluated = items_evaluated;
+  m.item_accuracy = items_evaluated > 0
+                        ? static_cast<double>(items_correct) /
+                              static_cast<double>(items_evaluated)
+                        : 0.0;
+  return m;
+}
+
+}  // namespace tdac

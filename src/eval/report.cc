@@ -1,0 +1,43 @@
+#include "eval/report.h"
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace tdac {
+
+namespace {
+
+TablePrinter BuildTable(const std::vector<ExperimentRow>& rows) {
+  TablePrinter table({"Algorithm", "Precision", "Recall", "Accuracy",
+                      "F1-measure", "Time(s)", "#Iteration"});
+  for (const ExperimentRow& row : rows) {
+    table.AddRow({row.algorithm, FormatDouble(row.metrics.precision, 3),
+                  FormatDouble(row.metrics.recall, 3),
+                  FormatDouble(row.metrics.accuracy, 3),
+                  FormatDouble(row.metrics.f1, 3),
+                  FormatDouble(row.seconds, 3),
+                  row.iterations < 0 ? std::string("-")
+                                     : std::to_string(row.iterations)});
+  }
+  return table;
+}
+
+}  // namespace
+
+void PrintPerformanceTable(const std::string& title,
+                           const std::vector<ExperimentRow>& rows,
+                           std::ostream& os) {
+  if (!title.empty()) os << "== " << title << " ==\n";
+  BuildTable(rows).Print(os);
+  os << "\n";
+}
+
+void PrintPerformanceTableMarkdown(const std::string& title,
+                                   const std::vector<ExperimentRow>& rows,
+                                   std::ostream& os) {
+  if (!title.empty()) os << "### " << title << "\n\n";
+  BuildTable(rows).PrintMarkdown(os);
+  os << "\n";
+}
+
+}  // namespace tdac

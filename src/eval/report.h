@@ -1,0 +1,26 @@
+#ifndef TDAC_EVAL_REPORT_H_
+#define TDAC_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace tdac {
+
+/// Prints rows in the layout of the paper's performance tables:
+/// Algorithm | Precision | Recall | Accuracy | F1-measure | Time(s) |
+/// #Iteration. Negative iteration counts render as "-".
+void PrintPerformanceTable(const std::string& title,
+                           const std::vector<ExperimentRow>& rows,
+                           std::ostream& os);
+
+/// Same, as a markdown table (for EXPERIMENTS.md extraction).
+void PrintPerformanceTableMarkdown(const std::string& title,
+                                   const std::vector<ExperimentRow>& rows,
+                                   std::ostream& os);
+
+}  // namespace tdac
+
+#endif  // TDAC_EVAL_REPORT_H_

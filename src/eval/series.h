@@ -1,0 +1,55 @@
+#ifndef TDAC_EVAL_SERIES_H_
+#define TDAC_EVAL_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tdac {
+
+/// \brief Collector for figure data series (the paper's Figures 1-5 are
+/// grouped-bar charts of accuracy by dataset and algorithm).
+///
+/// Benches add points as they run and export one CSV per figure plus a
+/// ready-to-run gnuplot script, so the plots can be regenerated outside the
+/// repo without re-running anything.
+class FigureSeries {
+ public:
+  /// \param name used for file names, e.g. "figure1".
+  /// \param x_label label of the category axis (e.g. "dataset").
+  /// \param y_label label of the value axis (e.g. "accuracy").
+  FigureSeries(std::string name, std::string x_label, std::string y_label);
+
+  /// Adds one point: series is the legend entry (algorithm), x the
+  /// category (dataset), y the value.
+  void Add(const std::string& series, const std::string& x, double y);
+
+  /// CSV rendering: header "x,<series1>,<series2>,..." with one row per
+  /// distinct x in insertion order; missing cells are empty.
+  std::string ToCsv() const;
+
+  /// A gnuplot script rendering the CSV as grouped bars.
+  std::string ToGnuplot(const std::string& csv_filename) const;
+
+  /// Writes <dir>/<name>.csv and <dir>/<name>.gp.
+  Status WriteTo(const std::string& dir) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Point {
+    std::string series;
+    std::string x;
+    double y;
+  };
+
+  std::string name_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Point> points_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_EVAL_SERIES_H_

@@ -1,0 +1,48 @@
+#ifndef TDAC_EVAL_TRUST_EVAL_H_
+#define TDAC_EVAL_TRUST_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace tdac {
+
+/// \brief Quality of an algorithm's per-source trust estimates against the
+/// sources' *empirical* accuracy (computable when gold truth is known).
+///
+/// This measures the paper's core mechanism directly: TD-AC helps because
+/// per-partition reliability estimates are less biased than global ones,
+/// which shows up as higher correlation here.
+struct TrustEvaluation {
+  /// Pearson correlation between estimated trust and empirical accuracy.
+  double pearson = 0.0;
+
+  /// Spearman rank correlation (average ranks on ties).
+  double spearman = 0.0;
+
+  /// Mean absolute difference |trust - empirical accuracy|. Only
+  /// meaningful for algorithms whose trust is a probability (Accu family);
+  /// Sums/Investment report normalized scores.
+  double mean_abs_error = 0.0;
+
+  /// Sources with at least one claim on a gold-labelled item.
+  size_t sources_evaluated = 0;
+};
+
+/// Per-source fraction of claims matching `gold`; sources with no claims on
+/// gold-labelled items get -1 (excluded from evaluation).
+std::vector<double> EmpiricalSourceAccuracy(const Dataset& data,
+                                            const GroundTruth& gold);
+
+/// Compares `estimated_trust` (indexed by SourceId) against the empirical
+/// accuracies. Fails when sizes mismatch or fewer than 2 sources are
+/// evaluable.
+Result<TrustEvaluation> EvaluateTrust(const Dataset& data,
+                                      const std::vector<double>& estimated_trust,
+                                      const GroundTruth& gold);
+
+}  // namespace tdac
+
+#endif  // TDAC_EVAL_TRUST_EVAL_H_

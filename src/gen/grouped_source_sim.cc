@@ -1,0 +1,127 @@
+#include "gen/grouped_source_sim.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "data/dataset_builder.h"
+
+namespace tdac {
+
+namespace {
+
+std::vector<int64_t> DrawDistinctValues(Rng* rng, int count) {
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(out.size()) < count) {
+    int64_t v = rng->NextInt(0, 999999999);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<GroupedSimData> GenerateGroupedSim(const GroupedSimConfig& config) {
+  if (config.num_sources < 2 || config.num_objects < 1) {
+    return Status::InvalidArgument(
+        "grouped sim: need >= 2 sources and >= 1 object");
+  }
+  if (config.families.empty()) {
+    return Status::InvalidArgument("grouped sim: families required");
+  }
+  if (config.num_false_values < 1) {
+    return Status::InvalidArgument("grouped sim: need >= 1 false value");
+  }
+
+  Rng rng(config.seed);
+  const int num_families = static_cast<int>(config.families.size());
+  int num_attrs = 0;
+  for (const auto& [name, count] : config.families) {
+    if (count < 1) {
+      return Status::InvalidArgument("grouped sim: empty family " + name);
+    }
+    num_attrs += count;
+  }
+
+  GroupedSimData out;
+  out.reliability.assign(
+      static_cast<size_t>(config.num_sources),
+      std::vector<double>(static_cast<size_t>(num_families), 0.0));
+  for (int s = 0; s < config.num_sources; ++s) {
+    double base = rng.NextGaussian(config.base_mean, config.base_spread);
+    for (int f = 0; f < num_families; ++f) {
+      double r = rng.NextBernoulli(config.low_fraction)
+                     ? config.low_reliability +
+                           rng.NextGaussian(0.0, 0.05)
+                     : base + rng.NextGaussian(0.0, config.family_spread);
+      out.reliability[static_cast<size_t>(s)][static_cast<size_t>(f)] =
+          Clamp(r, 0.05, 0.99);
+    }
+  }
+
+  DatasetBuilder builder;
+  std::vector<SourceId> sources(static_cast<size_t>(config.num_sources));
+  for (int s = 0; s < config.num_sources; ++s) {
+    sources[static_cast<size_t>(s)] =
+        builder.AddSource(config.name + "-src" + std::to_string(s + 1));
+  }
+  std::vector<AttributeId> attrs;
+  std::vector<int> family_of;
+  std::vector<std::vector<AttributeId>> family_groups(
+      static_cast<size_t>(num_families));
+  for (int f = 0; f < num_families; ++f) {
+    for (int i = 0; i < config.families[static_cast<size_t>(f)].second; ++i) {
+      AttributeId a = builder.AddAttribute(
+          config.families[static_cast<size_t>(f)].first + "-" +
+          std::to_string(i + 1));
+      attrs.push_back(a);
+      family_of.push_back(f);
+      family_groups[static_cast<size_t>(f)].push_back(a);
+    }
+  }
+
+  for (int o = 0; o < config.num_objects; ++o) {
+    ObjectId oid = builder.AddObject("obj" + std::to_string(o + 1));
+    // Which sources track this object at all.
+    std::vector<char> covers(static_cast<size_t>(config.num_sources), 0);
+    for (int s = 0; s < config.num_sources; ++s) {
+      covers[static_cast<size_t>(s)] =
+          rng.NextBernoulli(config.object_cover_rate);
+    }
+    for (int a = 0; a < num_attrs; ++a) {
+      std::vector<int64_t> pool =
+          DrawDistinctValues(&rng, config.num_false_values + 1);
+      const Value truth(pool[0]);
+      out.truth.Set(oid, attrs[static_cast<size_t>(a)], truth);
+      const int f = family_of[static_cast<size_t>(a)];
+      for (int s = 0; s < config.num_sources; ++s) {
+        if (!covers[static_cast<size_t>(s)]) continue;
+        if (!rng.NextBernoulli(config.attr_answer_rate)) continue;
+        const double r =
+            out.reliability[static_cast<size_t>(s)][static_cast<size_t>(f)];
+        Value claimed;
+        if (rng.NextBernoulli(r)) {
+          claimed = truth;
+        } else if (rng.NextBernoulli(config.distractor_rate)) {
+          claimed = Value(pool[1]);  // canonical wrong value for this item
+        } else {
+          claimed = Value(pool[1 + rng.NextBounded(static_cast<uint64_t>(
+              config.num_false_values))]);
+        }
+        TDAC_RETURN_NOT_OK(builder.AddClaim(sources[static_cast<size_t>(s)],
+                                            oid, attrs[static_cast<size_t>(a)],
+                                            std::move(claimed)));
+      }
+    }
+  }
+
+  TDAC_ASSIGN_OR_RETURN(out.dataset, builder.Build());
+  TDAC_ASSIGN_OR_RETURN(out.families,
+                        AttributePartition::FromGroups(family_groups));
+  return out;
+}
+
+}  // namespace tdac

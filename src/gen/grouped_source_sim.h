@@ -1,0 +1,76 @@
+#ifndef TDAC_GEN_GROUPED_SOURCE_SIM_H_
+#define TDAC_GEN_GROUPED_SOURCE_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "partition/attribute_partition.h"
+
+namespace tdac {
+
+/// \brief Shared engine behind the Stocks and Flights simulators: multiple
+/// objects, attribute *families* (structurally correlated groups), per-
+/// (source, family) reliability, and two-level coverage (a source covers an
+/// object entirely or not at all, then answers each attribute of a covered
+/// object independently) — which is what separates the paper's observation
+/// counts from its DCR values.
+struct GroupedSimConfig {
+  std::string name = "sim";
+  int num_sources = 10;
+  int num_objects = 100;
+
+  /// Attribute families: (family name, #attributes).
+  std::vector<std::pair<std::string, int>> families;
+
+  /// Probability that a source tracks a given object at all.
+  double object_cover_rate = 0.9;
+
+  /// Probability that a covering source answers a given attribute.
+  double attr_answer_rate = 0.75;
+
+  /// Per-(source, family) reliability: base ~ N(base_mean, base_spread)
+  /// per source plus an independent family offset ~ N(0, family_spread),
+  /// clamped to [0.05, 0.99].
+  double base_mean = 0.8;
+  double base_spread = 0.08;
+  double family_spread = 0.12;
+
+  /// With this probability a (source, family) cell is *unreliable*: its
+  /// reliability drops to low_reliability instead of the Gaussian above.
+  /// This is the structural correlation the paper exploits — a feed that is
+  /// broken for one attribute family is broken for all attributes of that
+  /// family.
+  double low_fraction = 0.0;
+  double low_reliability = 0.2;
+
+  /// Probability that a wrong claim lands on the item's canonical
+  /// distractor value (stale quotes, copied typos) rather than a uniform
+  /// draw from the pool.
+  double distractor_rate = 0.0;
+
+  /// Size of the per-item wrong-value pool.
+  int num_false_values = 40;
+
+  uint64_t seed = 42;
+};
+
+struct GroupedSimData {
+  Dataset dataset;
+  GroundTruth truth;
+
+  /// The family partition — the structural correlation in the data.
+  AttributePartition families;
+
+  /// reliability[s][f]: accuracy of source s on family f.
+  std::vector<std::vector<double>> reliability;
+};
+
+Result<GroupedSimData> GenerateGroupedSim(const GroupedSimConfig& config);
+
+}  // namespace tdac
+
+#endif  // TDAC_GEN_GROUPED_SOURCE_SIM_H_

@@ -1,0 +1,23 @@
+#ifndef TDAC_GEN_STOCKS_H_
+#define TDAC_GEN_STOCKS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "gen/grouped_source_sim.h"
+
+namespace tdac {
+
+/// \brief Simulator standing in for the **Stocks** dataset of Li et al.
+/// (VLDB 2013), matched to the paper's Table 8 statistics: 55 sources,
+/// 100 objects (stock symbols on trading days), 15 attributes in three
+/// correlated families (price-like quotes, volume-like counters, metadata),
+/// ~57k observations, DCR ~ 75%.
+Result<GroupedSimData> GenerateStocks(uint64_t seed = 42);
+
+/// The configuration used by GenerateStocks, for tweaking in ablations.
+GroupedSimConfig StocksConfig(uint64_t seed = 42);
+
+}  // namespace tdac
+
+#endif  // TDAC_GEN_STOCKS_H_

@@ -1,0 +1,73 @@
+#ifndef TDAC_PARTITION_ATTRIBUTE_PARTITION_H_
+#define TDAC_PARTITION_ATTRIBUTE_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/ids.h"
+
+namespace tdac {
+
+/// \brief A partition of a set of attributes into disjoint groups.
+///
+/// Stored in canonical form: every group sorted ascending, groups ordered by
+/// their smallest element. Canonicalization makes equality, hashing, and the
+/// paper-style rendering ("[(1,2),(4,6),(3,5)]", 1-based) deterministic.
+class AttributePartition {
+ public:
+  AttributePartition() = default;
+
+  /// Builds from explicit groups; validates disjointness and non-emptiness.
+  static Result<AttributePartition> FromGroups(
+      std::vector<std::vector<AttributeId>> groups);
+
+  /// Builds from a cluster-assignment vector: `assignment[i]` is the group
+  /// label of `attributes[i]`. Empty labels are skipped.
+  static Result<AttributePartition> FromAssignment(
+      const std::vector<AttributeId>& attributes,
+      const std::vector<int>& assignment);
+
+  /// The trivial partition with all attributes in one group.
+  static AttributePartition Single(const std::vector<AttributeId>& attributes);
+
+  /// Parses the paper-style rendering "[(1,2),(4,6),(3,5)]" with 1-based
+  /// attribute numbers.
+  static Result<AttributePartition> Parse(const std::string& text);
+
+  size_t num_groups() const { return groups_.size(); }
+  const std::vector<AttributeId>& group(size_t i) const { return groups_[i]; }
+  const std::vector<std::vector<AttributeId>>& groups() const {
+    return groups_;
+  }
+
+  /// Total number of attributes across groups.
+  size_t num_attributes() const;
+
+  /// All attributes, ascending.
+  std::vector<AttributeId> Attributes() const;
+
+  /// Group index containing `attribute`, or -1.
+  int GroupOf(AttributeId attribute) const;
+
+  /// Paper-style rendering with 1-based attribute numbers.
+  std::string ToString() const;
+
+  bool operator==(const AttributePartition& other) const {
+    return groups_ == other.groups_;
+  }
+  bool operator!=(const AttributePartition& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  void Canonicalize();
+
+  std::vector<std::vector<AttributeId>> groups_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AttributePartition& p);
+
+}  // namespace tdac
+
+#endif  // TDAC_PARTITION_ATTRIBUTE_PARTITION_H_

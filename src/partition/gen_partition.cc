@@ -1,0 +1,74 @@
+#include "partition/gen_partition.h"
+
+#include "common/logging.h"
+#include "partition/group_runner.h"
+#include "partition/set_partition_enumerator.h"
+
+namespace tdac {
+
+GenPartitionAlgorithm::GenPartitionAlgorithm(GenPartitionOptions options)
+    : options_(options) {
+  TDAC_CHECK(options_.base != nullptr)
+      << "GenPartitionAlgorithm requires a base algorithm";
+  name_ = std::string(options_.base->name()) + "GenPartition(" +
+          std::string(WeightingFunctionName(options_.weighting)) + ")";
+}
+
+Result<TruthDiscoveryResult> GenPartitionAlgorithm::Discover(
+    const Dataset& data) const {
+  TDAC_ASSIGN_OR_RETURN(GenPartitionReport report, DiscoverWithReport(data));
+  return std::move(report.result);
+}
+
+Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
+    const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("GenPartition: empty dataset");
+  }
+  if (options_.weighting == WeightingFunction::kOracle &&
+      options_.oracle_truth == nullptr) {
+    return Status::InvalidArgument(
+        "GenPartition: Oracle weighting requires oracle_truth");
+  }
+  const std::vector<AttributeId> attributes = data.ActiveAttributes();
+  const int n = static_cast<int>(attributes.size());
+  if (n < 1) return Status::InvalidArgument("GenPartition: no attributes");
+  if (n > options_.max_attributes) {
+    return Status::InvalidArgument(
+        "GenPartition: refusing to enumerate partitions of " +
+        std::to_string(n) + " attributes (cap " +
+        std::to_string(options_.max_attributes) +
+        "); raise max_attributes explicitly if you really mean it");
+  }
+
+  GroupRunner runner(options_.base, &data);
+  GenPartitionReport report;
+  bool have_best = false;
+
+  SetPartitionEnumerator enumerator(n);
+  while (enumerator.Next()) {
+    TDAC_ASSIGN_OR_RETURN(AttributePartition partition,
+                          enumerator.Current(attributes));
+    ++report.partitions_explored;
+    TDAC_ASSIGN_OR_RETURN(
+        double score,
+        runner.Score(partition, options_.weighting, options_.oracle_truth));
+
+    // Strictly better score wins; on a tie prefer the finer partition
+    // (degenerate ties — e.g. a base algorithm that is perfect on every
+    // grouping — otherwise collapse to the first-enumerated all-in-one).
+    if (!have_best || score > report.best_score ||
+        (score == report.best_score &&
+         partition.num_groups() > report.best_partition.num_groups())) {
+      have_best = true;
+      report.best_score = score;
+      report.best_partition = partition;
+    }
+  }
+  report.groups_evaluated = runner.groups_evaluated();
+  TDAC_ASSIGN_OR_RETURN(report.result,
+                        runner.Aggregate(report.best_partition));
+  return report;
+}
+
+}  // namespace tdac

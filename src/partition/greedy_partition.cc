@@ -1,0 +1,97 @@
+#include "partition/greedy_partition.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "partition/group_runner.h"
+
+namespace tdac {
+
+GreedyPartitionAlgorithm::GreedyPartitionAlgorithm(GenPartitionOptions options)
+    : options_(options) {
+  TDAC_CHECK(options_.base != nullptr)
+      << "GreedyPartitionAlgorithm requires a base algorithm";
+  name_ = std::string(options_.base->name()) + "GreedyPartition(" +
+          std::string(WeightingFunctionName(options_.weighting)) + ")";
+}
+
+Result<TruthDiscoveryResult> GreedyPartitionAlgorithm::Discover(
+    const Dataset& data) const {
+  TDAC_ASSIGN_OR_RETURN(GenPartitionReport report, DiscoverWithReport(data));
+  return std::move(report.result);
+}
+
+Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
+    const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("GreedyPartition: empty dataset");
+  }
+  if (options_.weighting == WeightingFunction::kOracle &&
+      options_.oracle_truth == nullptr) {
+    return Status::InvalidArgument(
+        "GreedyPartition: Oracle weighting requires oracle_truth");
+  }
+  const std::vector<AttributeId> attributes = data.ActiveAttributes();
+  const int n = static_cast<int>(attributes.size());
+  if (n < 1) return Status::InvalidArgument("GreedyPartition: no attributes");
+
+  GroupRunner runner(options_.base, &data);
+  GenPartitionReport report;
+
+  // Start from all singletons.
+  std::vector<std::vector<AttributeId>> groups;
+  groups.reserve(static_cast<size_t>(n));
+  for (AttributeId a : attributes) groups.push_back({a});
+  TDAC_ASSIGN_OR_RETURN(AttributePartition current,
+                        AttributePartition::FromGroups(groups));
+  TDAC_ASSIGN_OR_RETURN(
+      double current_score,
+      runner.Score(current, options_.weighting, options_.oracle_truth));
+  ++report.partitions_explored;
+
+  // Merge the best-improving pair until no merge improves.
+  bool improved = true;
+  while (improved && current.num_groups() > 1) {
+    improved = false;
+    AttributePartition best_candidate;
+    double best_score = current_score;
+    const auto& cur_groups = current.groups();
+    for (size_t i = 0; i < cur_groups.size(); ++i) {
+      for (size_t j = i + 1; j < cur_groups.size(); ++j) {
+        std::vector<std::vector<AttributeId>> merged;
+        merged.reserve(cur_groups.size() - 1);
+        for (size_t g = 0; g < cur_groups.size(); ++g) {
+          if (g == j) continue;
+          merged.push_back(cur_groups[g]);
+          if (g == i) {
+            merged.back().insert(merged.back().end(), cur_groups[j].begin(),
+                                 cur_groups[j].end());
+          }
+        }
+        TDAC_ASSIGN_OR_RETURN(AttributePartition candidate,
+                              AttributePartition::FromGroups(std::move(merged)));
+        TDAC_ASSIGN_OR_RETURN(double score,
+                              runner.Score(candidate, options_.weighting,
+                                           options_.oracle_truth));
+        ++report.partitions_explored;
+        if (score > best_score) {
+          best_score = score;
+          best_candidate = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (improved) {
+      current = best_candidate;
+      current_score = best_score;
+    }
+  }
+
+  report.best_partition = current;
+  report.best_score = current_score;
+  report.groups_evaluated = runner.groups_evaluated();
+  TDAC_ASSIGN_OR_RETURN(report.result, runner.Aggregate(current));
+  return report;
+}
+
+}  // namespace tdac

@@ -1,0 +1,121 @@
+#include "partition/group_runner.h"
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace tdac {
+
+GroupRunner::GroupRunner(const TruthDiscovery* base, const Dataset* data)
+    : base_(base), data_(data) {
+  TDAC_CHECK(base_ != nullptr) << "GroupRunner requires a base algorithm";
+  TDAC_CHECK(data_ != nullptr) << "GroupRunner requires a dataset";
+}
+
+std::string GroupRunner::GroupKey(const std::vector<AttributeId>& group) {
+  // Groups arrive sorted (AttributePartition canonical form); the key is
+  // the id list, which has no 64-attribute limit unlike a bitmask.
+  std::string key;
+  key.reserve(group.size() * 4);
+  for (AttributeId a : group) {
+    key += std::to_string(a);
+    key += ',';
+  }
+  return key;
+}
+
+Result<const GroupRunner::GroupRun*> GroupRunner::Run(
+    const std::vector<AttributeId>& group) {
+  std::string key = GroupKey(group);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return &it->second;
+
+  Dataset restricted = data_->RestrictToAttributes(group);
+  GroupRun run;
+  run.claim_counts.assign(static_cast<size_t>(data_->num_sources()), 0);
+  if (restricted.num_claims() > 0) {
+    TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult r, base_->Discover(restricted));
+    run.predicted = std::move(r.predicted);
+    run.confidence = std::move(r.confidence);
+    run.trust = std::move(r.source_trust);
+    for (const Claim& c : restricted.claims()) {
+      ++run.claim_counts[static_cast<size_t>(c.source)];
+    }
+  } else {
+    run.trust.assign(static_cast<size_t>(data_->num_sources()), 0.0);
+  }
+  auto [ins, inserted] = memo_.emplace(std::move(key), std::move(run));
+  (void)inserted;
+  return &ins->second;
+}
+
+Result<double> GroupRunner::Score(const AttributePartition& partition,
+                                  WeightingFunction weighting,
+                                  const GroundTruth* oracle) {
+  std::vector<const GroupRun*> runs;
+  runs.reserve(partition.num_groups());
+  for (const auto& group : partition.groups()) {
+    TDAC_ASSIGN_OR_RETURN(const GroupRun* run, Run(group));
+    runs.push_back(run);
+  }
+
+  if (weighting == WeightingFunction::kOracle) {
+    if (oracle == nullptr) {
+      return Status::InvalidArgument(
+          "GroupRunner::Score: Oracle weighting requires a gold truth");
+    }
+    GroundTruth merged;
+    for (const GroupRun* run : runs) merged.MergeFrom(run->predicted);
+    return Evaluate(*data_, merged, *oracle).accuracy;
+  }
+
+  // Mean over sources of the collapsed per-group accuracy vector.
+  double total = 0.0;
+  size_t counted = 0;
+  const size_t num_sources = static_cast<size_t>(data_->num_sources());
+  for (size_t s = 0; s < num_sources; ++s) {
+    std::vector<double> accuracies(runs.size());
+    std::vector<size_t> claims(runs.size());
+    bool covers = false;
+    for (size_t g = 0; g < runs.size(); ++g) {
+      accuracies[g] = s < runs[g]->trust.size() ? runs[g]->trust[s] : 0.0;
+      claims[g] = runs[g]->claim_counts[s];
+      covers = covers || claims[g] > 0;
+    }
+    if (!covers) continue;
+    total += CollapseSourceAccuracies(weighting, accuracies, claims);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+Result<TruthDiscoveryResult> GroupRunner::Aggregate(
+    const AttributePartition& partition) {
+  TruthDiscoveryResult result;
+  result.iterations = -1;  // search-based algorithms render "-"
+  result.converged = true;
+  const size_t num_sources = static_cast<size_t>(data_->num_sources());
+  std::vector<double> trust_weighted(num_sources, 0.0);
+  std::vector<double> trust_claims(num_sources, 0.0);
+  for (const auto& group : partition.groups()) {
+    TDAC_ASSIGN_OR_RETURN(const GroupRun* run, Run(group));
+    result.predicted.MergeFrom(run->predicted);
+    for (const auto& [key, conf] : run->confidence) {
+      result.confidence[key] = conf;
+    }
+    for (size_t s = 0; s < num_sources; ++s) {
+      if (run->trust.empty()) continue;
+      trust_weighted[s] +=
+          run->trust[s] * static_cast<double>(run->claim_counts[s]);
+      trust_claims[s] += static_cast<double>(run->claim_counts[s]);
+    }
+  }
+  result.source_trust.assign(num_sources, 0.0);
+  for (size_t s = 0; s < num_sources; ++s) {
+    if (trust_claims[s] > 0) {
+      result.source_trust[s] = trust_weighted[s] / trust_claims[s];
+    }
+  }
+  return result;
+}
+
+}  // namespace tdac

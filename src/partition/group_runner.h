@@ -1,0 +1,60 @@
+#ifndef TDAC_PARTITION_GROUP_RUNNER_H_
+#define TDAC_PARTITION_GROUP_RUNNER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "partition/attribute_partition.h"
+#include "partition/weighting.h"
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief Runs a base truth-discovery algorithm on attribute groups with
+/// memoization, and scores/aggregates whole partitions.
+///
+/// Partition-search algorithms (the exhaustive AccuGenPartition and the
+/// greedy variant) evaluate many partitions that share groups; the base
+/// algorithm only ever runs once per distinct group.
+class GroupRunner {
+ public:
+  /// Outcome of the base algorithm on one group's restriction.
+  struct GroupRun {
+    GroundTruth predicted;
+    std::unordered_map<uint64_t, double> confidence;
+    std::vector<double> trust;         // per source
+    std::vector<size_t> claim_counts;  // per source, claims inside the group
+  };
+
+  /// Neither pointer is owned; both must outlive the runner.
+  GroupRunner(const TruthDiscovery* base, const Dataset* data);
+
+  /// Memoized run of the base algorithm on `group` (sorted attribute ids).
+  Result<const GroupRun*> Run(const std::vector<AttributeId>& group);
+
+  /// Scores a partition: kMax/kAvg collapse each source's per-group
+  /// accuracy vector and average over covering sources; kOracle evaluates
+  /// the aggregated prediction against `oracle` (required then).
+  Result<double> Score(const AttributePartition& partition,
+                       WeightingFunction weighting, const GroundTruth* oracle);
+
+  /// Merges the per-group results of `partition` into one result
+  /// (predictions, confidences, claim-weighted source trust).
+  Result<TruthDiscoveryResult> Aggregate(const AttributePartition& partition);
+
+  /// Distinct groups the base algorithm actually ran on.
+  size_t groups_evaluated() const { return memo_.size(); }
+
+ private:
+  static std::string GroupKey(const std::vector<AttributeId>& group);
+
+  const TruthDiscovery* base_;
+  const Dataset* data_;
+  std::unordered_map<std::string, GroupRun> memo_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_PARTITION_GROUP_RUNNER_H_

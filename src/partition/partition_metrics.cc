@@ -1,0 +1,62 @@
+#include "partition/partition_metrics.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace tdac {
+
+Result<PartitionAgreement> ComparePartitions(const AttributePartition& a,
+                                             const AttributePartition& b) {
+  const std::vector<AttributeId> attrs_a = a.Attributes();
+  const std::vector<AttributeId> attrs_b = b.Attributes();
+  if (attrs_a != attrs_b) {
+    return Status::InvalidArgument(
+        "ComparePartitions: partitions cover different attribute sets");
+  }
+  const size_t n = attrs_a.size();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "ComparePartitions: need at least 2 attributes");
+  }
+
+  // Contingency table n_ij = |A_i intersect B_j|.
+  std::unordered_map<uint64_t, double> contingency;
+  std::unordered_map<int, double> row_sums;
+  std::unordered_map<int, double> col_sums;
+  for (AttributeId attr : attrs_a) {
+    int ga = a.GroupOf(attr);
+    int gb = b.GroupOf(attr);
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(ga)) << 32) |
+                   static_cast<uint32_t>(gb);
+    contingency[key] += 1.0;
+    row_sums[ga] += 1.0;
+    col_sums[gb] += 1.0;
+  }
+
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_nij = 0.0;
+  for (const auto& [key, count] : contingency) sum_nij += choose2(count);
+  double sum_ai = 0.0;
+  for (const auto& [g, count] : row_sums) sum_ai += choose2(count);
+  double sum_bj = 0.0;
+  for (const auto& [g, count] : col_sums) sum_bj += choose2(count);
+  const double total_pairs = choose2(static_cast<double>(n));
+
+  PartitionAgreement out;
+  // Rand index: (agreements) / total pairs. Agreements =
+  // pairs together in both + pairs apart in both.
+  double together_both = sum_nij;
+  double apart_both = total_pairs - sum_ai - sum_bj + sum_nij;
+  out.rand_index = (together_both + apart_both) / total_pairs;
+
+  double expected = sum_ai * sum_bj / total_pairs;
+  double max_index = 0.5 * (sum_ai + sum_bj);
+  out.adjusted_rand_index =
+      (max_index - expected) > 0
+          ? (sum_nij - expected) / (max_index - expected)
+          : (sum_nij == expected ? 1.0 : 0.0);
+  out.exact_match = (a == b);
+  return out;
+}
+
+}  // namespace tdac

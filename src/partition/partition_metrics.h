@@ -1,0 +1,31 @@
+#ifndef TDAC_PARTITION_PARTITION_METRICS_H_
+#define TDAC_PARTITION_PARTITION_METRICS_H_
+
+#include "common/result.h"
+#include "partition/attribute_partition.h"
+
+namespace tdac {
+
+/// \brief Agreement between two partitions of the same attribute set,
+/// used to compare recovered partitions against the generator's planted one
+/// (the paper's Table 5).
+struct PartitionAgreement {
+  /// Rand index in [0, 1]: fraction of attribute pairs on which the two
+  /// partitions agree (together in both, or apart in both).
+  double rand_index = 0.0;
+
+  /// Hubert-Arabie adjusted Rand index in [-1, 1]; 1 iff identical, ~0 for
+  /// independent random partitions.
+  double adjusted_rand_index = 0.0;
+
+  /// Whether the partitions are exactly equal.
+  bool exact_match = false;
+};
+
+/// Fails when the two partitions cover different attribute sets.
+Result<PartitionAgreement> ComparePartitions(const AttributePartition& a,
+                                             const AttributePartition& b);
+
+}  // namespace tdac
+
+#endif  // TDAC_PARTITION_PARTITION_METRICS_H_

@@ -1,0 +1,54 @@
+#include "partition/set_partition_enumerator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tdac {
+
+SetPartitionEnumerator::SetPartitionEnumerator(int n) : n_(n) {
+  TDAC_CHECK(n >= 1 && n <= 20)
+      << "SetPartitionEnumerator supports 1 <= n <= 20, got " << n;
+  rgs_.assign(static_cast<size_t>(n), 0);
+  max_prefix_.assign(static_cast<size_t>(n), 0);
+}
+
+bool SetPartitionEnumerator::Next() {
+  if (!started_) {
+    started_ = true;
+    return true;  // the all-zero RGS
+  }
+  // Find the rightmost position that can be incremented: rgs[i] may grow up
+  // to max_prefix[i-1] + 1.
+  for (int i = n_ - 1; i >= 1; --i) {
+    if (rgs_[static_cast<size_t>(i)] <=
+        max_prefix_[static_cast<size_t>(i - 1)]) {
+      ++rgs_[static_cast<size_t>(i)];
+      max_prefix_[static_cast<size_t>(i)] =
+          std::max(max_prefix_[static_cast<size_t>(i - 1)],
+                   rgs_[static_cast<size_t>(i)]);
+      for (int j = i + 1; j < n_; ++j) {
+        rgs_[static_cast<size_t>(j)] = 0;
+        max_prefix_[static_cast<size_t>(j)] =
+            max_prefix_[static_cast<size_t>(i)];
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+int SetPartitionEnumerator::num_groups() const {
+  return n_ == 0 ? 0 : max_prefix_.back() + 1;
+}
+
+Result<AttributePartition> SetPartitionEnumerator::Current(
+    const std::vector<AttributeId>& attributes) const {
+  if (static_cast<int>(attributes.size()) != n_) {
+    return Status::InvalidArgument(
+        "Current: attributes size must equal enumerator n");
+  }
+  return AttributePartition::FromAssignment(attributes, rgs_);
+}
+
+}  // namespace tdac

@@ -1,0 +1,53 @@
+#include "partition/weighting.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tdac {
+
+std::string_view WeightingFunctionName(WeightingFunction w) {
+  switch (w) {
+    case WeightingFunction::kMax:
+      return "Max";
+    case WeightingFunction::kAvg:
+      return "Avg";
+    case WeightingFunction::kOracle:
+      return "Oracle";
+  }
+  return "?";
+}
+
+Result<WeightingFunction> ParseWeightingFunction(std::string_view name) {
+  if (EqualsIgnoreCase(name, "max")) return WeightingFunction::kMax;
+  if (EqualsIgnoreCase(name, "avg") || EqualsIgnoreCase(name, "average")) {
+    return WeightingFunction::kAvg;
+  }
+  if (EqualsIgnoreCase(name, "oracle")) return WeightingFunction::kOracle;
+  return Status::InvalidArgument("unknown weighting function: " +
+                                 std::string(name));
+}
+
+double CollapseSourceAccuracies(WeightingFunction w,
+                                const std::vector<double>& group_accuracies,
+                                const std::vector<size_t>& group_claims) {
+  TDAC_CHECK(group_accuracies.size() == group_claims.size())
+      << "CollapseSourceAccuracies: size mismatch";
+  TDAC_CHECK(w != WeightingFunction::kOracle)
+      << "Oracle is not a per-source weighting";
+  double best = 0.0;
+  double sum = 0.0;
+  size_t covered = 0;
+  for (size_t g = 0; g < group_accuracies.size(); ++g) {
+    if (group_claims[g] == 0) continue;
+    best = std::max(best, group_accuracies[g]);
+    sum += group_accuracies[g];
+    ++covered;
+  }
+  if (covered == 0) return 0.0;
+  return w == WeightingFunction::kMax ? best
+                                      : sum / static_cast<double>(covered);
+}
+
+}  // namespace tdac

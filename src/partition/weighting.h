@@ -1,0 +1,40 @@
+#ifndef TDAC_PARTITION_WEIGHTING_H_
+#define TDAC_PARTITION_WEIGHTING_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tdac {
+
+/// \brief Weighting functions of Ba et al. (WebDB 2015) used by
+/// AccuGenPartition to score a candidate partition.
+///
+/// Running the base algorithm on each group of a partition gives every
+/// source one estimated accuracy per group it covers. A weighting function
+/// collapses each source's per-group accuracy vector to a scalar, and the
+/// partition score is the mean collapsed value over sources. `kOracle`
+/// instead scores the partition by the true accuracy of its aggregated
+/// prediction against the gold truth (an upper bound only available when
+/// the gold truth is known).
+enum class WeightingFunction {
+  kMax,
+  kAvg,
+  kOracle,
+};
+
+std::string_view WeightingFunctionName(WeightingFunction w);
+Result<WeightingFunction> ParseWeightingFunction(std::string_view name);
+
+/// Collapses one source's per-group accuracies with `w` (kMax or kAvg;
+/// kOracle is not a per-source function and aborts). `group_claims[i]` is
+/// the number of claims the source has in group i; groups the source does
+/// not cover are excluded. Returns 0 when the source covers no group.
+double CollapseSourceAccuracies(WeightingFunction w,
+                                const std::vector<double>& group_accuracies,
+                                const std::vector<size_t>& group_claims);
+
+}  // namespace tdac
+
+#endif  // TDAC_PARTITION_WEIGHTING_H_

@@ -1,0 +1,166 @@
+#include "td/accu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace tdac {
+
+namespace {
+
+/// ln(n * A / (1 - A)): the vote-count weight of a source with accuracy A
+/// in a domain with n false values.
+double VoteWeight(double accuracy, double n_false) {
+  double a = Clamp(accuracy, 1e-3, 1.0 - 1e-3);
+  return std::log(n_false * a / (1.0 - a));
+}
+
+}  // namespace
+
+Result<TruthDiscoveryResult> Accu::Discover(const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("Accu: empty dataset");
+  }
+  const auto items = td_internal::GroupClaimsByItem(data);
+  const size_t num_sources = static_cast<size_t>(data.num_sources());
+  const double n_false = std::max(1, options_.copy.n_false_values);
+
+  std::vector<double> accuracy(
+      num_sources, options_.per_source_accuracy
+                       ? options_.base.initial_trust
+                       : 1.0 - options_.uniform_error_rate);
+
+  // Initial election: majority vote per item.
+  std::vector<size_t> selected(items.size(), 0);
+  for (size_t it = 0; it < items.size(); ++it) {
+    std::vector<double> votes(items[it].values.size());
+    for (size_t v = 0; v < votes.size(); ++v) {
+      votes[v] = static_cast<double>(items[it].supporters[v].size());
+    }
+    selected[it] = td_internal::ArgMax(votes);
+  }
+
+  // Per-item probabilities of each candidate value (filled each iteration).
+  std::vector<std::vector<double>> probs(items.size());
+
+  TruthDiscoveryResult result;
+  const int max_iter = std::max(1, options_.base.max_iterations);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    ++result.iterations;
+
+    DependenceMatrix dependence(0);
+    if (options_.detect_copying) {
+      dependence = DetectCopying(items, selected, accuracy, options_.copy);
+    }
+
+    bool selection_changed = false;
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& item = items[it];
+      std::vector<double> vote(item.values.size(), 0.0);
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        // Count higher-accuracy sources first; each later source is
+        // discounted by its probability of copying an earlier one.
+        std::vector<SourceId> order = item.supporters[v];
+        std::sort(order.begin(), order.end(), [&](SourceId a, SourceId b) {
+          double aa = accuracy[static_cast<size_t>(a)];
+          double ab = accuracy[static_cast<size_t>(b)];
+          if (aa != ab) return aa > ab;
+          return a < b;
+        });
+        for (size_t i = 0; i < order.size(); ++i) {
+          double independence = 1.0;
+          if (options_.detect_copying) {
+            for (size_t j = 0; j < i; ++j) {
+              independence *= 1.0 - options_.copy.copy_rate *
+                                        dependence.prob(order[i], order[j]);
+            }
+          }
+          vote[v] +=
+              VoteWeight(accuracy[static_cast<size_t>(order[i])], n_false) *
+              independence;
+        }
+      }
+
+      if (options_.similarity_weight > 0.0 && item.values.size() > 1) {
+        std::vector<double> adjusted = vote;
+        for (size_t v = 0; v < vote.size(); ++v) {
+          double extra = 0.0;
+          for (size_t w = 0; w < vote.size(); ++w) {
+            if (w == v) continue;
+            extra += options_.similarity->Similarity(item.values[w],
+                                                     item.values[v]) *
+                     vote[w];
+          }
+          adjusted[v] = vote[v] + options_.similarity_weight * extra;
+        }
+        vote = std::move(adjusted);
+      }
+
+      // P(v) = exp(C(v)) / (sum over observed + unclaimed candidates).
+      // Stable log-sum-exp with the unclaimed candidates carrying C = 0.
+      double unclaimed =
+          options_.include_unclaimed_mass
+              ? std::max(0.0, n_false + 1.0 -
+                                  static_cast<double>(item.values.size()))
+              : 0.0;
+      double mx = *std::max_element(vote.begin(), vote.end());
+      if (unclaimed > 0.0) mx = std::max(mx, 0.0);
+      double denom = unclaimed * std::exp(-mx);
+      for (double c : vote) denom += std::exp(c - mx);
+      probs[it].resize(vote.size());
+      for (size_t v = 0; v < vote.size(); ++v) {
+        probs[it][v] = std::exp(vote[v] - mx) / denom;
+      }
+
+      size_t best = td_internal::ArgMax(vote);
+      if (best != selected[it]) selection_changed = true;
+      selected[it] = best;
+    }
+
+    if (options_.per_source_accuracy) {
+      std::vector<double> new_accuracy(num_sources, 0.0);
+      std::vector<double> counts(num_sources, 0.0);
+      for (size_t it = 0; it < items.size(); ++it) {
+        const auto& item = items[it];
+        for (size_t v = 0; v < item.values.size(); ++v) {
+          for (SourceId s : item.supporters[v]) {
+            new_accuracy[static_cast<size_t>(s)] += probs[it][v];
+            counts[static_cast<size_t>(s)] += 1.0;
+          }
+        }
+      }
+      for (size_t s = 0; s < num_sources; ++s) {
+        new_accuracy[s] =
+            counts[s] > 0
+                ? Clamp(new_accuracy[s] / counts[s], 1e-3, 1.0 - 1e-3)
+                : accuracy[s];
+      }
+      double delta = td_internal::MeanAbsDelta(accuracy, new_accuracy);
+      accuracy = std::move(new_accuracy);
+      if (delta < options_.base.convergence_threshold && iter > 0) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      // Fixed accuracy (DEPEN): stop when the election stabilizes.
+      if (!selection_changed && iter > 0) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  for (size_t it = 0; it < items.size(); ++it) {
+    const auto& item = items[it];
+    ObjectId o = ObjectFromKey(item.key);
+    AttributeId a = AttributeFromKey(item.key);
+    result.predicted.Set(o, a, item.values[selected[it]]);
+    result.confidence[item.key] = probs[it][selected[it]];
+  }
+  result.source_trust = std::move(accuracy);
+  return result;
+}
+
+}  // namespace tdac

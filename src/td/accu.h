@@ -1,0 +1,69 @@
+#ifndef TDAC_TD_ACCU_H_
+#define TDAC_TD_ACCU_H_
+
+#include "td/copy_detection.h"
+#include "td/truth_discovery.h"
+#include "td/value_similarity.h"
+
+namespace tdac {
+
+/// \brief Options for the Accu family (Dong, Berti-Equille & Srivastava,
+/// VLDB 2009): Bayesian accuracy-weighted voting with copy detection.
+struct AccuOptions {
+  TruthDiscoveryOptions base;
+
+  /// Source-dependence model parameters.
+  CopyDetectionParams copy;
+
+  /// When false, dependence detection and the independence discount are
+  /// skipped entirely (plain AccuVote-style accuracy voting).
+  bool detect_copying = true;
+
+  /// When false, every source has the fixed accuracy 1 - uniform_error_rate
+  /// (this is DEPEN, which models dependence but not differing accuracy).
+  bool per_source_accuracy = true;
+
+  /// Error rate assumed for all sources when per_source_accuracy is false.
+  double uniform_error_rate = 0.2;
+
+  /// Weight rho of the similarity vote adjustment
+  /// C*(v) = C(v) + rho * sum_{v' != v} sim(v', v) C(v').
+  /// Zero for Accu/DEPEN; AccuSim sets it > 0.
+  double similarity_weight = 0.0;
+
+  /// Similarity used by the adjustment above.
+  const ValueSimilarity* similarity = &GetDefaultSimilarity();
+
+  /// When true, the probability normalization includes the unclaimed false
+  /// values of the domain (n + 1 candidate values per item, each unclaimed
+  /// one carrying vote count 0), as in the original model.
+  bool include_unclaimed_mass = true;
+};
+
+/// \brief Accu: iterative Bayesian truth discovery with per-source accuracy
+/// estimation and copy detection.
+///
+/// Each outer iteration (the paper's #Iteration column counts these):
+/// detect pairwise copying under the current truth; per data item, count
+/// accuracy-weighted votes with higher-accuracy sources discounting their
+/// probable copiers; normalize vote counts into value probabilities; re-elect
+/// truths; re-estimate source accuracies as the mean probability of their
+/// claims. Stops when accuracies (or, with fixed accuracy, the elected
+/// truths) stabilize.
+class Accu : public TruthDiscovery {
+ public:
+  explicit Accu(AccuOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "Accu"; }
+
+  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+
+  const AccuOptions& options() const { return options_; }
+
+ protected:
+  AccuOptions options_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_ACCU_H_

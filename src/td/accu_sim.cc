@@ -1,0 +1,5 @@
+#include "td/accu_sim.h"
+
+// AccuSim is a configuration of the Accu engine; all logic lives in accu.cc.
+
+namespace tdac {}  // namespace tdac

@@ -1,0 +1,32 @@
+#ifndef TDAC_TD_ACCU_SIM_H_
+#define TDAC_TD_ACCU_SIM_H_
+
+#include "td/accu.h"
+
+namespace tdac {
+
+/// \brief AccuSim (Dong et al., VLDB 2009): Accu plus a similarity
+/// adjustment letting close values reinforce each other's vote counts.
+class AccuSim : public Accu {
+ public:
+  explicit AccuSim(AccuOptions options = DefaultOptions())
+      : Accu(Normalize(options)) {}
+
+  std::string_view name() const override { return "AccuSim"; }
+
+  static AccuOptions DefaultOptions() {
+    AccuOptions o;
+    o.similarity_weight = 0.5;
+    return o;
+  }
+
+ private:
+  static AccuOptions Normalize(AccuOptions o) {
+    if (o.similarity_weight <= 0.0) o.similarity_weight = 0.5;
+    return o;
+  }
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_ACCU_SIM_H_

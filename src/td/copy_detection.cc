@@ -1,0 +1,131 @@
+#include "td/copy_detection.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace tdac {
+
+namespace {
+
+/// Per-pair observation counts.
+struct PairCounts {
+  int same_true = 0;   // kt
+  int same_false = 0;  // kf
+  int different = 0;   // kd
+};
+
+}  // namespace
+
+DependenceMatrix DetectCopying(
+    const std::vector<td_internal::ItemConflict>& items,
+    const std::vector<size_t>& selected, const std::vector<double>& accuracy,
+    const CopyDetectionParams& params) {
+  TDAC_CHECK(items.size() == selected.size())
+      << "DetectCopying: selected size mismatch";
+  const int num_sources = static_cast<int>(accuracy.size());
+  DependenceMatrix matrix(num_sources);
+
+  // Accumulate kt/kf/kd per unordered source pair over all items.
+  std::unordered_map<uint64_t, PairCounts> counts;
+  auto pair_key = [](SourceId a, SourceId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  };
+
+  for (size_t it = 0; it < items.size(); ++it) {
+    const auto& item = items[it];
+    const size_t true_index = selected[it];
+    // Sources sharing a value agree; sources with different values differ.
+    for (size_t v = 0; v < item.values.size(); ++v) {
+      const auto& sup = item.supporters[v];
+      const bool is_true = (v == true_index);
+      for (size_t i = 0; i < sup.size(); ++i) {
+        for (size_t j = i + 1; j < sup.size(); ++j) {
+          PairCounts& pc = counts[pair_key(sup[i], sup[j])];
+          if (is_true) {
+            ++pc.same_true;
+          } else {
+            ++pc.same_false;
+          }
+        }
+      }
+      for (size_t w = v + 1; w < item.values.size(); ++w) {
+        for (SourceId si : sup) {
+          for (SourceId sj : item.supporters[w]) {
+            ++counts[pair_key(si, sj)].different;
+          }
+        }
+      }
+    }
+  }
+
+  const double n = std::max(1, params.n_false_values);
+  const double c = Clamp(params.copy_rate, 1e-3, 1.0 - 1e-3);
+  const double alpha = Clamp(params.alpha, 1e-6, 1.0 - 1e-6);
+
+  for (const auto& [key, pc] : counts) {
+    SourceId a = static_cast<SourceId>(key >> 32);
+    SourceId b = static_cast<SourceId>(key & 0xffffffffu);
+    // Shared accuracy for the pair, as in the original model.
+    double acc = 0.5 * (accuracy[static_cast<size_t>(a)] +
+                        accuracy[static_cast<size_t>(b)]);
+    acc = Clamp(acc, params.epsilon_floor, 1.0 - params.epsilon_floor);
+    const double err = 1.0 - acc;
+
+    // Independent model: both true = A^2; both same false = (1-A)^2 / n;
+    // different = remainder.
+    double pt_ind = acc * acc;
+    double pf_ind = err * err / n;
+    double pd_ind = std::max(1.0 - pt_ind - pf_ind, params.epsilon_floor);
+
+    // Dependent model: with probability c the second source copies (hence
+    // always agrees, and the shared value is true with probability A);
+    // with probability 1-c it acts independently. A copied false value is
+    // the *same* false value, so the copied error mass lands entirely on
+    // same-false (no 1/n spreading).
+    double pt_dep = acc * c + pt_ind * (1.0 - c);
+    double pf_dep = err * c + pf_ind * (1.0 - c);
+    double pd_dep = std::max(1.0 - pt_dep - pf_dep, params.epsilon_floor);
+
+    // Evidence for dependence, in log space.
+    double log_evidence = 0.0;
+    if (params.count_true_agreement) {
+      // Strict Dong-2009 joint likelihood over (kt, kf, kd).
+      double log_ind = pc.same_true * SafeLog(pt_ind) +
+                       pc.same_false * SafeLog(pf_ind) +
+                       pc.different * SafeLog(pd_ind);
+      double log_dep = pc.same_true * SafeLog(pt_dep) +
+                       pc.same_false * SafeLog(pf_dep) +
+                       pc.different * SafeLog(pd_dep);
+      log_evidence = log_dep - log_ind;
+    } else {
+      // Robust mode: compare the false-fraction among agreements, with the
+      // election noise folded into both models' expectations (an
+      // independent pair shares "false" values at least whenever the
+      // election mislabels the value they agree on).
+      const double nu = Clamp(params.election_noise, 0.0, 0.5);
+      double q_ind = Clamp((pf_ind + nu * pt_ind) / (pt_ind + pf_ind),
+                           1e-6, 1.0 - 1e-6);
+      double q_dep = Clamp((pf_dep + nu * pt_dep) / (pt_dep + pf_dep),
+                           1e-6, 1.0 - 1e-6);
+      log_evidence =
+          pc.same_false * (SafeLog(q_dep) - SafeLog(q_ind)) +
+          pc.same_true * (SafeLog(1.0 - q_dep) - SafeLog(1.0 - q_ind)) +
+          params.disagreement_weight * pc.different *
+              (SafeLog(pd_dep) - SafeLog(pd_ind));
+    }
+
+    double log_prior_ratio = std::log(1.0 - alpha) - std::log(alpha);
+    // P(dep | data) = 1 / (1 + (1-a)/a * L_ind / L_dep).
+    double log_odds_against = log_prior_ratio - log_evidence;
+    double p_dep = 1.0 / (1.0 + std::exp(Clamp(log_odds_against, -50, 50)));
+    matrix.set_prob(a, b, p_dep);
+  }
+  return matrix;
+}
+
+}  // namespace tdac

@@ -1,0 +1,96 @@
+#include "td/crh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace tdac {
+
+Result<TruthDiscoveryResult> Crh::Discover(const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("CRH: empty dataset");
+  }
+  const auto items = td_internal::GroupClaimsByItem(data);
+  const size_t num_sources = static_cast<size_t>(data.num_sources());
+
+  std::vector<double> claim_counts(num_sources, 0.0);
+  for (const auto& item : items) {
+    for (const auto& supporters : item.supporters) {
+      for (SourceId s : supporters) {
+        claim_counts[static_cast<size_t>(s)] += 1.0;
+      }
+    }
+  }
+
+  std::vector<double> weight(num_sources, 1.0);
+  std::vector<size_t> selected(items.size(), 0);
+  std::vector<std::vector<double>> votes(items.size());
+
+  TruthDiscoveryResult result;
+  const int max_iter = std::max(1, options_.base.max_iterations);
+  std::vector<double> prev_loss(num_sources, 1.0);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    ++result.iterations;
+
+    // Truth step: weighted vote per item.
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& item = items[it];
+      votes[it].assign(item.values.size(), 0.0);
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        for (SourceId s : item.supporters[v]) {
+          votes[it][v] += weight[static_cast<size_t>(s)];
+        }
+      }
+      selected[it] = td_internal::ArgMax(votes[it]);
+    }
+
+    // Weight step: 0/1 loss against the current election.
+    std::vector<double> loss(num_sources, 0.0);
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& item = items[it];
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        if (v == selected[it]) continue;
+        for (SourceId s : item.supporters[v]) {
+          loss[static_cast<size_t>(s)] += 1.0;
+        }
+      }
+    }
+    double total_loss = 0.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      loss[s] = claim_counts[s] > 0.0 ? loss[s] / claim_counts[s] : 1.0;
+      total_loss += loss[s];
+    }
+    if (total_loss <= 0.0) total_loss = 1.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      double normalized =
+          std::max(loss[s] / total_loss, options_.loss_floor);
+      weight[s] = -std::log(normalized);
+    }
+
+    double change = td_internal::MeanAbsDelta(prev_loss, loss);
+    prev_loss = loss;
+    if (change < options_.base.convergence_threshold && iter > 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (size_t it = 0; it < items.size(); ++it) {
+    const auto& item = items[it];
+    ObjectId o = ObjectFromKey(item.key);
+    AttributeId a = AttributeFromKey(item.key);
+    result.predicted.Set(o, a, item.values[selected[it]]);
+    double total = 0.0;
+    for (double v : votes[it]) total += v;
+    result.confidence[item.key] =
+        total > 0.0 ? votes[it][selected[it]] / total : 0.0;
+  }
+  result.source_trust.assign(num_sources, 0.0);
+  for (size_t s = 0; s < num_sources; ++s) {
+    result.source_trust[s] = Clamp(1.0 - prev_loss[s], 0.0, 1.0);
+  }
+  return result;
+}
+
+}  // namespace tdac

@@ -1,0 +1,38 @@
+#ifndef TDAC_TD_CRH_H_
+#define TDAC_TD_CRH_H_
+
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief Options for CRH (Li et al., SIGMOD 2014).
+struct CrhOptions {
+  TruthDiscoveryOptions base;
+
+  /// Floor applied to a source's normalized loss before the -log weight
+  /// (a perfect source would otherwise get infinite weight).
+  double loss_floor = 1e-4;
+};
+
+/// \brief CRH — Conflict Resolution on Heterogeneous data, specialized to
+/// the categorical (0/1 loss) case of this library's one-truth setting.
+///
+/// Alternates between (a) electing per-item truths by weighted vote and
+/// (b) re-weighting sources as w_s = -log(loss_s / sum_s' loss_s'), where
+/// loss_s is the fraction of s's claims that disagree with the current
+/// election. Reported source_trust is 1 - loss (the agreement rate).
+class Crh : public TruthDiscovery {
+ public:
+  explicit Crh(CrhOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "CRH"; }
+
+  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+
+ private:
+  CrhOptions options_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_CRH_H_

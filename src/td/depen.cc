@@ -1,0 +1,7 @@
+#include "td/depen.h"
+
+// Depen is a configuration of the Accu engine; all logic lives in accu.cc.
+// This translation unit exists so the class has a home for future
+// specializations and to anchor its vtable.
+
+namespace tdac {}  // namespace tdac

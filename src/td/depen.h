@@ -1,0 +1,35 @@
+#ifndef TDAC_TD_DEPEN_H_
+#define TDAC_TD_DEPEN_H_
+
+#include "td/accu.h"
+
+namespace tdac {
+
+/// \brief DEPEN (Dong et al., VLDB 2009): models copying between sources but
+/// assumes all sources share the same error rate — the copy-detection-only
+/// member of the Accu family.
+class Depen : public Accu {
+ public:
+  explicit Depen(AccuOptions options = DefaultOptions())
+      : Accu(Normalize(options)) {}
+
+  std::string_view name() const override { return "DEPEN"; }
+
+  static AccuOptions DefaultOptions() {
+    AccuOptions o;
+    o.per_source_accuracy = false;
+    o.similarity_weight = 0.0;
+    return o;
+  }
+
+ private:
+  static AccuOptions Normalize(AccuOptions o) {
+    o.per_source_accuracy = false;
+    o.similarity_weight = 0.0;
+    return o;
+  }
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_DEPEN_H_

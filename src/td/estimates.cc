@@ -1,0 +1,162 @@
+#include "td/estimates.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace tdac {
+
+namespace {
+
+/// Affinely rescales all entries of a ragged matrix to [0, 1]; no-op when
+/// the entries are all equal.
+void AffineRescale(std::vector<std::vector<double>>* m) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& row : *m) {
+    for (double x : row) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (hi <= lo) return;
+  for (auto& row : *m) {
+    for (double& x : row) x = (x - lo) / (hi - lo);
+  }
+}
+
+void AffineRescale(std::vector<double>* v) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double x : *v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (hi <= lo) return;
+  for (double& x : *v) x = (x - lo) / (hi - lo);
+}
+
+}  // namespace
+
+Result<TruthDiscoveryResult> TwoEstimates::Discover(const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("Estimates: empty dataset");
+  }
+  const auto items = td_internal::GroupClaimsByItem(data);
+  const size_t num_sources = static_cast<size_t>(data.num_sources());
+  const double eps_clamp = Clamp(options_.clamp_epsilon, 1e-9, 0.4);
+
+  // Sources covering each item (union of all supporters).
+  std::vector<std::vector<SourceId>> covering(items.size());
+  for (size_t it = 0; it < items.size(); ++it) {
+    for (const auto& supporters : items[it].supporters) {
+      covering[it].insert(covering[it].end(), supporters.begin(),
+                          supporters.end());
+    }
+    std::sort(covering[it].begin(), covering[it].end());
+  }
+
+  std::vector<double> error(num_sources, 0.2);
+  // pi[it][v]: current truth estimate; delta[it][v]: difficulty
+  // (3-Estimates only).
+  std::vector<std::vector<double>> pi(items.size());
+  std::vector<std::vector<double>> delta(items.size());
+  for (size_t it = 0; it < items.size(); ++it) {
+    pi[it].assign(items[it].values.size(), 0.5);
+    delta[it].assign(items[it].values.size(), 0.5);
+  }
+
+  // Membership test: is source s a positive supporter of value v?
+  auto supports = [&](size_t it, size_t v, SourceId s) {
+    const auto& sup = items[it].supporters[v];
+    return std::binary_search(sup.begin(), sup.end(), s);
+  };
+  // GroupClaimsByItem sorts supporters by source id within each value.
+
+  TruthDiscoveryResult result;
+  const int max_iter = std::max(1, options_.base.max_iterations);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    ++result.iterations;
+
+    // Truth estimates.
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& item = items[it];
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        double acc = 0.0;
+        const double d =
+            use_difficulty() ? Clamp(delta[it][v], eps_clamp, 1.0) : 1.0;
+        for (SourceId s : covering[it]) {
+          double correct = Clamp(error[static_cast<size_t>(s)] * d,
+                                 eps_clamp, 1.0 - eps_clamp);
+          acc += supports(it, v, s) ? (1.0 - correct) : correct;
+        }
+        pi[it][v] = acc / static_cast<double>(covering[it].size());
+      }
+    }
+    if (options_.normalize) AffineRescale(&pi);
+
+    // Error rates.
+    std::vector<double> new_error(num_sources, 0.0);
+    std::vector<double> counts(num_sources, 0.0);
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& item = items[it];
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        const double d =
+            use_difficulty() ? Clamp(delta[it][v], eps_clamp, 1.0) : 1.0;
+        for (SourceId s : covering[it]) {
+          double wrongness = supports(it, v, s) ? (1.0 - pi[it][v])
+                                                : pi[it][v];
+          new_error[static_cast<size_t>(s)] += wrongness / d;
+          counts[static_cast<size_t>(s)] += 1.0;
+        }
+      }
+    }
+    for (size_t s = 0; s < num_sources; ++s) {
+      new_error[s] = counts[s] > 0.0 ? new_error[s] / counts[s] : error[s];
+    }
+    if (options_.normalize) AffineRescale(&new_error);
+    for (double& e : new_error) e = Clamp(e, eps_clamp, 1.0 - eps_clamp);
+
+    // Difficulty (3-Estimates).
+    if (use_difficulty()) {
+      for (size_t it = 0; it < items.size(); ++it) {
+        const auto& item = items[it];
+        for (size_t v = 0; v < item.values.size(); ++v) {
+          double acc = 0.0;
+          for (SourceId s : covering[it]) {
+            double e = Clamp(new_error[static_cast<size_t>(s)], eps_clamp,
+                             1.0 - eps_clamp);
+            double wrongness =
+                supports(it, v, s) ? (1.0 - pi[it][v]) : pi[it][v];
+            acc += wrongness / e;
+          }
+          delta[it][v] = Clamp(
+              acc / static_cast<double>(covering[it].size()), eps_clamp, 1.0);
+        }
+      }
+    }
+
+    double change = td_internal::MeanAbsDelta(error, new_error);
+    error = std::move(new_error);
+    if (change < options_.base.convergence_threshold && iter > 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (size_t it = 0; it < items.size(); ++it) {
+    const auto& item = items[it];
+    size_t best = td_internal::ArgMax(pi[it]);
+    ObjectId o = ObjectFromKey(item.key);
+    AttributeId a = AttributeFromKey(item.key);
+    result.predicted.Set(o, a, item.values[best]);
+    result.confidence[item.key] = Clamp(pi[it][best], 0.0, 1.0);
+  }
+  result.source_trust.resize(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    result.source_trust[s] = 1.0 - error[s];
+  }
+  return result;
+}
+
+}  // namespace tdac

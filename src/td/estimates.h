@@ -1,0 +1,64 @@
+#ifndef TDAC_TD_ESTIMATES_H_
+#define TDAC_TD_ESTIMATES_H_
+
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief Options for 2-Estimates / 3-Estimates (Galland, Abiteboul,
+/// Marian & Senellart, WSDM 2010 — the paper's reference [7]).
+struct EstimatesOptions {
+  TruthDiscoveryOptions base;
+
+  /// Probability floor/ceiling applied to truth, error, and difficulty
+  /// estimates before they enter a denominator.
+  double clamp_epsilon = 1e-3;
+
+  /// Whether to affinely rescale the truth-estimate vector to [0, 1] after
+  /// each iteration (Galland's "linear" normalization lambda, which the
+  /// original paper found essential for convergence quality).
+  bool normalize = true;
+};
+
+/// \brief 2-Estimates: alternates between per-value truth estimates and
+/// per-source error rates, treating each positive claim as an implicit
+/// *negative* claim on every competing value of the same data item.
+///
+/// For value v with positive supporters P(v) and negative claimants N(v)
+/// (sources that covered the item but claimed something else):
+///   pi(v)  = mean over P(v) of (1 - eps(s))  and over N(v) of eps(s);
+///   eps(s) = mean over positive claims of (1 - pi(v)) and over implicit
+///            negative claims of pi(v).
+class TwoEstimates : public TruthDiscovery {
+ public:
+  explicit TwoEstimates(EstimatesOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "2-Estimates"; }
+
+  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+
+ protected:
+  /// When true the update also maintains per-value difficulty estimates
+  /// (3-Estimates).
+  virtual bool use_difficulty() const { return false; }
+
+  EstimatesOptions options_;
+};
+
+/// \brief 3-Estimates: 2-Estimates plus a per-value difficulty factor
+/// delta(v); a source's statement about an easy value carries more weight
+/// than one about a hard value: P(statement correct) = 1 - eps(s)*delta(v).
+class ThreeEstimates : public TwoEstimates {
+ public:
+  explicit ThreeEstimates(EstimatesOptions options = {})
+      : TwoEstimates(options) {}
+
+  std::string_view name() const override { return "3-Estimates"; }
+
+ protected:
+  bool use_difficulty() const override { return true; }
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_ESTIMATES_H_

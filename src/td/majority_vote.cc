@@ -1,0 +1,45 @@
+#include "td/majority_vote.h"
+
+namespace tdac {
+
+Result<TruthDiscoveryResult> MajorityVote::Discover(
+    const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("MajorityVote: empty dataset");
+  }
+  TruthDiscoveryResult result;
+  result.iterations = 1;
+  result.converged = true;
+
+  const auto items = td_internal::GroupClaimsByItem(data);
+  for (const auto& item : items) {
+    std::vector<double> votes(item.values.size());
+    double total = 0.0;
+    for (size_t i = 0; i < item.values.size(); ++i) {
+      votes[i] = static_cast<double>(item.supporters[i].size());
+      total += votes[i];
+    }
+    size_t best = td_internal::ArgMax(votes);
+    ObjectId o = ObjectFromKey(item.key);
+    AttributeId a = AttributeFromKey(item.key);
+    result.predicted.Set(o, a, item.values[best]);
+    result.confidence[item.key] = total > 0 ? votes[best] / total : 0.0;
+  }
+
+  // Post-hoc source trust: agreement rate with the elected values.
+  result.source_trust.assign(static_cast<size_t>(data.num_sources()), 0.0);
+  std::vector<double> counts(static_cast<size_t>(data.num_sources()), 0.0);
+  for (const Claim& c : data.claims()) {
+    const Value* elected = result.predicted.Get(c.object, c.attribute);
+    counts[static_cast<size_t>(c.source)] += 1.0;
+    if (elected != nullptr && *elected == c.value) {
+      result.source_trust[static_cast<size_t>(c.source)] += 1.0;
+    }
+  }
+  for (size_t s = 0; s < result.source_trust.size(); ++s) {
+    if (counts[s] > 0) result.source_trust[s] /= counts[s];
+  }
+  return result;
+}
+
+}  // namespace tdac

@@ -1,0 +1,25 @@
+#ifndef TDAC_TD_MAJORITY_VOTE_H_
+#define TDAC_TD_MAJORITY_VOTE_H_
+
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief The simplest baseline: per data item, the value with the most
+/// supporting sources wins; ties break to the smallest value.
+///
+/// Runs in a single pass (the paper's #Iteration column reports 1).
+/// Source trust is reported post hoc as the fraction of a source's claims
+/// that agree with the elected majority.
+class MajorityVote : public TruthDiscovery {
+ public:
+  MajorityVote() = default;
+
+  std::string_view name() const override { return "MajorityVote"; }
+
+  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_MAJORITY_VOTE_H_

@@ -1,0 +1,65 @@
+#include "td/registry.h"
+
+#include "common/string_util.h"
+#include "td/accu.h"
+#include "td/accu_sim.h"
+#include "td/crh.h"
+#include "td/depen.h"
+#include "td/estimates.h"
+#include "td/investment.h"
+#include "td/majority_vote.h"
+#include "td/sums.h"
+#include "td/truth_finder.h"
+
+namespace tdac {
+
+Result<std::unique_ptr<TruthDiscovery>> MakeAlgorithm(
+    const std::string& name) {
+  const std::string lower = AsciiToLower(name);
+  if (lower == "majorityvote" || lower == "majority" || lower == "vote") {
+    return std::unique_ptr<TruthDiscovery>(new MajorityVote());
+  }
+  if (lower == "truthfinder") {
+    return std::unique_ptr<TruthDiscovery>(new TruthFinder());
+  }
+  if (lower == "depen") {
+    return std::unique_ptr<TruthDiscovery>(new Depen());
+  }
+  if (lower == "accu") {
+    return std::unique_ptr<TruthDiscovery>(new Accu());
+  }
+  if (lower == "accusim") {
+    return std::unique_ptr<TruthDiscovery>(new AccuSim());
+  }
+  if (lower == "sums") {
+    return std::unique_ptr<TruthDiscovery>(new Sums());
+  }
+  if (lower == "averagelog") {
+    return std::unique_ptr<TruthDiscovery>(new AverageLog());
+  }
+  if (lower == "investment") {
+    return std::unique_ptr<TruthDiscovery>(new Investment());
+  }
+  if (lower == "pooledinvestment") {
+    return std::unique_ptr<TruthDiscovery>(new PooledInvestment());
+  }
+  if (lower == "2-estimates" || lower == "twoestimates") {
+    return std::unique_ptr<TruthDiscovery>(new TwoEstimates());
+  }
+  if (lower == "3-estimates" || lower == "threeestimates") {
+    return std::unique_ptr<TruthDiscovery>(new ThreeEstimates());
+  }
+  if (lower == "crh") {
+    return std::unique_ptr<TruthDiscovery>(new Crh());
+  }
+  return Status::NotFound("unknown truth-discovery algorithm: " + name);
+}
+
+std::vector<std::string> RegisteredAlgorithms() {
+  return {"MajorityVote", "TruthFinder",      "DEPEN",
+          "Accu",         "AccuSim",          "Sums",
+          "AverageLog",   "Investment",       "PooledInvestment",
+          "2-Estimates",  "3-Estimates",      "CRH"};
+}
+
+}  // namespace tdac

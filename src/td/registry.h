@@ -1,0 +1,26 @@
+#ifndef TDAC_TD_REGISTRY_H_
+#define TDAC_TD_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief Name-based factory for the built-in algorithms.
+///
+/// Known names (case-insensitive): "MajorityVote", "TruthFinder", "DEPEN",
+/// "Accu", "AccuSim". Each algorithm is created with its published default
+/// hyper-parameters; callers needing custom options construct the concrete
+/// classes directly.
+Result<std::unique_ptr<TruthDiscovery>> MakeAlgorithm(const std::string& name);
+
+/// The list of registered algorithm names, in canonical order.
+std::vector<std::string> RegisteredAlgorithms();
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_REGISTRY_H_

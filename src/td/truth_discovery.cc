@@ -1,0 +1,63 @@
+#include "td/truth_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tdac {
+namespace td_internal {
+
+std::vector<ItemConflict> GroupClaimsByItem(const Dataset& data) {
+  std::vector<ItemConflict> out;
+  out.reserve(data.DataItems().size());
+  for (uint64_t key : data.DataItems()) {
+    const auto& claim_indices =
+        data.ClaimsOn(ObjectFromKey(key), AttributeFromKey(key));
+    ItemConflict item;
+    item.key = key;
+    // Collect (value, source) pairs, then sort by value for determinism.
+    std::vector<std::pair<Value, SourceId>> pairs;
+    pairs.reserve(claim_indices.size());
+    for (int32_t idx : claim_indices) {
+      const Claim& c = data.claim(static_cast<size_t>(idx));
+      pairs.emplace_back(c.value, c.source);
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first < b.first) return true;
+                if (b.first < a.first) return false;
+                return a.second < b.second;
+              });
+    for (auto& [value, source] : pairs) {
+      if (item.values.empty() || !(item.values.back() == value)) {
+        item.values.push_back(value);
+        item.supporters.emplace_back();
+      }
+      item.supporters.back().push_back(source);
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+size_t ArgMax(const std::vector<double>& scores) {
+  TDAC_CHECK(!scores.empty()) << "ArgMax over empty scores";
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  return best;
+}
+
+double MeanAbsDelta(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  TDAC_CHECK(a.size() == b.size()) << "MeanAbsDelta: size mismatch";
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace td_internal
+}  // namespace tdac

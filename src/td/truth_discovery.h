@@ -1,0 +1,90 @@
+#ifndef TDAC_TD_TRUTH_DISCOVERY_H_
+#define TDAC_TD_TRUTH_DISCOVERY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace tdac {
+
+/// \brief Options shared by every truth-discovery algorithm.
+struct TruthDiscoveryOptions {
+  /// Upper bound on outer iterations for iterative algorithms.
+  int max_iterations = 20;
+
+  /// Convergence test: the iteration stops when the L1 change of the source
+  /// trust/accuracy vector divided by the number of sources drops below this.
+  double convergence_threshold = 1e-4;
+
+  /// Initial source trust / accuracy.
+  double initial_trust = 0.8;
+};
+
+/// \brief Output of a truth-discovery run.
+struct TruthDiscoveryResult {
+  /// The predicted true value for every data item that has at least one
+  /// claim.
+  GroundTruth predicted;
+
+  /// Confidence (algorithm-specific scale; probabilities for the Bayesian
+  /// family, logistic confidences for TruthFinder, vote fractions for
+  /// MajorityVote) of the selected value per data item key.
+  std::unordered_map<uint64_t, double> confidence;
+
+  /// Final per-source trust/accuracy estimate, indexed by SourceId.
+  std::vector<double> source_trust;
+
+  /// Number of outer iterations executed (the paper's #Iteration column).
+  int iterations = 0;
+
+  /// Whether the convergence test fired before max_iterations.
+  bool converged = false;
+};
+
+/// \brief Abstract interface implemented by every algorithm (the paper's
+/// "base truth discovery algorithm" F).
+class TruthDiscovery {
+ public:
+  virtual ~TruthDiscovery() = default;
+
+  /// Stable algorithm name ("MajorityVote", "TruthFinder", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Runs the algorithm over all claims in `data`. Fails on an empty
+  /// dataset; items whose conflict set is empty are simply absent from the
+  /// result.
+  virtual Result<TruthDiscoveryResult> Discover(const Dataset& data) const = 0;
+};
+
+namespace td_internal {
+
+/// One data item's conflict set: the distinct claimed values and, aligned
+/// with them, the sources supporting each value.
+struct ItemConflict {
+  uint64_t key = 0;
+  std::vector<Value> values;
+  std::vector<std::vector<SourceId>> supporters;
+};
+
+/// Groups the dataset's claims by data item, with values sorted (total order
+/// on Value) so that downstream tie-breaking is deterministic.
+std::vector<ItemConflict> GroupClaimsByItem(const Dataset& data);
+
+/// Index of the value with maximal score; ties resolved to the smallest
+/// index (i.e. the smallest value, given sorted values).
+size_t ArgMax(const std::vector<double>& scores);
+
+/// Mean absolute change per coordinate between two equal-length vectors.
+double MeanAbsDelta(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace td_internal
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_TRUTH_DISCOVERY_H_

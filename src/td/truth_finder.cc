@@ -1,0 +1,113 @@
+#include "td/truth_finder.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace tdac {
+
+Result<TruthDiscoveryResult> TruthFinder::Discover(const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("TruthFinder: empty dataset");
+  }
+  const auto items = td_internal::GroupClaimsByItem(data);
+  const size_t num_sources = static_cast<size_t>(data.num_sources());
+
+  // Pre-compute the implication matrix per item (small conflict sets).
+  // imp[i][j] = sim(values[i], values[j]) - base_similarity.
+  std::vector<std::vector<std::vector<double>>> implication(items.size());
+  if (options_.implication_weight > 0.0) {
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& vs = items[it].values;
+      implication[it].assign(vs.size(), std::vector<double>(vs.size(), 0.0));
+      for (size_t i = 0; i < vs.size(); ++i) {
+        for (size_t j = i + 1; j < vs.size(); ++j) {
+          double imp = options_.similarity->Similarity(vs[i], vs[j]) -
+                       options_.base_similarity;
+          implication[it][i][j] = imp;
+          implication[it][j][i] = imp;
+        }
+      }
+    }
+  }
+
+  std::vector<double> trust(num_sources, options_.initial_trust);
+  // Per-item confidence of each candidate value.
+  std::vector<std::vector<double>> conf(items.size());
+
+  TruthDiscoveryResult result;
+  const int max_iter = std::max(1, options_.base.max_iterations);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    ++result.iterations;
+
+    // tau(s) = -ln(1 - t(s)), with trust clamped away from 1.
+    std::vector<double> tau(num_sources);
+    for (size_t s = 0; s < num_sources; ++s) {
+      tau[s] = -std::log(Clamp(1.0 - trust[s], 1e-9, 1.0));
+    }
+
+    // Value confidence scores.
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& item = items[it];
+      std::vector<double> sigma(item.values.size(), 0.0);
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        for (SourceId s : item.supporters[v]) {
+          sigma[v] += tau[static_cast<size_t>(s)];
+        }
+      }
+      std::vector<double> adjusted = sigma;
+      if (options_.implication_weight > 0.0) {
+        for (size_t v = 0; v < sigma.size(); ++v) {
+          double extra = 0.0;
+          for (size_t w = 0; w < sigma.size(); ++w) {
+            if (w == v) continue;
+            extra += implication[it][w][v] * sigma[w];
+          }
+          adjusted[v] = sigma[v] + options_.implication_weight * extra;
+        }
+      }
+      conf[it].resize(adjusted.size());
+      for (size_t v = 0; v < adjusted.size(); ++v) {
+        conf[it][v] = Logistic(options_.dampening * adjusted[v]);
+      }
+    }
+
+    // New trust: mean confidence of the values each source claims.
+    std::vector<double> new_trust(num_sources, 0.0);
+    std::vector<double> counts(num_sources, 0.0);
+    for (size_t it = 0; it < items.size(); ++it) {
+      const auto& item = items[it];
+      for (size_t v = 0; v < item.values.size(); ++v) {
+        for (SourceId s : item.supporters[v]) {
+          new_trust[static_cast<size_t>(s)] += conf[it][v];
+          counts[static_cast<size_t>(s)] += 1.0;
+        }
+      }
+    }
+    for (size_t s = 0; s < num_sources; ++s) {
+      new_trust[s] = counts[s] > 0
+                         ? Clamp(new_trust[s] / counts[s], 1e-6, 1.0 - 1e-6)
+                         : trust[s];
+    }
+
+    double change = 1.0 - CosineSimilarity(trust, new_trust);
+    trust = std::move(new_trust);
+    if (change < options_.base.convergence_threshold && iter > 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (size_t it = 0; it < items.size(); ++it) {
+    const auto& item = items[it];
+    size_t best = td_internal::ArgMax(conf[it]);
+    ObjectId o = ObjectFromKey(item.key);
+    AttributeId a = AttributeFromKey(item.key);
+    result.predicted.Set(o, a, item.values[best]);
+    result.confidence[item.key] = conf[it][best];
+  }
+  result.source_trust = std::move(trust);
+  return result;
+}
+
+}  // namespace tdac

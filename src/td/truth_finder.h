@@ -1,0 +1,60 @@
+#ifndef TDAC_TD_TRUTH_FINDER_H_
+#define TDAC_TD_TRUTH_FINDER_H_
+
+#include <memory>
+
+#include "td/truth_discovery.h"
+#include "td/value_similarity.h"
+
+namespace tdac {
+
+/// \brief Options for TruthFinder (Yin, Han & Yu, TKDE 2008).
+struct TruthFinderOptions {
+  TruthDiscoveryOptions base;
+
+  /// Dampening factor gamma in the logistic confidence
+  /// s(v) = 1 / (1 + exp(-gamma * sigma*(v))).
+  double dampening = 0.3;
+
+  /// Weight rho of the implication adjustment
+  /// sigma*(v) = sigma(v) + rho * sum_{v' != v} imp(v' -> v) sigma(v').
+  double implication_weight = 0.5;
+
+  /// Base similarity subtracted when deriving implication from similarity:
+  /// imp(v' -> v) = sim(v', v) - base_similarity (values dissimilar beyond
+  /// the base level weaken each other, as in the original paper).
+  double base_similarity = 0.5;
+
+  /// Initial source trustworthiness t0 (the original paper uses 0.9).
+  double initial_trust = 0.9;
+
+  /// Convergence is declared when 1 - cosine(t_new, t_old) drops below the
+  /// base convergence_threshold.
+  const ValueSimilarity* similarity = &GetDefaultSimilarity();
+};
+
+/// \brief TruthFinder: Bayesian-inspired iterative trust/confidence
+/// propagation with inter-value implication.
+///
+/// Per iteration: source trust t(s) maps to score tau(s) = -ln(1 - t(s));
+/// value confidence scores accumulate supporter taus, get adjusted by the
+/// implications of competing values, pass through a dampened logistic, and
+/// new trust is the mean confidence of each source's claims.
+class TruthFinder : public TruthDiscovery {
+ public:
+  explicit TruthFinder(TruthFinderOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "TruthFinder"; }
+
+  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+
+  const TruthFinderOptions& options() const { return options_; }
+
+ private:
+  TruthFinderOptions options_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_TRUTH_FINDER_H_

@@ -1,0 +1,120 @@
+#include "td/value_similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace tdac {
+
+double ExactSimilarity::Similarity(const Value& a, const Value& b) const {
+  return a == b ? 1.0 : 0.0;
+}
+
+double NumericSimilarity::Similarity(const Value& a, const Value& b) const {
+  if (a == b) return 1.0;
+  if (!a.IsNumeric() || !b.IsNumeric()) return 0.0;
+  double da = a.AsNumeric();
+  double db = b.AsNumeric();
+  if (scale_ <= 0.0) return 0.0;
+  return std::exp(-std::fabs(da - db) / scale_);
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity::Similarity(const Value& a,
+                                         const Value& b) const {
+  if (a == b) return 1.0;
+  if (!a.is_string() || !b.is_string()) return 0.0;
+  const std::string& sa = a.AsString();
+  const std::string& sb = b.AsString();
+  size_t mx = std::max(sa.size(), sb.size());
+  if (mx == 0) return 1.0;
+  size_t d = LevenshteinDistance(sa, sb);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(mx);
+}
+
+double JaccardTokenSimilarity::Similarity(const Value& a,
+                                          const Value& b) const {
+  if (a == b) return 1.0;
+  if (!a.is_string() || !b.is_string()) return 0.0;
+  auto tokenize = [](const std::string& s) {
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        current += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      } else if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    }
+    if (!current.empty()) tokens.push_back(std::move(current));
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    return tokens;
+  };
+  std::vector<std::string> ta = tokenize(a.AsString());
+  std::vector<std::string> tb = tokenize(b.AsString());
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t intersection = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i] == tb[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (ta[i] < tb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t union_size = ta.size() + tb.size() - intersection;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+double DefaultSimilarity::Similarity(const Value& a, const Value& b) const {
+  if (a == b) return 1.0;
+  if (a.IsNumeric() && b.IsNumeric()) {
+    double da = a.AsNumeric();
+    double db = b.AsNumeric();
+    // Relative closeness: scale by the magnitude of the values so that
+    // 1990 vs 1991 are close while 7 vs 11 are not.
+    double scale = std::max({std::fabs(da), std::fabs(db), 1.0}) * 0.05;
+    return std::exp(-std::fabs(da - db) / scale);
+  }
+  if (a.is_string() && b.is_string()) {
+    return LevenshteinSimilarity().Similarity(a, b);
+  }
+  return 0.0;
+}
+
+const ValueSimilarity& GetDefaultSimilarity() {
+  static const DefaultSimilarity* instance = new DefaultSimilarity();
+  return *instance;
+}
+
+}  // namespace tdac

@@ -1,0 +1,77 @@
+#ifndef TDAC_TD_VALUE_SIMILARITY_H_
+#define TDAC_TD_VALUE_SIMILARITY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "data/value.h"
+
+namespace tdac {
+
+/// \brief Graded closeness between two (generally distinct) claim values,
+/// in [0, 1].
+///
+/// TruthFinder's "implication between facts" and AccuSim's similarity
+/// support both let close-but-not-equal values reinforce each other; this
+/// interface supplies the closeness measure.
+class ValueSimilarity {
+ public:
+  virtual ~ValueSimilarity() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Similarity in [0, 1]; must be symmetric and return 1 for equal values.
+  virtual double Similarity(const Value& a, const Value& b) const = 0;
+};
+
+/// Exact match: 1 when equal, 0 otherwise.
+class ExactSimilarity : public ValueSimilarity {
+ public:
+  std::string_view name() const override { return "exact"; }
+  double Similarity(const Value& a, const Value& b) const override;
+};
+
+/// Numeric closeness exp(-|a-b| / scale); 0 across kinds or for strings.
+class NumericSimilarity : public ValueSimilarity {
+ public:
+  explicit NumericSimilarity(double scale = 1.0) : scale_(scale) {}
+  std::string_view name() const override { return "numeric"; }
+  double Similarity(const Value& a, const Value& b) const override;
+
+ private:
+  double scale_;
+};
+
+/// Normalized Levenshtein similarity 1 - dist/max(len) for strings; 0 for
+/// non-strings of different kinds.
+class LevenshteinSimilarity : public ValueSimilarity {
+ public:
+  std::string_view name() const override { return "levenshtein"; }
+  double Similarity(const Value& a, const Value& b) const override;
+};
+
+/// Jaccard similarity over whitespace-separated lowercase tokens; suits
+/// multi-word string values ("Linus Torvalds" vs "Torvalds, Linus" share
+/// tokens even though their edit distance is large). 0 for non-strings.
+class JaccardTokenSimilarity : public ValueSimilarity {
+ public:
+  std::string_view name() const override { return "jaccard"; }
+  double Similarity(const Value& a, const Value& b) const override;
+};
+
+/// Kind-dispatching default: numeric closeness for numbers (relative scale),
+/// normalized Levenshtein for strings, 0 across kinds.
+class DefaultSimilarity : public ValueSimilarity {
+ public:
+  std::string_view name() const override { return "default"; }
+  double Similarity(const Value& a, const Value& b) const override;
+};
+
+/// Levenshtein edit distance (insert/delete/substitute cost 1).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// The process-wide default similarity instance.
+const ValueSimilarity& GetDefaultSimilarity();
+
+}  // namespace tdac
+
+#endif  // TDAC_TD_VALUE_SIMILARITY_H_

@@ -1,0 +1,243 @@
+#include "tdac/tdac.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace tdac {
+
+namespace {
+
+/// Compacts a k-means assignment so labels are consecutive over non-empty
+/// clusters; returns the effective number of clusters.
+int CompactLabels(std::vector<int>* assignment, int k) {
+  std::vector<int> remap(static_cast<size_t>(k), -1);
+  int next = 0;
+  for (int& a : *assignment) {
+    if (remap[static_cast<size_t>(a)] < 0) {
+      remap[static_cast<size_t>(a)] = next++;
+    }
+    a = remap[static_cast<size_t>(a)];
+  }
+  return next;
+}
+
+}  // namespace
+
+Tdac::Tdac(TdacOptions options) : options_(options) {
+  TDAC_CHECK(options_.base != nullptr) << "Tdac requires a base algorithm";
+  name_ = "TD-AC(F=" + std::string(options_.base->name()) + ")";
+}
+
+Result<TruthDiscoveryResult> Tdac::Discover(const Dataset& data) const {
+  TDAC_ASSIGN_OR_RETURN(TdacReport report, DiscoverWithReport(data));
+  return std::move(report.result);
+}
+
+Result<TdacReport> Tdac::DiscoverWithReport(const Dataset& data) const {
+  TDAC_ASSIGN_OR_RETURN(TdacReport report, RunPass(data, nullptr));
+  // Refinement extension: rebuild the truth vectors against our own merged
+  // predictions and re-run, until the partition stabilizes.
+  for (int round = 0; round < options_.refinement_rounds; ++round) {
+    if (report.fell_back_to_base) break;
+    GroundTruth reference = report.result.predicted;
+    TDAC_ASSIGN_OR_RETURN(TdacReport next, RunPass(data, &reference));
+    const bool stable = next.partition == report.partition;
+    next.seconds_vectors += report.seconds_vectors;
+    next.seconds_sweep += report.seconds_sweep;
+    next.seconds_discovery += report.seconds_discovery;
+    report = std::move(next);
+    if (stable) break;
+  }
+  return report;
+}
+
+Result<TdacReport> Tdac::RunPass(const Dataset& data,
+                                 const GroundTruth* reference) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("TD-AC: empty dataset");
+  }
+  TdacReport report;
+  const std::vector<AttributeId> attributes = data.ActiveAttributes();
+  const int num_attrs = static_cast<int>(attributes.size());
+
+  // The paper's sweep k in [2, |A| - 1] is empty for |A| < 3: degrade to
+  // the base algorithm on the unpartitioned dataset.
+  if (num_attrs < 3) {
+    WallTimer timer;
+    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data));
+    report.seconds_discovery = timer.ElapsedSeconds();
+    report.partition = AttributePartition::Single(attributes);
+    report.chosen_k = 1;
+    report.fell_back_to_base = true;
+    report.result.iterations = 1;
+    return report;
+  }
+
+  // Step (ii): reference truth + attribute truth vectors.
+  WallTimer vector_timer;
+  TruthVectorMatrix matrix;
+  if (reference != nullptr) {
+    TDAC_ASSIGN_OR_RETURN(matrix, BuildTruthVectors(data, *reference));
+  } else {
+    TDAC_ASSIGN_OR_RETURN(matrix, BuildTruthVectors(*options_.base, data));
+  }
+  report.seconds_vectors = vector_timer.ElapsedSeconds();
+
+  // Optional sparse-aware distance matrix for the silhouette.
+  std::vector<std::vector<double>> sparse_dist;
+  if (options_.sparse_aware) {
+    const size_t n = matrix.vectors.size();
+    sparse_dist.assign(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double d = MaskedHammingDistance(matrix.vectors[i], matrix.vectors[j],
+                                         matrix.masks[i], matrix.masks[j]);
+        sparse_dist[i][j] = d;
+        sparse_dist[j][i] = d;
+      }
+    }
+  }
+
+  // Step (iii): sweep k with the clustering backend, keep the best
+  // silhouette.
+  WallTimer sweep_timer;
+  const int lo = std::max(2, options_.min_k);
+  const int hi = options_.max_k > 0 ? std::min(options_.max_k, num_attrs - 1)
+                                    : num_attrs - 1;
+
+  // The agglomerative backend builds its merge tree once for all k.
+  std::unique_ptr<Dendrogram> dendrogram;
+  if (options_.backend == ClusteringBackend::kAgglomerative) {
+    AgglomerativeOptions aopts;
+    aopts.metric = options_.silhouette_metric;
+    aopts.linkage = options_.linkage;
+    Result<Dendrogram> built =
+        options_.sparse_aware
+            ? AgglomerativeClusterFromDistances(sparse_dist, aopts)
+            : AgglomerativeCluster(matrix.vectors, aopts);
+    if (built.ok()) {
+      dendrogram = std::make_unique<Dendrogram>(std::move(built).value());
+    }
+  }
+
+  bool have_best = false;
+  std::vector<int> best_assignment;
+  int best_k = 0;
+  for (int k = lo; k <= hi; ++k) {
+    std::vector<int> assignment;
+    if (options_.backend == ClusteringBackend::kAgglomerative) {
+      if (dendrogram == nullptr) break;
+      auto cut = dendrogram->CutToK(k);
+      if (!cut.ok()) continue;
+      assignment = std::move(cut).value();
+    } else {
+      KMeansOptions kopts = options_.kmeans;
+      kopts.k = k;
+      auto kmeans_result = KMeans(matrix.vectors, kopts);
+      if (!kmeans_result.ok()) continue;
+      assignment = std::move(kmeans_result.value().assignment);
+    }
+    int effective_k = CompactLabels(&assignment, k);
+    if (effective_k < 2) continue;
+    Result<SilhouetteResult> sil =
+        options_.sparse_aware
+            ? SilhouetteFromDistances(sparse_dist, assignment, effective_k)
+            : Silhouette(matrix.vectors, assignment, effective_k,
+                         options_.silhouette_metric);
+    if (!sil.ok()) continue;
+    const double score = sil.value().partition_score;
+    report.silhouette_by_k.emplace_back(k, score);
+    if (!have_best || score > report.silhouette) {
+      have_best = true;
+      report.silhouette = score;
+      best_assignment = assignment;
+      best_k = effective_k;
+    }
+  }
+  report.seconds_sweep = sweep_timer.ElapsedSeconds();
+
+  if (!have_best) {
+    // Every k failed (e.g. all truth vectors identical): fall back.
+    WallTimer timer;
+    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data));
+    report.seconds_discovery = timer.ElapsedSeconds();
+    report.partition = AttributePartition::Single(attributes);
+    report.chosen_k = 1;
+    report.fell_back_to_base = true;
+    report.result.iterations = 1;
+    return report;
+  }
+
+  TDAC_ASSIGN_OR_RETURN(
+      report.partition,
+      AttributePartition::FromAssignment(matrix.attributes, best_assignment));
+  report.chosen_k = best_k;
+
+  // Step (iv): run the base algorithm per group and aggregate.
+  WallTimer discovery_timer;
+  const auto& groups = report.partition.groups();
+  std::vector<Result<TruthDiscoveryResult>> partials;
+  partials.reserve(groups.size());
+
+  auto run_group = [&](const std::vector<AttributeId>& group)
+      -> Result<TruthDiscoveryResult> {
+    Dataset restricted = data.RestrictToAttributes(group);
+    if (restricted.num_claims() == 0) {
+      return TruthDiscoveryResult{};
+    }
+    return options_.base->Discover(restricted);
+  };
+
+  if (options_.parallel_groups && groups.size() > 1) {
+    std::vector<std::future<Result<TruthDiscoveryResult>>> futures;
+    futures.reserve(groups.size());
+    for (const auto& group : groups) {
+      futures.push_back(std::async(std::launch::async, run_group, group));
+    }
+    for (auto& f : futures) partials.push_back(f.get());
+  } else {
+    for (const auto& group : groups) partials.push_back(run_group(group));
+  }
+
+  TruthDiscoveryResult& merged = report.result;
+  merged.iterations = 1;  // TD-AC runs a single outer pass (paper Table 4)
+  merged.converged = true;
+  std::vector<double> trust_weighted(static_cast<size_t>(data.num_sources()),
+                                     0.0);
+  std::vector<double> trust_claims(static_cast<size_t>(data.num_sources()),
+                                   0.0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    TDAC_RETURN_NOT_OK(partials[g].status());
+    TruthDiscoveryResult& partial = partials[g].value();
+    merged.predicted.MergeFrom(partial.predicted);
+    for (auto& [key, conf] : partial.confidence) merged.confidence[key] = conf;
+    merged.converged = merged.converged && partial.converged;
+    if (!partial.source_trust.empty()) {
+      // Weight each group's trust estimate by the source's claim volume in
+      // that group.
+      Dataset restricted = data.RestrictToAttributes(groups[g]);
+      std::vector<double> counts(trust_claims.size(), 0.0);
+      for (const Claim& c : restricted.claims()) {
+        counts[static_cast<size_t>(c.source)] += 1.0;
+      }
+      for (size_t s = 0; s < trust_weighted.size(); ++s) {
+        trust_weighted[s] += partial.source_trust[s] * counts[s];
+        trust_claims[s] += counts[s];
+      }
+    }
+  }
+  merged.source_trust.assign(trust_weighted.size(), 0.0);
+  for (size_t s = 0; s < trust_weighted.size(); ++s) {
+    if (trust_claims[s] > 0) {
+      merged.source_trust[s] = trust_weighted[s] / trust_claims[s];
+    }
+  }
+  report.seconds_discovery = discovery_timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace tdac

@@ -1,0 +1,147 @@
+#include "tdac/tdoc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tdac {
+
+namespace {
+
+int CompactLabels(std::vector<int>* assignment, int k) {
+  std::vector<int> remap(static_cast<size_t>(k), -1);
+  int next = 0;
+  for (int& a : *assignment) {
+    if (remap[static_cast<size_t>(a)] < 0) {
+      remap[static_cast<size_t>(a)] = next++;
+    }
+    a = remap[static_cast<size_t>(a)];
+  }
+  return next;
+}
+
+}  // namespace
+
+Tdoc::Tdoc(TdocOptions options) : options_(options) {
+  TDAC_CHECK(options_.base != nullptr) << "Tdoc requires a base algorithm";
+  name_ = "TD-OC(F=" + std::string(options_.base->name()) + ")";
+}
+
+Result<TruthDiscoveryResult> Tdoc::Discover(const Dataset& data) const {
+  TDAC_ASSIGN_OR_RETURN(TdocReport report, DiscoverWithReport(data));
+  return std::move(report.result);
+}
+
+Result<TdocReport> Tdoc::DiscoverWithReport(const Dataset& data) const {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("TD-OC: empty dataset");
+  }
+  TdocReport report;
+  const std::vector<ObjectId> objects = data.ActiveObjects();
+  const int num_objects = static_cast<int>(objects.size());
+
+  auto fall_back = [&]() -> Result<TdocReport> {
+    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data));
+    report.groups = {objects};
+    report.chosen_k = 1;
+    report.fell_back_to_base = true;
+    report.result.iterations = 1;
+    return std::move(report);
+  };
+  if (num_objects < 3) return fall_back();
+
+  // Reference truth from the base algorithm, then per-object truth vectors
+  // over (attribute, source) pairs.
+  TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult reference,
+                        options_.base->Discover(data));
+  const size_t num_sources = static_cast<size_t>(data.num_sources());
+  const size_t dim =
+      static_cast<size_t>(data.num_attributes()) * num_sources;
+  std::vector<FeatureVector> vectors(objects.size(), FeatureVector(dim, 0.0));
+  std::vector<int> row_of(static_cast<size_t>(data.num_objects()), -1);
+  for (size_t r = 0; r < objects.size(); ++r) {
+    row_of[static_cast<size_t>(objects[r])] = static_cast<int>(r);
+  }
+  for (const Claim& c : data.claims()) {
+    const int r = row_of[static_cast<size_t>(c.object)];
+    if (r < 0) continue;
+    const Value* truth = reference.predicted.Get(c.object, c.attribute);
+    if (truth != nullptr && *truth == c.value) {
+      const size_t col = static_cast<size_t>(c.attribute) * num_sources +
+                         static_cast<size_t>(c.source);
+      vectors[static_cast<size_t>(r)][col] = 1.0;
+    }
+  }
+
+  // Sweep k.
+  const int lo = std::max(2, options_.min_k);
+  const int hi =
+      std::min(options_.max_k > 0 ? options_.max_k : num_objects - 1,
+               num_objects - 1);
+  bool have_best = false;
+  std::vector<int> best_assignment;
+  int best_k = 0;
+  for (int k = lo; k <= hi; ++k) {
+    KMeansOptions kopts = options_.kmeans;
+    kopts.k = k;
+    auto kmeans_result = KMeans(vectors, kopts);
+    if (!kmeans_result.ok()) continue;
+    std::vector<int> assignment = std::move(kmeans_result.value().assignment);
+    int effective_k = CompactLabels(&assignment, k);
+    if (effective_k < 2) continue;
+    auto sil = Silhouette(vectors, assignment, effective_k,
+                          options_.silhouette_metric);
+    if (!sil.ok()) continue;
+    const double score = sil.value().partition_score;
+    report.silhouette_by_k.emplace_back(k, score);
+    if (!have_best || score > report.silhouette) {
+      have_best = true;
+      report.silhouette = score;
+      best_assignment = assignment;
+      best_k = effective_k;
+    }
+  }
+  if (!have_best) return fall_back();
+
+  report.chosen_k = best_k;
+  report.groups.assign(static_cast<size_t>(best_k), {});
+  for (size_t r = 0; r < objects.size(); ++r) {
+    report.groups[static_cast<size_t>(best_assignment[r])].push_back(
+        objects[r]);
+  }
+
+  // Run the base algorithm per object group and merge.
+  TruthDiscoveryResult& merged = report.result;
+  merged.iterations = 1;
+  merged.converged = true;
+  std::vector<double> trust_weighted(num_sources, 0.0);
+  std::vector<double> trust_claims(num_sources, 0.0);
+  for (const auto& group : report.groups) {
+    Dataset restricted = data.RestrictToObjects(group);
+    if (restricted.num_claims() == 0) continue;
+    TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult partial,
+                          options_.base->Discover(restricted));
+    merged.predicted.MergeFrom(partial.predicted);
+    for (auto& [key, conf] : partial.confidence) merged.confidence[key] = conf;
+    merged.converged = merged.converged && partial.converged;
+    std::vector<double> counts(num_sources, 0.0);
+    for (const Claim& c : restricted.claims()) {
+      counts[static_cast<size_t>(c.source)] += 1.0;
+    }
+    for (size_t s = 0; s < num_sources; ++s) {
+      trust_weighted[s] += partial.source_trust.empty()
+                               ? 0.0
+                               : partial.source_trust[s] * counts[s];
+      trust_claims[s] += counts[s];
+    }
+  }
+  merged.source_trust.assign(num_sources, 0.0);
+  for (size_t s = 0; s < num_sources; ++s) {
+    if (trust_claims[s] > 0) {
+      merged.source_trust[s] = trust_weighted[s] / trust_claims[s];
+    }
+  }
+  return report;
+}
+
+}  // namespace tdac

@@ -1,0 +1,44 @@
+#include "tdac/truth_vectors.h"
+
+namespace tdac {
+
+Result<TruthVectorMatrix> BuildTruthVectors(const Dataset& data,
+                                            const GroundTruth& reference) {
+  if (data.num_claims() == 0) {
+    return Status::InvalidArgument("BuildTruthVectors: empty dataset");
+  }
+  TruthVectorMatrix matrix;
+  matrix.attributes = data.ActiveAttributes();
+  const size_t num_sources = static_cast<size_t>(data.num_sources());
+  const size_t dim = static_cast<size_t>(data.num_objects()) * num_sources;
+  matrix.vectors.assign(matrix.attributes.size(), FeatureVector(dim, 0.0));
+  matrix.masks.assign(matrix.attributes.size(),
+                      std::vector<uint8_t>(dim, 0));
+
+  // Row index per attribute id for O(1) scatter.
+  std::vector<int> row_of(static_cast<size_t>(data.num_attributes()), -1);
+  for (size_t r = 0; r < matrix.attributes.size(); ++r) {
+    row_of[static_cast<size_t>(matrix.attributes[r])] = static_cast<int>(r);
+  }
+
+  for (const Claim& c : data.claims()) {
+    const int r = row_of[static_cast<size_t>(c.attribute)];
+    if (r < 0) continue;
+    const size_t col =
+        static_cast<size_t>(c.object) * num_sources + static_cast<size_t>(c.source);
+    matrix.masks[static_cast<size_t>(r)][col] = 1;
+    const Value* truth = reference.Get(c.object, c.attribute);
+    if (truth != nullptr && *truth == c.value) {
+      matrix.vectors[static_cast<size_t>(r)][col] = 1.0;
+    }
+  }
+  return matrix;
+}
+
+Result<TruthVectorMatrix> BuildTruthVectors(const TruthDiscovery& base,
+                                            const Dataset& data) {
+  TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult reference, base.Discover(data));
+  return BuildTruthVectors(data, reference.predicted);
+}
+
+}  // namespace tdac

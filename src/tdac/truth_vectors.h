@@ -1,0 +1,46 @@
+#ifndef TDAC_TDAC_TRUTH_VECTORS_H_
+#define TDAC_TDAC_TRUTH_VECTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/distance.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief The matrix of attribute truth vectors (paper Section 3.1).
+///
+/// Row r is the truth vector of attribute `attributes[r]`: one coordinate
+/// per (object, source) pair in a fixed order (object-major), valued 1 when
+/// the source's claim for that attribute of that object exists and matches
+/// the reference truth, 0 otherwise (Eq. 1). `masks[r]` records which
+/// coordinates correspond to an existing claim — the sparse-aware distance
+/// extension uses it to distinguish "wrong" from "missing".
+struct TruthVectorMatrix {
+  std::vector<AttributeId> attributes;
+  std::vector<FeatureVector> vectors;
+  std::vector<std::vector<uint8_t>> masks;
+
+  /// Dimension l of each vector: num_objects * num_sources.
+  size_t dimension() const {
+    return vectors.empty() ? 0 : vectors[0].size();
+  }
+};
+
+/// Builds the truth-vector matrix for all active attributes of `data`,
+/// against an explicit reference truth.
+Result<TruthVectorMatrix> BuildTruthVectors(const Dataset& data,
+                                            const GroundTruth& reference);
+
+/// Convenience: first runs `base` on the whole dataset to obtain the
+/// reference truth (the paper's buildTruthVectors(F, A, O, S)).
+Result<TruthVectorMatrix> BuildTruthVectors(const TruthDiscovery& base,
+                                            const Dataset& data);
+
+}  // namespace tdac
+
+#endif  // TDAC_TDAC_TRUTH_VECTORS_H_

@@ -1,0 +1,59 @@
+// Coverage for the small runtime pieces: WallTimer, the logging level
+// gate, and the TDAC_CHECK invariant macros.
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace tdac {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsMonotonicAndRestartable) {
+  WallTimer timer;
+  double t0 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double t1 = timer.ElapsedSeconds();
+  EXPECT_GT(t1, t0);
+  EXPECT_GE(timer.ElapsedMillis(), 5.0);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), t1);
+}
+
+TEST(LoggingTest, LevelGateRoundTrips) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotCrash) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TDAC_LOG_DEBUG << "suppressed " << 1;
+  TDAC_LOG_INFO << "suppressed " << 2.5;
+  TDAC_LOG_WARNING << "suppressed " << "three";
+  SetLogLevel(original);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ TDAC_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(TDAC_CHECK_OK(Status::Internal("boom")), "Status not OK");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TDAC_CHECK(true) << "never rendered";
+  TDAC_CHECK_OK(Status::OK());
+}
+
+}  // namespace
+}  // namespace tdac

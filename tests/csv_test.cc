@@ -1,0 +1,93 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(CsvWriterTest, PlainFields) {
+  CsvWriter w;
+  w.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(w.contents(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter w;
+  w.WriteRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(w.contents(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvParseTest, Basic) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvParseTest, CrLf) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "b");
+}
+
+TEST(CsvParseTest, QuotedFieldsRoundTrip) {
+  CsvWriter w;
+  std::vector<std::string> original{"plain", "with,comma", "with\"quote",
+                                    "multi\nline", ""};
+  w.WriteRow(original);
+  auto rows = ParseCsv(w.contents());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], original);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteFails) {
+  auto rows = ParseCsv("\"oops");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, EmptyDocument) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  auto rows = ParseCsv("a;b\n", ';');
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvFileTest, WriteReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/tdac_csv_test.csv";
+  CsvWriter w;
+  w.WriteRow({"h1", "h2"});
+  w.WriteRow({"1", "two, three"});
+  ASSERT_TRUE(WriteFile(path, w.contents()).ok());
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "two, three");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileFails) {
+  auto r = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace tdac

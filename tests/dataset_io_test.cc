@@ -1,0 +1,161 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_builder.h"
+
+namespace tdac {
+namespace {
+
+Dataset SmallDataset() {
+  DatasetBuilder b;
+  EXPECT_TRUE(b.AddClaim("s1", "o1", "a1", Value("red")).ok());
+  EXPECT_TRUE(b.AddClaim("s1", "o1", "a2", Value(int64_t{7})).ok());
+  EXPECT_TRUE(b.AddClaim("s2", "o1", "a1", Value("blue, dark")).ok());
+  EXPECT_TRUE(b.AddClaim("s2", "o1", "a2", Value(2.5)).ok());
+  return b.Build().MoveValue();
+}
+
+TEST(DatasetIoTest, CsvRoundTripPreservesClaims) {
+  Dataset d = SmallDataset();
+  std::string csv = DatasetToCsv(d);
+  auto loaded = DatasetFromCsv(csv);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_claims(), d.num_claims());
+  EXPECT_EQ(loaded->num_sources(), d.num_sources());
+  EXPECT_EQ(loaded->num_attributes(), d.num_attributes());
+  // Values round-trip with kinds intact.
+  const Value* v = loaded->ValueOf(loaded->claims()[3].source, 0, 1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->is_double());
+}
+
+TEST(DatasetIoTest, CsvHeaderPresent) {
+  std::string csv = DatasetToCsv(SmallDataset());
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "source,object,attribute,kind,value");
+}
+
+TEST(DatasetIoTest, RejectsWrongFieldCount) {
+  auto r = DatasetFromCsv("source,object,attribute,kind,value\na,b,c\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DatasetIoTest, RejectsUnknownKind) {
+  auto r = DatasetFromCsv(
+      "source,object,attribute,kind,value\ns,o,a,blob,x\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  Dataset d = SmallDataset();
+  const std::string path = testing::TempDir() + "/tdac_ds.csv";
+  ASSERT_TRUE(SaveDataset(d, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_claims(), d.num_claims());
+  std::remove(path.c_str());
+}
+
+TEST(GroundTruthIoTest, RoundTrip) {
+  Dataset d = SmallDataset();
+  GroundTruth truth;
+  truth.Set(0, 0, Value("red"));
+  truth.Set(0, 1, Value(int64_t{7}));
+  std::string csv = GroundTruthToCsv(truth, d);
+  auto loaded = GroundTruthFromCsv(csv, d);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, truth);
+}
+
+TEST(GroundTruthIoTest, UnknownObjectFails) {
+  Dataset d = SmallDataset();
+  auto r = GroundTruthFromCsv(
+      "object,attribute,kind,value\nmystery,a1,string,x\n", d);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GroundTruthIoTest, UnknownAttributeFails) {
+  Dataset d = SmallDataset();
+  auto r = GroundTruthFromCsv(
+      "object,attribute,kind,value\no1,mystery,string,x\n", d);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GroundTruthIoTest, FileRoundTrip) {
+  Dataset d = SmallDataset();
+  GroundTruth truth;
+  truth.Set(0, 0, Value("red"));
+  const std::string path = testing::TempDir() + "/tdac_truth.csv";
+  ASSERT_TRUE(SaveGroundTruth(truth, d, path).ok());
+  auto loaded = LoadGroundTruth(path, d);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, truth);
+  std::remove(path.c_str());
+}
+
+TEST(SourceTrustIoTest, RoundTrip) {
+  Dataset d = SmallDataset();
+  std::vector<double> trust{0.875, 0.125};
+  std::string csv = SourceTrustToCsv(trust, d);
+  auto loaded = SourceTrustFromCsv(csv, d);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_NEAR((*loaded)[0], 0.875, 1e-9);
+  EXPECT_NEAR((*loaded)[1], 0.125, 1e-9);
+}
+
+TEST(SourceTrustIoTest, UnknownSourceFails) {
+  Dataset d = SmallDataset();
+  auto r = SourceTrustFromCsv("source,trust\nmystery,0.5\n", d);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SourceTrustIoTest, MissingSourcesDefaultToZero) {
+  Dataset d = SmallDataset();
+  auto r = SourceTrustFromCsv("source,trust\ns2,0.75\n", d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*r)[1], 0.75);
+}
+
+TEST(SourceTrustIoTest, FileRoundTrip) {
+  Dataset d = SmallDataset();
+  std::vector<double> trust{0.5, 1.0};
+  const std::string path = testing::TempDir() + "/tdac_trust.csv";
+  ASSERT_TRUE(SaveSourceTrust(trust, d, path).ok());
+  auto loaded = LoadSourceTrust(path, d);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NEAR((*loaded)[1], 1.0, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(GroundTruthTest, MergeFromOverwritesOnCollision) {
+  GroundTruth a;
+  a.Set(0, 0, Value("old"));
+  a.Set(0, 1, Value("keep"));
+  GroundTruth b;
+  b.Set(0, 0, Value("new"));
+  a.MergeFrom(b);
+  EXPECT_EQ(*a.Get(0, 0), Value("new"));
+  EXPECT_EQ(*a.Get(0, 1), Value("keep"));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(GroundTruthTest, SortedKeysAscending) {
+  GroundTruth t;
+  t.Set(1, 0, Value("x"));
+  t.Set(0, 2, Value("y"));
+  t.Set(0, 1, Value("z"));
+  auto keys = t.SortedKeys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_LT(keys[0], keys[1]);
+  EXPECT_LT(keys[1], keys[2]);
+}
+
+}  // namespace
+}  // namespace tdac

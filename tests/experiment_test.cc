@@ -1,0 +1,75 @@
+#include "eval/experiment.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+#include "td/majority_vote.h"
+#include "td/truth_finder.h"
+#include "test_util.h"
+
+namespace tdac {
+namespace {
+
+TEST(ExperimentTest, RowCarriesNameMetricsAndTiming) {
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(10, &truth);
+  MajorityVote mv;
+  auto row = RunExperiment(mv, d, truth);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->algorithm, "MajorityVote");
+  EXPECT_DOUBLE_EQ(row->metrics.accuracy, 1.0);
+  EXPECT_GE(row->seconds, 0.0);
+  EXPECT_EQ(row->iterations, 1);
+}
+
+TEST(ExperimentTest, BatchRunsAllAlgorithms) {
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(10, &truth);
+  MajorityVote mv;
+  TruthFinder tf;
+  auto rows = RunExperiments({&mv, &tf}, d, truth);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].algorithm, "MajorityVote");
+  EXPECT_EQ((*rows)[1].algorithm, "TruthFinder");
+}
+
+TEST(ReportTest, TableHasPaperColumns) {
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(5, &truth);
+  MajorityVote mv;
+  auto row = RunExperiment(mv, d, truth);
+  ASSERT_TRUE(row.ok());
+  std::ostringstream os;
+  PrintPerformanceTable("DS-test", {*row}, os);
+  std::string out = os.str();
+  for (const char* column : {"Algorithm", "Precision", "Recall", "Accuracy",
+                             "F1-measure", "Time(s)", "#Iteration"}) {
+    EXPECT_NE(out.find(column), std::string::npos) << column;
+  }
+  EXPECT_NE(out.find("DS-test"), std::string::npos);
+}
+
+TEST(ReportTest, NegativeIterationsRenderAsDash) {
+  ExperimentRow row;
+  row.algorithm = "AccuGenPartition(Avg)";
+  row.iterations = -1;
+  std::ostringstream os;
+  PrintPerformanceTable("", {row}, os);
+  // The row should end with a dash cell, not "-1".
+  EXPECT_EQ(os.str().find("-1"), std::string::npos);
+}
+
+TEST(ReportTest, MarkdownVariantEmitsPipes) {
+  ExperimentRow row;
+  row.algorithm = "X";
+  std::ostringstream os;
+  PrintPerformanceTableMarkdown("Title", {row}, os);
+  EXPECT_NE(os.str().find("### Title"), std::string::npos);
+  EXPECT_NE(os.str().find("| X |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdac

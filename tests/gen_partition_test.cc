@@ -1,0 +1,122 @@
+#include "partition/gen_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "gen/synthetic.h"
+#include "td/accu.h"
+#include "td/majority_vote.h"
+#include "test_util.h"
+
+namespace tdac {
+namespace {
+
+/// A small correlated dataset: 4 attributes in two planted groups, sources
+/// with opposite reliabilities across the groups.
+GeneratedData SmallCorrelated(uint64_t seed = 7) {
+  SyntheticConfig config;
+  config.num_objects = 40;
+  config.num_sources = 6;
+  config.planted_groups = {{0, 1}, {2, 3}};
+  config.reliability_levels = {0.95, 0.1};
+  config.num_false_values = 8;
+  config.seed = seed;
+  auto data = GenerateSynthetic(config);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return data.MoveValue();
+}
+
+TEST(GenPartitionTest, ExploresAllPartitions) {
+  GeneratedData data = SmallCorrelated();
+  MajorityVote base;
+  GenPartitionOptions opts;
+  opts.base = &base;
+  opts.weighting = WeightingFunction::kAvg;
+  GenPartitionAlgorithm algo(opts);
+  auto report = algo.DiscoverWithReport(data.dataset);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->partitions_explored, 15u);  // Bell(4)
+  // At most 2^4 - 1 distinct groups, memoized.
+  EXPECT_LE(report->groups_evaluated, 15u);
+  EXPECT_GT(report->groups_evaluated, 0u);
+}
+
+TEST(GenPartitionTest, PredictsEveryItem) {
+  GeneratedData data = SmallCorrelated();
+  MajorityVote base;
+  GenPartitionOptions opts;
+  opts.base = &base;
+  GenPartitionAlgorithm algo(opts);
+  auto r = algo.Discover(data.dataset);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->predicted.size(), data.dataset.DataItems().size());
+  EXPECT_EQ(r->iterations, -1);  // rendered "-" in tables
+}
+
+TEST(GenPartitionTest, OracleFindsAtLeastAsAccuratePartition) {
+  GeneratedData data = SmallCorrelated();
+  Accu base;
+  GenPartitionOptions avg_opts;
+  avg_opts.base = &base;
+  avg_opts.weighting = WeightingFunction::kAvg;
+  GenPartitionOptions oracle_opts = avg_opts;
+  oracle_opts.weighting = WeightingFunction::kOracle;
+  oracle_opts.oracle_truth = &data.truth;
+
+  auto avg = GenPartitionAlgorithm(avg_opts).Discover(data.dataset);
+  auto oracle = GenPartitionAlgorithm(oracle_opts).Discover(data.dataset);
+  ASSERT_TRUE(avg.ok());
+  ASSERT_TRUE(oracle.ok());
+  double acc_avg =
+      Evaluate(data.dataset, avg->predicted, data.truth).accuracy;
+  double acc_oracle =
+      Evaluate(data.dataset, oracle->predicted, data.truth).accuracy;
+  EXPECT_GE(acc_oracle + 1e-9, acc_avg);
+}
+
+TEST(GenPartitionTest, OracleRequiresTruth) {
+  MajorityVote base;
+  GenPartitionOptions opts;
+  opts.base = &base;
+  opts.weighting = WeightingFunction::kOracle;
+  GenPartitionAlgorithm algo(opts);
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(4, &truth);
+  EXPECT_FALSE(algo.Discover(d).ok());
+}
+
+TEST(GenPartitionTest, RefusesTooManyAttributes) {
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(12, &truth);  // 12 attributes
+  MajorityVote base;
+  GenPartitionOptions opts;
+  opts.base = &base;
+  opts.max_attributes = 10;
+  GenPartitionAlgorithm algo(opts);
+  auto r = algo.Discover(d);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GenPartitionTest, NameEncodesBaseAndWeighting) {
+  MajorityVote base;
+  GenPartitionOptions opts;
+  opts.base = &base;
+  opts.weighting = WeightingFunction::kMax;
+  GenPartitionAlgorithm algo(opts);
+  EXPECT_EQ(algo.name(), "MajorityVoteGenPartition(Max)");
+}
+
+TEST(GenPartitionTest, BestPartitionCoversAllAttributes) {
+  GeneratedData data = SmallCorrelated();
+  MajorityVote base;
+  GenPartitionOptions opts;
+  opts.base = &base;
+  GenPartitionAlgorithm algo(opts);
+  auto report = algo.DiscoverWithReport(data.dataset);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->best_partition.num_attributes(), 4u);
+}
+
+}  // namespace
+}  // namespace tdac

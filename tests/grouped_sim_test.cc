@@ -1,0 +1,170 @@
+#include "gen/grouped_source_sim.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/flights.h"
+#include "gen/stocks.h"
+
+namespace tdac {
+namespace {
+
+TEST(GroupedSimTest, ShapeMatchesConfig) {
+  GroupedSimConfig config;
+  config.num_sources = 6;
+  config.num_objects = 20;
+  config.families = {{"x", 2}, {"y", 3}};
+  config.seed = 1;
+  auto data = GenerateGroupedSim(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dataset.num_sources(), 6);
+  EXPECT_EQ(data->dataset.num_objects(), 20);
+  EXPECT_EQ(data->dataset.num_attributes(), 5);
+  EXPECT_EQ(data->families.num_groups(), 2u);
+  EXPECT_EQ(data->reliability.size(), 6u);
+  EXPECT_EQ(data->reliability[0].size(), 2u);
+}
+
+TEST(GroupedSimTest, FullCoverageWhenRatesAreOne) {
+  GroupedSimConfig config;
+  config.num_sources = 4;
+  config.num_objects = 10;
+  config.families = {{"f", 3}};
+  config.object_cover_rate = 1.0;
+  config.attr_answer_rate = 1.0;
+  auto data = GenerateGroupedSim(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dataset.num_claims(), 4u * 10u * 3u);
+}
+
+TEST(GroupedSimTest, DeterministicForSeed) {
+  GroupedSimConfig config;
+  config.num_sources = 5;
+  config.num_objects = 15;
+  config.families = {{"a", 2}, {"b", 2}};
+  config.seed = 77;
+  auto a = GenerateGroupedSim(config);
+  auto b = GenerateGroupedSim(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->dataset.num_claims(), b->dataset.num_claims());
+  EXPECT_EQ(a->reliability, b->reliability);
+}
+
+TEST(GroupedSimTest, LowFractionCreatesUnreliableCells) {
+  GroupedSimConfig config;
+  config.num_sources = 30;
+  config.num_objects = 5;
+  config.families = {{"a", 2}, {"b", 2}};
+  config.low_fraction = 0.5;
+  config.low_reliability = 0.1;
+  config.seed = 3;
+  auto data = GenerateGroupedSim(config);
+  ASSERT_TRUE(data.ok());
+  int low_cells = 0;
+  int total = 0;
+  for (const auto& per_source : data->reliability) {
+    for (double r : per_source) {
+      ++total;
+      if (r < 0.4) ++low_cells;
+    }
+  }
+  // Around half of the cells should be unreliable.
+  EXPECT_GT(low_cells, total / 4);
+  EXPECT_LT(low_cells, 3 * total / 4);
+}
+
+TEST(GroupedSimTest, ZeroLowFractionKeepsAllCellsNearBase) {
+  GroupedSimConfig config;
+  config.num_sources = 20;
+  config.num_objects = 5;
+  config.families = {{"f", 3}};
+  config.low_fraction = 0.0;
+  config.base_mean = 0.85;
+  config.family_spread = 0.02;
+  config.base_spread = 0.02;
+  config.seed = 9;
+  auto data = GenerateGroupedSim(config);
+  ASSERT_TRUE(data.ok());
+  for (const auto& per_source : data->reliability) {
+    for (double r : per_source) EXPECT_GT(r, 0.6);
+  }
+}
+
+TEST(GroupedSimTest, DistractorConcentratesWrongValues) {
+  GroupedSimConfig config;
+  config.num_sources = 20;
+  config.num_objects = 30;
+  config.families = {{"f", 1}};
+  config.low_fraction = 1.0;  // everyone unreliable
+  config.low_reliability = 0.05;
+  config.distractor_rate = 1.0;
+  config.num_false_values = 25;
+  config.seed = 11;
+  auto data = GenerateGroupedSim(config);
+  ASSERT_TRUE(data.ok());
+  // Nearly all wrong claims per item share one value.
+  for (uint64_t key : data->dataset.DataItems()) {
+    std::set<std::string> wrong;
+    ObjectId o = ObjectFromKey(key);
+    AttributeId a = AttributeFromKey(key);
+    for (int32_t idx : data->dataset.ClaimsOn(o, a)) {
+      const Claim& c = data->dataset.claim(static_cast<size_t>(idx));
+      if (!(c.value == *data->truth.Get(o, a))) {
+        wrong.insert(c.value.ToString());
+      }
+    }
+    EXPECT_LE(wrong.size(), 1u);
+  }
+}
+
+TEST(GroupedSimTest, RejectsBadConfig) {
+  GroupedSimConfig config;
+  config.families = {};
+  EXPECT_FALSE(GenerateGroupedSim(config).ok());
+  config.families = {{"empty", 0}};
+  EXPECT_FALSE(GenerateGroupedSim(config).ok());
+}
+
+TEST(StocksSimTest, MatchesTable8Statistics) {
+  auto data = GenerateStocks(42);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dataset.num_sources(), 55);
+  EXPECT_EQ(data->dataset.num_objects(), 100);
+  EXPECT_EQ(data->dataset.num_attributes(), 15);
+  // Paper: 56,992 observations, DCR 75%.
+  EXPECT_NEAR(static_cast<double>(data->dataset.num_claims()), 56992.0,
+              4000.0);
+  EXPECT_NEAR(data->dataset.DataCoverageRate(), 75.0, 3.0);
+}
+
+TEST(FlightsSimTest, MatchesTable8Statistics) {
+  auto data = GenerateFlights(42);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dataset.num_sources(), 38);
+  EXPECT_EQ(data->dataset.num_objects(), 100);
+  EXPECT_EQ(data->dataset.num_attributes(), 6);
+  // Paper: 8,644 observations, DCR 66%.
+  EXPECT_NEAR(static_cast<double>(data->dataset.num_claims()), 8644.0, 900.0);
+  EXPECT_NEAR(data->dataset.DataCoverageRate(), 66.0, 4.0);
+}
+
+TEST(StocksSimTest, TruthCoversEveryItem) {
+  auto data = GenerateStocks(1);
+  ASSERT_TRUE(data.ok());
+  for (uint64_t key : data->dataset.DataItems()) {
+    EXPECT_TRUE(data->truth.Has(ObjectFromKey(key), AttributeFromKey(key)));
+  }
+}
+
+TEST(FlightsSimTest, FamiliesPartitionAttributes) {
+  auto data = GenerateFlights(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->families.num_groups(), 3u);
+  EXPECT_EQ(data->families.num_attributes(), 6u);
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,146 @@
+#include "clustering/hierarchical.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+std::vector<FeatureVector> TwoTightBlobs() {
+  return {
+      {0, 0}, {0, 1}, {1, 0},        // blob A
+      {20, 20}, {20, 21}, {21, 20},  // blob B
+  };
+}
+
+TEST(DendrogramTest, MergeCountIsNMinusOne) {
+  auto d = AgglomerativeCluster(TwoTightBlobs(), {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->merges().size(), 5u);
+  EXPECT_EQ(d->num_points(), 6);
+}
+
+TEST(DendrogramTest, CutToTwoSeparatesBlobs) {
+  AgglomerativeOptions opts;
+  opts.metric = DistanceMetric::kEuclidean;
+  auto d = AgglomerativeCluster(TwoTightBlobs(), opts);
+  ASSERT_TRUE(d.ok());
+  auto cut = d->CutToK(2);
+  ASSERT_TRUE(cut.ok());
+  const auto& a = *cut;
+  EXPECT_EQ(a[0], a[1]);
+  EXPECT_EQ(a[0], a[2]);
+  EXPECT_EQ(a[3], a[4]);
+  EXPECT_EQ(a[3], a[5]);
+  EXPECT_NE(a[0], a[3]);
+}
+
+TEST(DendrogramTest, CutBoundaries) {
+  auto d = AgglomerativeCluster(TwoTightBlobs(), {});
+  ASSERT_TRUE(d.ok());
+  auto one = d->CutToK(1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(std::set<int>(one->begin(), one->end()).size(), 1u);
+  auto all = d->CutToK(6);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(std::set<int>(all->begin(), all->end()).size(), 6u);
+  EXPECT_FALSE(d->CutToK(0).ok());
+  EXPECT_FALSE(d->CutToK(7).ok());
+}
+
+TEST(DendrogramTest, EveryCutHasExactlyKClusters) {
+  auto d = AgglomerativeCluster(TwoTightBlobs(), {});
+  ASSERT_TRUE(d.ok());
+  for (int k = 1; k <= 6; ++k) {
+    auto cut = d->CutToK(k);
+    ASSERT_TRUE(cut.ok());
+    std::set<int> labels(cut->begin(), cut->end());
+    EXPECT_EQ(static_cast<int>(labels.size()), k);
+    for (int l : labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, k);
+    }
+  }
+}
+
+TEST(DendrogramTest, CutsAreNested) {
+  // Refinement property: two points together at k+1 stay together at k.
+  auto d = AgglomerativeCluster(TwoTightBlobs(), {});
+  ASSERT_TRUE(d.ok());
+  for (int k = 1; k < 6; ++k) {
+    auto coarse = d->CutToK(k).MoveValue();
+    auto fine = d->CutToK(k + 1).MoveValue();
+    for (size_t i = 0; i < coarse.size(); ++i) {
+      for (size_t j = i + 1; j < coarse.size(); ++j) {
+        if (fine[i] == fine[j]) {
+          EXPECT_EQ(coarse[i], coarse[j])
+              << "k=" << k << " split points " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(DendrogramTest, MergeDistancesNonDecreasingForAverageLinkage) {
+  // On well-separated data UPGMA merge heights grow monotonically.
+  AgglomerativeOptions opts;
+  opts.metric = DistanceMetric::kEuclidean;
+  auto d = AgglomerativeCluster(TwoTightBlobs(), opts);
+  ASSERT_TRUE(d.ok());
+  for (size_t m = 1; m < d->merges().size(); ++m) {
+    EXPECT_GE(d->merges()[m].distance, d->merges()[m - 1].distance - 1e-9);
+  }
+}
+
+TEST(AgglomerativeTest, LinkageVariantsAllSeparateBlobs) {
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    AgglomerativeOptions opts;
+    opts.metric = DistanceMetric::kEuclidean;
+    opts.linkage = linkage;
+    auto d = AgglomerativeCluster(TwoTightBlobs(), opts);
+    ASSERT_TRUE(d.ok());
+    auto cut = d->CutToK(2).MoveValue();
+    EXPECT_EQ(cut[0], cut[1]);
+    EXPECT_NE(cut[0], cut[3]);
+  }
+}
+
+TEST(AgglomerativeTest, SinglePoint) {
+  auto d = AgglomerativeCluster({{1.0, 2.0}}, {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->merges().empty());
+  auto cut = d->CutToK(1);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(*cut, std::vector<int>{0});
+}
+
+TEST(AgglomerativeTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(AgglomerativeCluster({}, {}).ok());
+  EXPECT_FALSE(AgglomerativeCluster({{1, 2}, {3}}, {}).ok());
+  std::vector<std::vector<double>> ragged{{0, 1}, {1}};
+  EXPECT_FALSE(AgglomerativeClusterFromDistances(ragged, {}).ok());
+}
+
+TEST(AgglomerativeTest, FromDistancesMatchesFromPoints) {
+  auto points = TwoTightBlobs();
+  AgglomerativeOptions opts;
+  opts.metric = DistanceMetric::kEuclidean;
+  auto direct = AgglomerativeCluster(points, opts);
+  ASSERT_TRUE(direct.ok());
+  std::vector<std::vector<double>> dist(6, std::vector<double>(6, 0.0));
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      dist[i][j] = EuclideanDistance(points[i], points[j]);
+    }
+  }
+  auto indirect = AgglomerativeClusterFromDistances(dist, opts);
+  ASSERT_TRUE(indirect.ok());
+  auto ca = direct->CutToK(2).MoveValue();
+  auto cb = indirect->CutToK(2).MoveValue();
+  EXPECT_EQ(ca, cb);
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,153 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tdac {
+namespace {
+
+/// Two well-separated blobs around (0,...,0) and (10,...,10).
+std::vector<FeatureVector> TwoBlobs(int per_blob, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> points;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per_blob; ++i) {
+      FeatureVector p(static_cast<size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        p[static_cast<size_t>(d)] = c * 10.0 + rng.NextGaussian(0.0, 0.5);
+      }
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversTwoBlobs) {
+  auto points = TwoBlobs(20, 3, 1);
+  KMeansOptions opts;
+  opts.k = 2;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  // All of blob 0 together, all of blob 1 together.
+  int first = r->assignment[0];
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r->assignment[i], first);
+  int second = r->assignment[20];
+  EXPECT_NE(second, first);
+  for (int i = 20; i < 40; ++i) EXPECT_EQ(r->assignment[i], second);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  auto points = TwoBlobs(15, 2, 2);
+  double prev = -1.0;
+  for (int k = 1; k <= 4; ++k) {
+    KMeansOptions opts;
+    opts.k = k;
+    auto r = KMeans(points, opts);
+    ASSERT_TRUE(r.ok());
+    if (prev >= 0.0) {
+      EXPECT_LE(r->inertia, prev + 1e-9);
+    }
+    prev = r->inertia;
+  }
+}
+
+TEST(KMeansTest, KEqualsOneGivesGlobalCentroid) {
+  std::vector<FeatureVector> points{{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  KMeansOptions opts;
+  opts.k = 1;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->centroids[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(r->centroids[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(r->inertia, 8.0);
+}
+
+TEST(KMeansTest, KEqualsNMakesSingletons) {
+  std::vector<FeatureVector> points{{0, 0}, {5, 0}, {0, 5}};
+  KMeansOptions opts;
+  opts.k = 3;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  std::set<int> labels(r->assignment.begin(), r->assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(r->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  auto points = TwoBlobs(10, 4, 3);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 99;
+  auto a = KMeans(points, opts);
+  auto b = KMeans(points, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, ClusterSizesSumToN) {
+  auto points = TwoBlobs(12, 2, 4);
+  KMeansOptions opts;
+  opts.k = 4;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  int total = 0;
+  for (int s : r->cluster_sizes) total += s;
+  EXPECT_EQ(total, 24);
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  std::vector<FeatureVector> points(6, FeatureVector{1.0, 1.0});
+  points.push_back({9.0, 9.0});
+  KMeansOptions opts;
+  opts.k = 2;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  // The outlier should sit alone.
+  int outlier_label = r->assignment.back();
+  int same = 0;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    if (r->assignment[i] == outlier_label) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(KMeansTest, BinaryTruthVectorShapedInput) {
+  // Attribute-truth-vector-like binary points: two correlated groups.
+  std::vector<FeatureVector> points{
+      {1, 1, 0, 0, 1, 1}, {1, 1, 0, 0, 1, 0}, {1, 1, 0, 0, 0, 1},
+      {0, 0, 1, 1, 0, 0}, {0, 0, 1, 1, 0, 1}, {0, 0, 1, 1, 1, 0},
+  };
+  KMeansOptions opts;
+  opts.k = 2;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignment[0], r->assignment[1]);
+  EXPECT_EQ(r->assignment[0], r->assignment[2]);
+  EXPECT_EQ(r->assignment[3], r->assignment[4]);
+  EXPECT_EQ(r->assignment[3], r->assignment[5]);
+  EXPECT_NE(r->assignment[0], r->assignment[3]);
+}
+
+TEST(KMeansTest, InvalidArguments) {
+  std::vector<FeatureVector> points{{1, 2}, {3, 4}};
+  KMeansOptions opts;
+  opts.k = 3;
+  EXPECT_FALSE(KMeans(points, opts).ok());
+  opts.k = 0;
+  EXPECT_FALSE(KMeans(points, opts).ok());
+  EXPECT_FALSE(KMeans({}, KMeansOptions{}).ok());
+  std::vector<FeatureVector> ragged{{1, 2}, {3}};
+  KMeansOptions ok;
+  ok.k = 1;
+  EXPECT_FALSE(KMeans(ragged, ok).ok());
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,88 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(LogisticTest, Midpoint) { EXPECT_DOUBLE_EQ(Logistic(0.0), 0.5); }
+
+TEST(LogisticTest, Symmetry) {
+  for (double x : {0.1, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(Logistic(x) + Logistic(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(LogisticTest, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(Logistic(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Logistic(-1000.0), 0.0, 1e-12);
+}
+
+TEST(SafeLogTest, FloorsAtZero) {
+  EXPECT_TRUE(std::isfinite(SafeLog(0.0)));
+  EXPECT_DOUBLE_EQ(SafeLog(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeLog(0.5), std::log(0.5));
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+TEST(MeanStdDevTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(CosineTest, ParallelAndOrthogonal) {
+  EXPECT_NEAR(CosineSimilarity({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+}
+
+TEST(CosineTest, ZeroVectorGivesZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(SoftmaxTest, NormalizesAndOrders) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  SoftmaxInPlace(&v);
+  double sum = v[0] + v[1] + v[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_LT(v[0], v[1]);
+  EXPECT_LT(v[1], v[2]);
+}
+
+TEST(SoftmaxTest, StableForLargeScores) {
+  std::vector<double> v{1000.0, 1001.0};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-12);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(BellNumberTest, KnownValues) {
+  EXPECT_EQ(BellNumber(0), 1ull);
+  EXPECT_EQ(BellNumber(1), 1ull);
+  EXPECT_EQ(BellNumber(2), 2ull);
+  EXPECT_EQ(BellNumber(3), 5ull);
+  EXPECT_EQ(BellNumber(4), 15ull);
+  EXPECT_EQ(BellNumber(5), 52ull);
+  EXPECT_EQ(BellNumber(6), 203ull);  // the paper's search space
+  EXPECT_EQ(BellNumber(10), 115975ull);
+}
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_EQ(Binomial(6, 2), 15ull);
+  EXPECT_EQ(Binomial(10, 0), 1ull);
+  EXPECT_EQ(Binomial(10, 10), 1ull);
+  EXPECT_EQ(Binomial(5, 7), 0ull);
+  EXPECT_EQ(Binomial(52, 5), 2598960ull);
+}
+
+}  // namespace
+}  // namespace tdac

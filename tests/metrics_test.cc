@@ -1,0 +1,130 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tdac {
+namespace {
+
+using testutil::BuildDataset;
+using testutil::ClaimSpec;
+
+TEST(MetricsTest, PerfectPredictionScoresOne) {
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(5, &truth);
+  PerformanceMetrics m = Evaluate(d, truth, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.item_accuracy, 1.0);
+}
+
+TEST(MetricsTest, CountsFollowDefinition) {
+  // One item, 3 claims: values 1, 1, 2. Gold truth = 1, prediction = 2.
+  Dataset d = BuildDataset({
+      {"s1", "o", "a", 1},
+      {"s2", "o", "a", 1},
+      {"s3", "o", "a", 2},
+  });
+  GroundTruth gold;
+  gold.Set(0, 0, Value(int64_t{1}));
+  GroundTruth predicted;
+  predicted.Set(0, 0, Value(int64_t{2}));
+  PerformanceMetrics m = Evaluate(d, predicted, gold);
+  // Claim "2": predicted positive, actually negative -> FP.
+  // Claims "1": predicted negative, actually positive -> FN each.
+  EXPECT_EQ(m.counts.tp, 0u);
+  EXPECT_EQ(m.counts.fp, 1u);
+  EXPECT_EQ(m.counts.fn, 2u);
+  EXPECT_EQ(m.counts.tn, 0u);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.item_accuracy, 0.0);
+}
+
+TEST(MetricsTest, MixedPrediction) {
+  // Two items. Item a: gold 1, predicted 1 (claims: 1,1,2).
+  // Item b: gold 3, predicted 4 (claims: 3,4).
+  Dataset d = BuildDataset({
+      {"s1", "o", "a", 1},
+      {"s2", "o", "a", 1},
+      {"s3", "o", "a", 2},
+      {"s1", "o", "b", 3},
+      {"s2", "o", "b", 4},
+  });
+  GroundTruth gold;
+  gold.Set(0, 0, Value(int64_t{1}));
+  gold.Set(0, 1, Value(int64_t{3}));
+  GroundTruth predicted;
+  predicted.Set(0, 0, Value(int64_t{1}));
+  predicted.Set(0, 1, Value(int64_t{4}));
+  PerformanceMetrics m = Evaluate(d, predicted, gold);
+  // Item a: TP, TP, TN. Item b: FN (claim 3), FP (claim 4).
+  EXPECT_EQ(m.counts.tp, 2u);
+  EXPECT_EQ(m.counts.tn, 1u);
+  EXPECT_EQ(m.counts.fn, 1u);
+  EXPECT_EQ(m.counts.fp, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(m.item_accuracy, 0.5);
+}
+
+TEST(MetricsTest, SkipsItemsWithoutGoldOrPrediction) {
+  Dataset d = BuildDataset({
+      {"s1", "o", "a", 1},
+      {"s1", "o", "b", 2},
+  });
+  GroundTruth gold;
+  gold.Set(0, 0, Value(int64_t{1}));  // no gold for b
+  GroundTruth predicted;
+  predicted.Set(0, 0, Value(int64_t{1}));
+  predicted.Set(0, 1, Value(int64_t{2}));
+  PerformanceMetrics m = Evaluate(d, predicted, gold);
+  EXPECT_EQ(m.counts.total(), 1u);
+  EXPECT_EQ(m.counts.skipped_claims, 1u);
+  EXPECT_EQ(m.items_evaluated, 1u);
+}
+
+TEST(MetricsTest, EmptyCountsYieldZeroes) {
+  PerformanceMetrics m = MetricsFromCounts(ConfusionCounts{});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  ConfusionCounts c;
+  c.tp = 6;
+  c.fp = 2;  // precision 0.75
+  c.fn = 6;  // recall 0.5
+  PerformanceMetrics m = MetricsFromCounts(c);
+  EXPECT_DOUBLE_EQ(m.precision, 0.75);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_NEAR(m.f1, 2 * 0.75 * 0.5 / (0.75 + 0.5), 1e-12);
+}
+
+TEST(MetricsTest, AccuracyCountsTrueNegatives) {
+  // A prediction that is wrong on a contested item still gets TN credit for
+  // rejecting other false claims — accuracy > precision on noisy data, as in
+  // the paper's tables.
+  Dataset d = BuildDataset({
+      {"s1", "o", "a", 1},
+      {"s2", "o", "a", 2},
+      {"s3", "o", "a", 3},
+      {"s4", "o", "a", 4},
+  });
+  GroundTruth gold;
+  gold.Set(0, 0, Value(int64_t{1}));
+  GroundTruth predicted;
+  predicted.Set(0, 0, Value(int64_t{2}));
+  PerformanceMetrics m = Evaluate(d, predicted, gold);
+  EXPECT_EQ(m.counts.tn, 2u);  // claims 3 and 4
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,75 @@
+#include "partition/partition_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+AttributePartition P(const char* text) {
+  return AttributePartition::Parse(text).MoveValue();
+}
+
+TEST(PartitionMetricsTest, IdenticalPartitionsScoreOne) {
+  auto a = P("[(1,2),(3,4),(5,6)]");
+  auto r = ComparePartitions(a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->rand_index, 1.0);
+  EXPECT_DOUBLE_EQ(r->adjusted_rand_index, 1.0);
+  EXPECT_TRUE(r->exact_match);
+}
+
+TEST(PartitionMetricsTest, AllSingletonsVsAllTogether) {
+  auto singles = P("[(1),(2),(3),(4)]");
+  auto together = P("[(1,2,3,4)]");
+  auto r = ComparePartitions(singles, together);
+  ASSERT_TRUE(r.ok());
+  // No pair agrees: together-in-both = 0, apart-in-both = 0.
+  EXPECT_DOUBLE_EQ(r->rand_index, 0.0);
+  EXPECT_FALSE(r->exact_match);
+}
+
+TEST(PartitionMetricsTest, PartialAgreement) {
+  auto a = P("[(1,2),(3,4)]");
+  auto b = P("[(1,2),(3),(4)]");
+  auto r = ComparePartitions(a, b);
+  ASSERT_TRUE(r.ok());
+  // Pairs: (1,2) together in both; (3,4) together in a only; the four
+  // cross pairs apart in both. 5 of 6 agree.
+  EXPECT_NEAR(r->rand_index, 5.0 / 6.0, 1e-12);
+  EXPECT_GT(r->adjusted_rand_index, 0.0);
+  EXPECT_LT(r->adjusted_rand_index, 1.0);
+}
+
+TEST(PartitionMetricsTest, SymmetricInArguments) {
+  auto a = P("[(1,2,3),(4,5,6)]");
+  auto b = P("[(1,4),(2,5),(3,6)]");
+  auto rab = ComparePartitions(a, b);
+  auto rba = ComparePartitions(b, a);
+  ASSERT_TRUE(rab.ok());
+  ASSERT_TRUE(rba.ok());
+  EXPECT_DOUBLE_EQ(rab->rand_index, rba->rand_index);
+  EXPECT_DOUBLE_EQ(rab->adjusted_rand_index, rba->adjusted_rand_index);
+}
+
+TEST(PartitionMetricsTest, DifferentAttributeSetsRejected) {
+  auto a = P("[(1,2)]");
+  auto b = P("[(1,3)]");
+  EXPECT_FALSE(ComparePartitions(a, b).ok());
+}
+
+TEST(PartitionMetricsTest, TooFewAttributesRejected) {
+  auto a = P("[(1)]");
+  EXPECT_FALSE(ComparePartitions(a, a).ok());
+}
+
+TEST(PartitionMetricsTest, AriNearZeroForCrossingPartitions) {
+  // Orthogonal groupings of 4 elements.
+  auto a = P("[(1,2),(3,4)]");
+  auto b = P("[(1,3),(2,4)]");
+  auto r = ComparePartitions(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->adjusted_rand_index, 0.2);
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,452 @@
+// Property-based tests: invariants checked over randomized inputs and
+// parameter sweeps (TEST_P) rather than hand-picked examples.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "clustering/hierarchical.h"
+#include "clustering/kmeans.h"
+#include "clustering/silhouette.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "data/dataset_builder.h"
+#include "eval/metrics.h"
+#include "gen/synthetic.h"
+#include "partition/attribute_partition.h"
+#include "td/registry.h"
+#include "tdac/tdac.h"
+#include "td/accu.h"
+
+namespace tdac {
+namespace {
+
+/// Random dataset generator driven by a seed: random counts, random claims,
+/// guaranteed at least one claim.
+Dataset RandomDataset(uint64_t seed) {
+  Rng rng(seed);
+  int num_sources = static_cast<int>(2 + rng.NextBounded(6));
+  int num_objects = static_cast<int>(1 + rng.NextBounded(4));
+  int num_attrs = static_cast<int>(1 + rng.NextBounded(6));
+  DatasetBuilder b;
+  for (int s = 0; s < num_sources; ++s) b.AddSource("s" + std::to_string(s));
+  for (int o = 0; o < num_objects; ++o) b.AddObject("o" + std::to_string(o));
+  for (int a = 0; a < num_attrs; ++a) b.AddAttribute("a" + std::to_string(a));
+  size_t added = 0;
+  for (int s = 0; s < num_sources; ++s) {
+    for (int o = 0; o < num_objects; ++o) {
+      for (int a = 0; a < num_attrs; ++a) {
+        if (rng.NextBernoulli(0.6)) {
+          Status st =
+              b.AddClaim(s, o, a, Value(rng.NextInt(0, 9)));
+          EXPECT_TRUE(st.ok());
+          ++added;
+        }
+      }
+    }
+  }
+  if (added == 0) {
+    EXPECT_TRUE(b.AddClaim(0, 0, 0, Value(int64_t{1})).ok());
+  }
+  return b.Build().MoveValue();
+}
+
+class AlgorithmPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(AlgorithmPropertyTest, PredictsExactlyTheClaimedItems) {
+  const auto& [name, seed] = GetParam();
+  Dataset d = RandomDataset(seed);
+  auto algo = MakeAlgorithm(name);
+  ASSERT_TRUE(algo.ok());
+  auto r = (*algo)->Discover(d);
+  ASSERT_TRUE(r.ok()) << name;
+  EXPECT_EQ(r->predicted.size(), d.DataItems().size());
+  for (uint64_t key : d.DataItems()) {
+    ObjectId o = ObjectFromKey(key);
+    AttributeId a = AttributeFromKey(key);
+    const Value* p = r->predicted.Get(o, a);
+    ASSERT_NE(p, nullptr);
+    // The elected value must be one of the claimed values.
+    bool found = false;
+    for (int32_t idx : d.ClaimsOn(o, a)) {
+      if (d.claim(static_cast<size_t>(idx)).value == *p) found = true;
+    }
+    EXPECT_TRUE(found) << name << " elected an unclaimed value";
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, TrustVectorWellFormed) {
+  const auto& [name, seed] = GetParam();
+  Dataset d = RandomDataset(seed ^ 0x5555);
+  auto algo = MakeAlgorithm(name);
+  ASSERT_TRUE(algo.ok());
+  auto r = (*algo)->Discover(d);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->source_trust.size(), static_cast<size_t>(d.num_sources()));
+  for (double t : r->source_trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+  EXPECT_GE(r->iterations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsTimesSeeds, AlgorithmPropertyTest,
+    ::testing::Combine(::testing::Values("MajorityVote", "TruthFinder",
+                                         "DEPEN", "Accu", "AccuSim", "Sums",
+                                         "AverageLog", "Investment",
+                                         "PooledInvestment", "TwoEstimates",
+                                         "ThreeEstimates", "CRH"),
+                       ::testing::Values(1ull, 2ull, 3ull, 4ull)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class KMeansPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KMeansPropertyTest, AssignmentsValidAndInertiaMonotoneInK) {
+  Rng rng(GetParam());
+  std::vector<FeatureVector> points;
+  int n = static_cast<int>(5 + rng.NextBounded(20));
+  int dim = static_cast<int>(2 + rng.NextBounded(5));
+  for (int i = 0; i < n; ++i) {
+    FeatureVector p(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      p[static_cast<size_t>(j)] = rng.NextDouble(0, 10);
+    }
+    points.push_back(std::move(p));
+  }
+  double prev = -1.0;
+  for (int k = 1; k <= std::min(n, 5); ++k) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.seed = GetParam();
+    opts.num_restarts = 4;
+    auto r = KMeans(points, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->assignment.size(), points.size());
+    for (int a : r->assignment) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, k);
+    }
+    EXPECT_GE(r->inertia, 0.0);
+    if (prev >= 0.0) {
+      // More clusters can only help the objective (with enough restarts
+      // this holds in practice; allow small slack for local optima).
+      EXPECT_LE(r->inertia, prev * 1.05 + 1e-9);
+    }
+    prev = r->inertia;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansPropertyTest,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull,
+                                           55ull));
+
+class SilhouettePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SilhouettePropertyTest, ScoresAlwaysInMinusOneToOne) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(4 + rng.NextBounded(12));
+  int k = static_cast<int>(2 + rng.NextBounded(3));
+  if (k > n) k = n;
+  std::vector<FeatureVector> points;
+  std::vector<int> assignment;
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.NextDouble(0, 5), rng.NextDouble(0, 5)});
+    assignment.push_back(i < k ? i : static_cast<int>(rng.NextBounded(
+                                         static_cast<uint64_t>(k))));
+  }
+  auto r = Silhouette(points, assignment, k, DistanceMetric::kEuclidean);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->point_scores) {
+    EXPECT_GE(s, -1.0 - 1e-12);
+    EXPECT_LE(s, 1.0 + 1e-12);
+  }
+  EXPECT_GE(r->partition_score, -1.0 - 1e-12);
+  EXPECT_LE(r->partition_score, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SilhouettePropertyTest,
+                         ::testing::Values(7ull, 8ull, 9ull, 10ull));
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, MetricsBoundedAndConsistent) {
+  Dataset d = RandomDataset(GetParam() + 1000);
+  // Random gold and predicted truths drawn from the claimed values.
+  Rng rng(GetParam());
+  GroundTruth gold;
+  GroundTruth predicted;
+  for (uint64_t key : d.DataItems()) {
+    ObjectId o = ObjectFromKey(key);
+    AttributeId a = AttributeFromKey(key);
+    const auto& claims = d.ClaimsOn(o, a);
+    const Claim& cg = d.claim(
+        static_cast<size_t>(claims[rng.NextBounded(claims.size())]));
+    const Claim& cp = d.claim(
+        static_cast<size_t>(claims[rng.NextBounded(claims.size())]));
+    gold.Set(o, a, cg.value);
+    predicted.Set(o, a, cp.value);
+  }
+  PerformanceMetrics m = Evaluate(d, predicted, gold);
+  for (double v : {m.precision, m.recall, m.accuracy, m.f1, m.item_accuracy}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(m.counts.total() + m.counts.skipped_claims, d.num_claims());
+  // F1 lies between min and max of precision/recall (harmonic mean).
+  if (m.precision > 0 && m.recall > 0) {
+    EXPECT_LE(m.f1, std::max(m.precision, m.recall) + 1e-12);
+    EXPECT_GE(m.f1, std::min(m.precision, m.recall) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull));
+
+class TdacPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TdacPropertyTest, PartitionCoversAllActiveAttributesExactlyOnce) {
+  SyntheticConfig config;
+  config.num_objects = 30;
+  config.num_sources = 6;
+  config.planted_groups = {{0, 1}, {2, 3}, {4}};
+  config.reliability_levels = {0.9, 0.3};
+  config.seed = GetParam();
+  auto data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  Accu base;
+  TdacOptions opts;
+  opts.base = &base;
+  Tdac tdac(opts);
+  auto report = tdac.DiscoverWithReport(data->dataset);
+  ASSERT_TRUE(report.ok());
+  std::vector<AttributeId> covered = report->partition.Attributes();
+  EXPECT_EQ(covered, data->dataset.ActiveAttributes());
+  std::set<AttributeId> unique(covered.begin(), covered.end());
+  EXPECT_EQ(unique.size(), covered.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TdacPropertyTest,
+                         ::testing::Values(101ull, 102ull, 103ull));
+
+class MixedKindValuesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MixedKindValuesTest, AlgorithmsHandleHeterogeneousValueKinds) {
+  // Conflict sets mixing strings, ints, and doubles (real feeds disagree
+  // even on types). Every algorithm must elect one of the claimed values
+  // and not confuse equal-looking values of different kinds.
+  DatasetBuilder b;
+  for (int i = 0; i < 6; ++i) {
+    std::string attr = "a" + std::to_string(i);
+    ASSERT_TRUE(b.AddClaim("s1", "o", attr, Value("2")).ok());
+    ASSERT_TRUE(b.AddClaim("s2", "o", attr, Value("2")).ok());
+    ASSERT_TRUE(b.AddClaim("s3", "o", attr, Value(int64_t{2})).ok());
+    ASSERT_TRUE(b.AddClaim("s4", "o", attr, Value(2.0)).ok());
+  }
+  Dataset d = b.Build().MoveValue();
+  auto algo = MakeAlgorithm(GetParam());
+  ASSERT_TRUE(algo.ok());
+  auto r = (*algo)->Discover(d);
+  ASSERT_TRUE(r.ok()) << GetParam();
+  for (int i = 0; i < 6; ++i) {
+    const Value* p = r->predicted.Get(0, i);
+    ASSERT_NE(p, nullptr);
+    // The string "2" has two supporters; the int and double singletons
+    // must not pool with it under exact-equality voting.
+    EXPECT_EQ(*p, Value("2")) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MixedKindValuesTest,
+    ::testing::Values("MajorityVote", "DEPEN", "Accu", "Sums", "AverageLog",
+                      "Investment", "PooledInvestment", "TwoEstimates",
+                      "ThreeEstimates", "CRH"),
+    [](const auto& info) { return info.param; });
+
+class TdacWithEveryBaseTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TdacWithEveryBaseTest, WrapsAnyRegisteredAlgorithm) {
+  // TD-AC's contract: any TruthDiscovery can serve as F. Run each
+  // registered algorithm inside TD-AC on small correlated data and check
+  // the merged result is complete and well-formed.
+  SyntheticConfig config;
+  config.num_objects = 25;
+  config.num_sources = 6;
+  config.planted_groups = {{0, 1}, {2, 3}};
+  config.reliability_levels = {0.9, 0.2};
+  config.seed = 5;
+  auto data = GenerateSynthetic(config).MoveValue();
+
+  auto base = MakeAlgorithm(GetParam());
+  ASSERT_TRUE(base.ok());
+  TdacOptions opts;
+  opts.base = base->get();
+  Tdac tdac_algo(opts);
+  auto r = tdac_algo.Discover(data.dataset);
+  ASSERT_TRUE(r.ok()) << GetParam();
+  EXPECT_EQ(r->predicted.size(), data.dataset.DataItems().size());
+  EXPECT_EQ(r->iterations, 1);
+  for (double t : r->source_trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBases, TdacWithEveryBaseTest,
+    ::testing::Values("MajorityVote", "TruthFinder", "DEPEN", "Accu",
+                      "AccuSim", "Sums", "AverageLog", "Investment",
+                      "PooledInvestment", "TwoEstimates", "ThreeEstimates",
+                      "CRH"),
+    [](const auto& info) { return info.param; });
+
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, WriterOutputAlwaysParsesBack) {
+  Rng rng(GetParam());
+  // Random rows of random fields over a nasty alphabet.
+  const char alphabet[] = {'a', 'b', ',', '"', '\n', '\r', ' ', '\t', 'z'};
+  CsvWriter writer;
+  std::vector<std::vector<std::string>> rows;
+  int num_rows = static_cast<int>(1 + rng.NextBounded(8));
+  int num_cols = static_cast<int>(1 + rng.NextBounded(5));
+  for (int r = 0; r < num_rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < num_cols; ++c) {
+      std::string field;
+      size_t len = rng.NextBounded(12);
+      for (size_t i = 0; i < len; ++i) {
+        field += alphabet[rng.NextBounded(sizeof(alphabet))];
+      }
+      row.push_back(std::move(field));
+    }
+    writer.WriteRow(row);
+    rows.push_back(std::move(row));
+  }
+  auto parsed = ParseCsv(writer.contents());
+  ASSERT_TRUE(parsed.ok());
+  // Caveat: a row whose final field ends with a bare '\r' is reproduced
+  // without it ('\r' before EOL is consumed as line-ending tolerance);
+  // normalize both sides for comparison.
+  auto normalize = [](std::vector<std::vector<std::string>> m) {
+    for (auto& row : m) {
+      if (!row.empty()) {
+        std::string& last = row.back();
+        while (!last.empty() && last.back() == '\r') last.pop_back();
+      }
+    }
+    return m;
+  };
+  EXPECT_EQ(normalize(*parsed), normalize(rows));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+class ValueOrderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueOrderPropertyTest, TotalOrderIsStrictWeakAndHashConsistent) {
+  Rng rng(GetParam());
+  std::vector<Value> values;
+  for (int i = 0; i < 12; ++i) {
+    switch (rng.NextBounded(3)) {
+      case 0:
+        values.push_back(Value(rng.NextInt(-5, 5)));
+        break;
+      case 1:
+        values.push_back(Value(static_cast<double>(rng.NextInt(-3, 3)) / 2));
+        break;
+      default: {
+        std::string s;
+        for (size_t j = rng.NextBounded(4); j > 0; --j) {
+          s += static_cast<char>('a' + rng.NextBounded(3));
+        }
+        values.push_back(Value(s));
+      }
+    }
+  }
+  for (const Value& a : values) {
+    EXPECT_FALSE(a < a);  // irreflexive
+    for (const Value& b : values) {
+      // Antisymmetric; equality consistent with !(a<b) && !(b<a).
+      EXPECT_FALSE(a < b && b < a);
+      if (a == b) {
+        EXPECT_FALSE(a < b);
+        EXPECT_EQ(a.Hash(), b.Hash());
+      }
+      for (const Value& c : values) {
+        if (a < b && b < c) {
+          EXPECT_TRUE(a < c);  // transitive
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderPropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull));
+
+class PartitionRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionRoundTripTest, PrintParseIsIdentity) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(2 + rng.NextBounded(10));
+  std::vector<AttributeId> attrs(static_cast<size_t>(n));
+  std::vector<int> labels(static_cast<size_t>(n));
+  int k = static_cast<int>(1 + rng.NextBounded(static_cast<uint64_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    attrs[static_cast<size_t>(i)] = i;
+    labels[static_cast<size_t>(i)] =
+        i < k ? i : static_cast<int>(rng.NextBounded(static_cast<uint64_t>(k)));
+  }
+  auto partition = AttributePartition::FromAssignment(attrs, labels);
+  ASSERT_TRUE(partition.ok());
+  auto reparsed = AttributePartition::Parse(partition->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*partition, *reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionRoundTripTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{15}));
+
+class DendrogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DendrogramPropertyTest, CutsNestOnRandomPoints) {
+  Rng rng(GetParam());
+  int n = static_cast<int>(3 + rng.NextBounded(10));
+  std::vector<FeatureVector> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.NextDouble(0, 10), rng.NextDouble(0, 10),
+                      rng.NextDouble(0, 10)});
+  }
+  AgglomerativeOptions opts;
+  opts.metric = DistanceMetric::kEuclidean;
+  auto d = AgglomerativeCluster(points, opts);
+  ASSERT_TRUE(d.ok());
+  for (int k = 1; k < n; ++k) {
+    auto coarse = d->CutToK(k).MoveValue();
+    auto fine = d->CutToK(k + 1).MoveValue();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (fine[static_cast<size_t>(i)] == fine[static_cast<size_t>(j)]) {
+          EXPECT_EQ(coarse[static_cast<size_t>(i)],
+                    coarse[static_cast<size_t>(j)]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DendrogramPropertyTest,
+                         ::testing::Values(5ull, 6ull, 7ull, 8ull));
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,63 @@
+#include "td/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tdac {
+namespace {
+
+TEST(RegistryTest, AllRegisteredNamesConstruct) {
+  for (const std::string& name : RegisteredAlgorithms()) {
+    auto algo = MakeAlgorithm(name);
+    ASSERT_TRUE(algo.ok()) << name;
+    EXPECT_EQ((*algo)->name(), name);
+  }
+}
+
+TEST(RegistryTest, LookupIsCaseInsensitive) {
+  EXPECT_TRUE(MakeAlgorithm("accu").ok());
+  EXPECT_TRUE(MakeAlgorithm("ACCUSIM").ok());
+  EXPECT_TRUE(MakeAlgorithm("truthfinder").ok());
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  auto r = MakeAlgorithm("definitely-not-an-algorithm");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, ConstructedAlgorithmsActuallyRun) {
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(5, &truth);
+  for (const std::string& name : RegisteredAlgorithms()) {
+    auto algo = MakeAlgorithm(name);
+    ASSERT_TRUE(algo.ok());
+    auto result = (*algo)->Discover(d);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result->predicted.size(), d.DataItems().size()) << name;
+  }
+}
+
+TEST(RegistryTest, ListIsStable) {
+  auto names = RegisteredAlgorithms();
+  ASSERT_EQ(names.size(), 12u);
+  // The paper's five standard algorithms come first, in the paper's order.
+  EXPECT_EQ(names[0], "MajorityVote");
+  EXPECT_EQ(names[1], "TruthFinder");
+  EXPECT_EQ(names[2], "DEPEN");
+  EXPECT_EQ(names[3], "Accu");
+  EXPECT_EQ(names[4], "AccuSim");
+  // Then the extension baselines (conclusion's "larger set" perspective).
+  EXPECT_EQ(names[5], "Sums");
+  EXPECT_EQ(names[10], "3-Estimates");
+  EXPECT_EQ(names[11], "CRH");
+}
+
+TEST(RegistryTest, EstimatesAliasesResolve) {
+  EXPECT_TRUE(MakeAlgorithm("TwoEstimates").ok());
+  EXPECT_TRUE(MakeAlgorithm("threeestimates").ok());
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,83 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValue();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnExtractsValue) {
+  auto produce = []() -> Result<int> { return 41; };
+  auto consume = [&]() -> Result<int> {
+    TDAC_ASSIGN_OR_RETURN(int v, produce());
+    return v + 1;
+  };
+  Result<int> r = consume();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto produce = []() -> Result<int> {
+    return Status::IoError("disk gone");
+  };
+  auto consume = [&]() -> Result<int> {
+    TDAC_ASSIGN_OR_RETURN(int v, produce());
+    return v + 1;
+  };
+  Result<int> r = consume();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, CopyPreservesState) {
+  Result<std::string> a(std::string("x"));
+  Result<std::string> b = a;
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), "x");
+
+  Result<std::string> e(Status::Internal("bad"));
+  Result<std::string> f = e;
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().message(), "bad");
+}
+
+TEST(ResultDeathTest, AccessingErrorValueAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.value(); }, "Accessed value of errored Result");
+}
+
+TEST(ResultDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH({ Result<int> r(Status::OK()); },
+               "OK status without a value");
+}
+
+}  // namespace
+}  // namespace tdac

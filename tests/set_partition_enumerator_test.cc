@@ -1,0 +1,96 @@
+#include "partition/set_partition_enumerator.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace tdac {
+namespace {
+
+size_t CountPartitions(int n) {
+  SetPartitionEnumerator e(n);
+  size_t count = 0;
+  while (e.Next()) ++count;
+  return count;
+}
+
+TEST(SetPartitionEnumeratorTest, CountsMatchBellNumbers) {
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(CountPartitions(n), BellNumber(n)) << "n=" << n;
+  }
+}
+
+TEST(SetPartitionEnumeratorTest, SixAttributesGive203) {
+  EXPECT_EQ(CountPartitions(6), 203u);  // the paper's search space
+}
+
+TEST(SetPartitionEnumeratorTest, FirstIsAllInOneGroup) {
+  SetPartitionEnumerator e(4);
+  ASSERT_TRUE(e.Next());
+  EXPECT_EQ(e.rgs(), (std::vector<int>{0, 0, 0, 0}));
+  EXPECT_EQ(e.num_groups(), 1);
+}
+
+TEST(SetPartitionEnumeratorTest, AllPartitionsDistinct) {
+  SetPartitionEnumerator e(6);
+  std::set<std::string> seen;
+  while (e.Next()) {
+    std::string key;
+    for (int label : e.rgs()) key += static_cast<char>('0' + label);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate " << key;
+  }
+  EXPECT_EQ(seen.size(), 203u);
+}
+
+TEST(SetPartitionEnumeratorTest, RgsInvariantHolds) {
+  SetPartitionEnumerator e(5);
+  while (e.Next()) {
+    const auto& rgs = e.rgs();
+    EXPECT_EQ(rgs[0], 0);
+    int max_seen = 0;
+    for (size_t i = 1; i < rgs.size(); ++i) {
+      EXPECT_LE(rgs[i], max_seen + 1) << "position " << i;
+      max_seen = std::max(max_seen, rgs[i]);
+    }
+  }
+}
+
+TEST(SetPartitionEnumeratorTest, CurrentMaterializesPartition) {
+  SetPartitionEnumerator e(3);
+  std::set<std::string> partitions;
+  std::vector<AttributeId> attrs{0, 1, 2};
+  while (e.Next()) {
+    auto p = e.Current(attrs);
+    ASSERT_TRUE(p.ok());
+    partitions.insert(p->ToString());
+    EXPECT_EQ(static_cast<int>(p->num_groups()), e.num_groups());
+  }
+  EXPECT_EQ(partitions.size(), 5u);
+  EXPECT_TRUE(partitions.count("[(1,2,3)]"));
+  EXPECT_TRUE(partitions.count("[(1), (2), (3)]"));
+}
+
+TEST(SetPartitionEnumeratorTest, CurrentRejectsWrongSize) {
+  SetPartitionEnumerator e(3);
+  ASSERT_TRUE(e.Next());
+  EXPECT_FALSE(e.Current({0, 1}).ok());
+}
+
+TEST(SetPartitionEnumeratorTest, SingleElement) {
+  SetPartitionEnumerator e(1);
+  EXPECT_TRUE(e.Next());
+  EXPECT_EQ(e.num_groups(), 1);
+  EXPECT_FALSE(e.Next());
+}
+
+TEST(SetPartitionEnumeratorDeathTest, RejectsOutOfRangeN) {
+  EXPECT_DEATH(SetPartitionEnumerator e(0), "1 <= n <= 20");
+  EXPECT_DEATH(SetPartitionEnumerator e(21), "1 <= n <= 20");
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::IoError("f"), StatusCode::kIoError},
+      {Status::Internal("g"), StatusCode::kInternal},
+      {Status::NotImplemented("h"), StatusCode::kNotImplemented},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    TDAC_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto ok = [] { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    TDAC_RETURN_NOT_OK(ok());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,65 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowHelper) {
+  TablePrinter t({"Algorithm", "Precision", "Recall"});
+  t.AddRow("Accu", {0.85345, 0.87001});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("0.853"), std::string::npos);
+  EXPECT_NE(os.str().find("0.870"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadToHeaderCount) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"only-one"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MarkdownShape) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintMarkdown(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| A | B |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter t({"A"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"x"});
+  t.AddRow({"y"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterDeathTest, TooManyCellsAborts) {
+  TablePrinter t({"A"});
+  EXPECT_DEATH(t.AddRow({"1", "2"}), "more cells than headers");
+}
+
+}  // namespace
+}  // namespace tdac

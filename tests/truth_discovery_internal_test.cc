@@ -1,0 +1,91 @@
+#include "td/truth_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tdac {
+namespace {
+
+using td_internal::ArgMax;
+using td_internal::GroupClaimsByItem;
+using td_internal::MeanAbsDelta;
+using testutil::BuildDataset;
+
+TEST(GroupClaimsByItemTest, GroupsValuesAndSupporters) {
+  Dataset d = BuildDataset({
+      {"s1", "o", "a", 5},
+      {"s2", "o", "a", 5},
+      {"s3", "o", "a", 9},
+      {"s1", "o", "b", 1},
+  });
+  auto items = GroupClaimsByItem(d);
+  ASSERT_EQ(items.size(), 2u);
+  // Item (o, a): two distinct values, sorted ascending (5 < 9).
+  const auto& a = items[0];
+  ASSERT_EQ(a.values.size(), 2u);
+  EXPECT_EQ(a.values[0], Value(int64_t{5}));
+  EXPECT_EQ(a.values[1], Value(int64_t{9}));
+  EXPECT_EQ(a.supporters[0], (std::vector<SourceId>{0, 1}));
+  EXPECT_EQ(a.supporters[1], (std::vector<SourceId>{2}));
+}
+
+TEST(GroupClaimsByItemTest, ValuesSortedForDeterministicTieBreaks) {
+  Dataset d = BuildDataset({
+      {"s1", "o", "a", 30},
+      {"s2", "o", "a", 10},
+      {"s3", "o", "a", 20},
+  });
+  auto items = GroupClaimsByItem(d);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].values[0], Value(int64_t{10}));
+  EXPECT_EQ(items[0].values[1], Value(int64_t{20}));
+  EXPECT_EQ(items[0].values[2], Value(int64_t{30}));
+}
+
+TEST(GroupClaimsByItemTest, SupportersSortedBySourceId) {
+  Dataset d = BuildDataset({
+      {"z", "o", "a", 1},  // interned first -> id 0
+      {"a", "o", "a", 1},  // id 1
+      {"m", "o", "a", 1},  // id 2
+  });
+  auto items = GroupClaimsByItem(d);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].supporters[0], (std::vector<SourceId>{0, 1, 2}));
+}
+
+TEST(GroupClaimsByItemTest, ItemsFollowDataItemOrder) {
+  Dataset d = BuildDataset({
+      {"s", "o2", "a", 1},
+      {"s", "o1", "a", 2},
+      {"s", "o1", "b", 3},
+  });
+  auto items = GroupClaimsByItem(d);
+  ASSERT_EQ(items.size(), 3u);
+  for (size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1].key, items[i].key);
+  }
+}
+
+TEST(ArgMaxTest, FirstMaximumWinsOnTies) {
+  EXPECT_EQ(ArgMax({1.0, 3.0, 3.0, 2.0}), 1u);
+  EXPECT_EQ(ArgMax({5.0}), 0u);
+  EXPECT_EQ(ArgMax({-2.0, -1.0, -3.0}), 1u);
+}
+
+TEST(ArgMaxDeathTest, EmptyAborts) {
+  EXPECT_DEATH((void)ArgMax({}), "empty");
+}
+
+TEST(MeanAbsDeltaTest, Basics) {
+  EXPECT_DOUBLE_EQ(MeanAbsDelta({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsDelta({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsDelta({0.0, 0.0}, {1.0, -1.0}), 1.0);
+}
+
+TEST(MeanAbsDeltaDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH((void)MeanAbsDelta({1.0}, {1.0, 2.0}), "size mismatch");
+}
+
+}  // namespace
+}  // namespace tdac

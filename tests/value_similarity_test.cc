@@ -1,0 +1,94 @@
+#include "td/value_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(ExactSimilarityTest, OneForEqualZeroOtherwise) {
+  ExactSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("a"), Value("a")), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("a"), Value("b")), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value(int64_t{1}), Value(1.0)), 0.0);
+}
+
+TEST(NumericSimilarityTest, DecaysWithDistance) {
+  NumericSimilarity sim(10.0);
+  double near = sim.Similarity(Value(int64_t{100}), Value(int64_t{101}));
+  double far = sim.Similarity(Value(int64_t{100}), Value(int64_t{200}));
+  EXPECT_GT(near, far);
+  EXPECT_GT(near, 0.9);
+  EXPECT_LT(far, 0.001);
+}
+
+TEST(NumericSimilarityTest, StringsGetZero) {
+  NumericSimilarity sim(1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("x"), Value(int64_t{1})), 0.0);
+}
+
+TEST(LevenshteinDistanceTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1u);
+}
+
+TEST(LevenshteinSimilarityTest, NormalizedToUnitInterval) {
+  LevenshteinSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("abc"), Value("abc")), 1.0);
+  EXPECT_NEAR(sim.Similarity(Value("kitten"), Value("sitting")),
+              1.0 - 3.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("abc"), Value("xyz")), 0.0);
+}
+
+TEST(DefaultSimilarityTest, DispatchesByKind) {
+  DefaultSimilarity sim;
+  // Numeric: relative closeness — adjacent years are close.
+  EXPECT_GT(sim.Similarity(Value(int64_t{1990}), Value(int64_t{1991})), 0.9);
+  // Small numbers far apart relative to magnitude are not close.
+  EXPECT_LT(sim.Similarity(Value(int64_t{7}), Value(int64_t{11})), 0.1);
+  // Strings: edit-distance based.
+  EXPECT_GT(sim.Similarity(Value("Linus Torvalds"), Value("Linux Torvalds")),
+            0.9);
+  // Across kinds: zero.
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("1990"), Value(int64_t{1990})), 0.0);
+}
+
+TEST(JaccardTokenSimilarityTest, TokenOverlapIgnoresOrderAndCase) {
+  JaccardTokenSimilarity sim;
+  EXPECT_DOUBLE_EQ(
+      sim.Similarity(Value("Linus Torvalds"), Value("torvalds, linus")), 1.0);
+  EXPECT_NEAR(sim.Similarity(Value("new york city"), Value("new york")),
+              2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("alpha"), Value("beta")), 0.0);
+}
+
+TEST(JaccardTokenSimilarityTest, NonStringsAndEmpties) {
+  JaccardTokenSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value(int64_t{1}), Value(int64_t{2})), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value(""), Value("")), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value(""), Value("word")), 0.0);
+}
+
+TEST(JaccardTokenSimilarityTest, DuplicateTokensCountOnce) {
+  JaccardTokenSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity(Value("go go go"), Value("go")), 1.0);
+}
+
+TEST(SimilarityContractTest, SymmetricAndSelfIdentical) {
+  const ValueSimilarity& sim = GetDefaultSimilarity();
+  const Value values[] = {Value("abc"), Value("abd"), Value(int64_t{10}),
+                          Value(int64_t{12}), Value(2.5)};
+  for (const Value& a : values) {
+    EXPECT_DOUBLE_EQ(sim.Similarity(a, a), 1.0);
+    for (const Value& b : values) {
+      EXPECT_DOUBLE_EQ(sim.Similarity(a, b), sim.Similarity(b, a));
+      EXPECT_GE(sim.Similarity(a, b), 0.0);
+      EXPECT_LE(sim.Similarity(a, b), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,114 @@
+#include "data/value.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(ValueTest, DefaultIsEmptyString) {
+  Value v;
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "");
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  Value s("hello");
+  Value i(int64_t{42});
+  Value d(3.5);
+  EXPECT_TRUE(s.is_string());
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_EQ(s.AsString(), "hello");
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsNumeric(), 2.5);
+  EXPECT_TRUE(Value(int64_t{1}).IsNumeric());
+  EXPECT_FALSE(Value("x").IsNumeric());
+}
+
+TEST(ValueTest, ExactEqualityAcrossKindsIsFalse) {
+  // An int 2 and a double 2.0 are distinct claims.
+  EXPECT_NE(Value(int64_t{2}), Value(2.0));
+  EXPECT_NE(Value("2"), Value(int64_t{2}));
+}
+
+TEST(ValueTest, EqualityWithinKind) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_EQ(Value(1.25), Value(1.25));
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  Value a("a");
+  Value b("b");
+  Value i(int64_t{1});
+  Value d(1.0);
+  // kind order: string < int < double
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < i);
+  EXPECT_TRUE(i < d);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(ValueTest, ToStringRendersPayload) {
+  EXPECT_EQ(Value("x").ToString(), "x");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  std::ostringstream os;
+  os << Value(int64_t{9});
+  EXPECT_EQ(os.str(), "9");
+}
+
+TEST(ValueTest, DoubleToStringRoundTrips) {
+  Value d(0.1);
+  Value parsed = Value::FromText(Value::Kind::kDouble, d.ToString());
+  EXPECT_EQ(parsed, d);
+}
+
+TEST(ValueTest, FromTextParsesEachKind) {
+  EXPECT_EQ(Value::FromText(Value::Kind::kString, "abc"), Value("abc"));
+  EXPECT_EQ(Value::FromText(Value::Kind::kInt, "-17"), Value(int64_t{-17}));
+  EXPECT_EQ(Value::FromText(Value::Kind::kDouble, "2.5"), Value(2.5));
+}
+
+TEST(ValueTest, FromTextBadInputDefaultsToZero) {
+  EXPECT_EQ(Value::FromText(Value::Kind::kInt, "xyz"), Value(int64_t{0}));
+  EXPECT_EQ(Value::FromText(Value::Kind::kDouble, "zzz"), Value(0.0));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(int64_t{12}).Hash(), Value(int64_t{12}).Hash());
+  EXPECT_NE(Value("abc").Hash(), Value("abd").Hash());
+  // Same digits, different kind -> different hash.
+  EXPECT_NE(Value("2").Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikePositiveZero) {
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value("a"));
+  set.insert(Value("a"));
+  set.insert(Value(int64_t{1}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueDeathTest, WrongAccessorAborts) {
+  EXPECT_DEATH((void)Value("s").AsInt(), "not an int");
+  EXPECT_DEATH((void)Value(int64_t{1}).AsString(), "not a string");
+  EXPECT_DEATH((void)Value("s").AsNumeric(), "not numeric");
+}
+
+}  // namespace
+}  // namespace tdac

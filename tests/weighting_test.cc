@@ -1,0 +1,54 @@
+#include "partition/weighting.h"
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+TEST(WeightingTest, NamesRoundTrip) {
+  for (WeightingFunction w : {WeightingFunction::kMax, WeightingFunction::kAvg,
+                              WeightingFunction::kOracle}) {
+    auto parsed = ParseWeightingFunction(WeightingFunctionName(w));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, w);
+  }
+}
+
+TEST(WeightingTest, ParseIsCaseInsensitive) {
+  EXPECT_TRUE(ParseWeightingFunction("MAX").ok());
+  EXPECT_TRUE(ParseWeightingFunction("average").ok());
+  EXPECT_FALSE(ParseWeightingFunction("median").ok());
+}
+
+TEST(WeightingTest, MaxPicksBestCoveredGroup) {
+  double v = CollapseSourceAccuracies(WeightingFunction::kMax,
+                                      {0.2, 0.9, 0.5}, {3, 5, 1});
+  EXPECT_DOUBLE_EQ(v, 0.9);
+}
+
+TEST(WeightingTest, AvgAveragesCoveredGroups) {
+  double v = CollapseSourceAccuracies(WeightingFunction::kAvg,
+                                      {0.2, 0.8, 0.5}, {1, 1, 0});
+  EXPECT_DOUBLE_EQ(v, 0.5);  // third group not covered
+}
+
+TEST(WeightingTest, UncoveredGroupsExcludedFromMax) {
+  double v = CollapseSourceAccuracies(WeightingFunction::kMax,
+                                      {0.99, 0.3}, {0, 2});
+  EXPECT_DOUBLE_EQ(v, 0.3);
+}
+
+TEST(WeightingTest, NoCoverageGivesZero) {
+  EXPECT_DOUBLE_EQ(CollapseSourceAccuracies(WeightingFunction::kAvg,
+                                            {0.9, 0.9}, {0, 0}),
+                   0.0);
+}
+
+TEST(WeightingDeathTest, OracleIsNotPerSource) {
+  EXPECT_DEATH(CollapseSourceAccuracies(WeightingFunction::kOracle, {0.5},
+                                        {1}),
+               "Oracle");
+}
+
+}  // namespace
+}  // namespace tdac

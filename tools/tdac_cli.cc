@@ -1,0 +1,231 @@
+// tdac_cli — command-line front end for the library.
+//
+//   tdac_cli algorithms
+//       List the registered truth-discovery algorithms.
+//   tdac_cli generate --dataset=ds1 --out-claims=c.csv --out-truth=t.csv
+//       Generate one of the paper's datasets (ds1 ds2 ds3 exam32 exam62
+//       exam124 stocks flights) to CSV. [--objects=N --seed=S
+//       --fill-missing --range=R]
+//   tdac_cli stats --claims=c.csv
+//       Print dataset statistics (Table 8 columns).
+//   tdac_cli run --claims=c.csv --algorithm=Accu [--tdac] [--truth=t.csv]
+//       Resolve truths; with --truth also print the paper's metric columns.
+//       [--sparse --parallel --agglomerative --out=resolved.csv]
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "data/dataset_io.h"
+#include "data/profile.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "gen/exam.h"
+#include "gen/flights.h"
+#include "gen/stocks.h"
+#include "gen/synthetic.h"
+#include "td/registry.h"
+#include "tdac/tdac.h"
+#include "tdac/tdoc.h"
+
+namespace {
+
+using tdac::Status;
+
+struct Flags {
+  std::string command;
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  if (argc > 1) flags.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "true";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+[[noreturn]] void Die(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  std::exit(1);
+}
+
+[[noreturn]] void Usage() {
+  std::cerr
+      << "usage:\n"
+         "  tdac_cli algorithms\n"
+         "  tdac_cli generate --dataset=<ds1|ds2|ds3|exam32|exam62|exam124|"
+         "stocks|flights>\n"
+         "           --out-claims=FILE --out-truth=FILE\n"
+         "           [--objects=N] [--seed=S] [--fill-missing] [--range=R]\n"
+         "  tdac_cli stats --claims=FILE\n"
+         "  tdac_cli run --claims=FILE --algorithm=NAME [--tdac|--tdoc]\n"
+         "           [--truth=FILE] [--out=FILE] [--sparse] [--parallel]\n"
+         "           [--agglomerative] [--max-k=K] [--refine=N] [--trust-out=FILE]\n";
+  std::exit(2);
+}
+
+int CmdAlgorithms() {
+  for (const std::string& name : tdac::RegisteredAlgorithms()) {
+    std::cout << name << "\n";
+  }
+  std::cout << "(any of these can also run inside TD-AC via --tdac)\n";
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string which = flags.Get("dataset");
+  const uint64_t seed = std::stoull(flags.Get("seed", "42"));
+  const std::string out_claims = flags.Get("out-claims");
+  const std::string out_truth = flags.Get("out-truth");
+  if (which.empty() || out_claims.empty() || out_truth.empty()) Usage();
+
+  tdac::Dataset dataset;
+  tdac::GroundTruth truth;
+  if (which == "ds1" || which == "ds2" || which == "ds3") {
+    auto config = tdac::PaperSyntheticConfig(which[2] - '0', seed);
+    if (!config.ok()) Die(config.status());
+    if (flags.Has("objects")) {
+      config->num_objects = std::stoi(flags.Get("objects"));
+    }
+    auto data = tdac::GenerateSynthetic(*config);
+    if (!data.ok()) Die(data.status());
+    std::cout << "planted partition: " << data->planted.ToString() << "\n";
+    dataset = std::move(data->dataset);
+    truth = std::move(data->truth);
+  } else if (which == "exam32" || which == "exam62" || which == "exam124") {
+    tdac::ExamConfig config;
+    config.num_questions = std::stoi(which.substr(4));
+    config.seed = seed;
+    config.fill_missing = flags.Has("fill-missing");
+    if (flags.Has("range")) {
+      config.false_range = std::stoi(flags.Get("range"));
+    }
+    auto data = tdac::GenerateExam(config);
+    if (!data.ok()) Die(data.status());
+    dataset = std::move(data->dataset);
+    truth = std::move(data->truth);
+  } else if (which == "stocks" || which == "flights") {
+    auto data = which == "stocks" ? tdac::GenerateStocks(seed)
+                                  : tdac::GenerateFlights(seed);
+    if (!data.ok()) Die(data.status());
+    dataset = std::move(data->dataset);
+    truth = std::move(data->truth);
+  } else {
+    Usage();
+  }
+
+  Status s = tdac::SaveDataset(dataset, out_claims);
+  if (!s.ok()) Die(s);
+  s = tdac::SaveGroundTruth(truth, dataset, out_truth);
+  if (!s.ok()) Die(s);
+  std::cout << "generated: " << dataset.Summary() << "\n"
+            << "claims -> " << out_claims << "\ntruth  -> " << out_truth
+            << "\n";
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string path = flags.Get("claims");
+  if (path.empty()) Usage();
+  auto dataset = tdac::LoadDataset(path);
+  if (!dataset.ok()) Die(dataset.status());
+  tdac::PrintProfile(tdac::ProfileDataset(*dataset), std::cout);
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  const std::string claims_path = flags.Get("claims");
+  const std::string algorithm_name = flags.Get("algorithm", "Accu");
+  if (claims_path.empty()) Usage();
+
+  auto dataset = tdac::LoadDataset(claims_path);
+  if (!dataset.ok()) Die(dataset.status());
+
+  auto base = tdac::MakeAlgorithm(algorithm_name);
+  if (!base.ok()) Die(base.status());
+
+  std::unique_ptr<tdac::Tdac> tdac_algo;
+  std::unique_ptr<tdac::Tdoc> tdoc_algo;
+  const tdac::TruthDiscovery* algorithm = base->get();
+  if (flags.Has("tdac")) {
+    tdac::TdacOptions options;
+    options.base = base->get();
+    options.sparse_aware = flags.Has("sparse");
+    options.parallel_groups = flags.Has("parallel");
+    if (flags.Has("agglomerative")) {
+      options.backend = tdac::ClusteringBackend::kAgglomerative;
+    }
+    if (flags.Has("max-k")) options.max_k = std::stoi(flags.Get("max-k"));
+    if (flags.Has("refine")) {
+      options.refinement_rounds = std::stoi(flags.Get("refine"));
+    }
+    tdac_algo = std::make_unique<tdac::Tdac>(options);
+    algorithm = tdac_algo.get();
+  } else if (flags.Has("tdoc")) {
+    tdac::TdocOptions options;
+    options.base = base->get();
+    if (flags.Has("max-k")) options.max_k = std::stoi(flags.Get("max-k"));
+    tdoc_algo = std::make_unique<tdac::Tdoc>(options);
+    algorithm = tdoc_algo.get();
+  }
+
+  if (flags.Has("truth")) {
+    auto truth = tdac::LoadGroundTruth(flags.Get("truth"), *dataset);
+    if (!truth.ok()) Die(truth.status());
+    auto row = tdac::RunExperiment(*algorithm, *dataset, *truth);
+    if (!row.ok()) Die(row.status());
+    tdac::PrintPerformanceTable(dataset->Summary(), {*row}, std::cout);
+  }
+
+  auto result = algorithm->Discover(*dataset);
+  if (!result.ok()) Die(result.status());
+  if (flags.Has("trust-out")) {
+    Status s = tdac::SaveSourceTrust(result->source_trust, *dataset,
+                                     flags.Get("trust-out"));
+    if (!s.ok()) Die(s);
+    std::cout << "source trust -> " << flags.Get("trust-out") << "\n";
+  }
+  if (flags.Has("out")) {
+    Status s =
+        tdac::SaveGroundTruth(result->predicted, *dataset, flags.Get("out"));
+    if (!s.ok()) Die(s);
+    std::cout << "resolved " << result->predicted.size() << " data items -> "
+              << flags.Get("out") << "\n";
+  } else if (!flags.Has("truth")) {
+    std::cout << "resolved " << result->predicted.size()
+              << " data items (use --out=FILE to write them)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  if (flags.command == "algorithms") return CmdAlgorithms();
+  if (flags.command == "generate") return CmdGenerate(flags);
+  if (flags.command == "stats") return CmdStats(flags);
+  if (flags.command == "run") return CmdRun(flags);
+  Usage();
+}
