@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tdac.dir/bench_ablation_tdac.cc.o"
+  "CMakeFiles/bench_ablation_tdac.dir/bench_ablation_tdac.cc.o.d"
+  "bench_ablation_tdac"
+  "bench_ablation_tdac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tdac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adversarial_crossover.dir/bench_adversarial_crossover.cc.o"
+  "CMakeFiles/bench_adversarial_crossover.dir/bench_adversarial_crossover.cc.o.d"
+  "bench_adversarial_crossover"
+  "bench_adversarial_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adversarial_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_axes.dir/bench_partitioning_axes.cc.o"
+  "CMakeFiles/bench_partitioning_axes.dir/bench_partitioning_axes.cc.o.d"
+  "bench_partitioning_axes"
+  "bench_partitioning_axes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_axes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

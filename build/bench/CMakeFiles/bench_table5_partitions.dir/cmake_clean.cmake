@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_partitions.dir/bench_table5_partitions.cc.o"
+  "CMakeFiles/bench_table5_partitions.dir/bench_table5_partitions.cc.o.d"
+  "bench_table5_partitions"
+  "bench_table5_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_semisynth124.dir/bench_table7_semisynth124.cc.o"
+  "CMakeFiles/bench_table7_semisynth124.dir/bench_table7_semisynth124.cc.o.d"
+  "bench_table7_semisynth124"
+  "bench_table7_semisynth124.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_semisynth124.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

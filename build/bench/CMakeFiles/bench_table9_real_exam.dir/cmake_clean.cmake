@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_real_exam.dir/bench_table9_real_exam.cc.o"
+  "CMakeFiles/bench_table9_real_exam.dir/bench_table9_real_exam.cc.o.d"
+  "bench_table9_real_exam"
+  "bench_table9_real_exam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_real_exam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_real_flights.dir/bench_table9_real_flights.cc.o"
+  "CMakeFiles/bench_table9_real_flights.dir/bench_table9_real_flights.cc.o.d"
+  "bench_table9_real_flights"
+  "bench_table9_real_flights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_real_flights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_real_stocks.dir/bench_table9_real_stocks.cc.o"
+  "CMakeFiles/bench_table9_real_stocks.dir/bench_table9_real_stocks.cc.o.d"
+  "bench_table9_real_stocks"
+  "bench_table9_real_stocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_real_stocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trust_and_calibration.dir/bench_trust_and_calibration.cc.o"
+  "CMakeFiles/bench_trust_and_calibration.dir/bench_trust_and_calibration.cc.o.d"
+  "bench_trust_and_calibration"
+  "bench_trust_and_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trust_and_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

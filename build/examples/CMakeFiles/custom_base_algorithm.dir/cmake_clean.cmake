@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_base_algorithm.dir/custom_base_algorithm.cpp.o"
+  "CMakeFiles/custom_base_algorithm.dir/custom_base_algorithm.cpp.o.d"
+  "custom_base_algorithm"
+  "custom_base_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_base_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

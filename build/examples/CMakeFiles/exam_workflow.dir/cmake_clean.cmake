@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exam_workflow.dir/exam_workflow.cpp.o"
+  "CMakeFiles/exam_workflow.dir/exam_workflow.cpp.o.d"
+  "exam_workflow"
+  "exam_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exam_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

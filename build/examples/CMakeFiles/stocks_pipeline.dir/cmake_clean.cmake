@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stocks_pipeline.dir/stocks_pipeline.cpp.o"
+  "CMakeFiles/stocks_pipeline.dir/stocks_pipeline.cpp.o.d"
+  "stocks_pipeline"
+  "stocks_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stocks_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

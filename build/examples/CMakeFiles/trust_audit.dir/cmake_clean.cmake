@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_audit.dir/trust_audit.cpp.o"
+  "CMakeFiles/trust_audit.dir/trust_audit.cpp.o.d"
+  "trust_audit"
+  "trust_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

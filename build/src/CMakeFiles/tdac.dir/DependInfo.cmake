@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/distance.cc" "src/CMakeFiles/tdac.dir/clustering/distance.cc.o" "gcc" "src/CMakeFiles/tdac.dir/clustering/distance.cc.o.d"
+  "/root/repo/src/clustering/hierarchical.cc" "src/CMakeFiles/tdac.dir/clustering/hierarchical.cc.o" "gcc" "src/CMakeFiles/tdac.dir/clustering/hierarchical.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/CMakeFiles/tdac.dir/clustering/kmeans.cc.o" "gcc" "src/CMakeFiles/tdac.dir/clustering/kmeans.cc.o.d"
+  "/root/repo/src/clustering/silhouette.cc" "src/CMakeFiles/tdac.dir/clustering/silhouette.cc.o" "gcc" "src/CMakeFiles/tdac.dir/clustering/silhouette.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/tdac.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tdac.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/tdac.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/tdac.dir/common/random.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tdac.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/tdac.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/tdac.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/tdac.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_builder.cc" "src/CMakeFiles/tdac.dir/data/dataset_builder.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/dataset_builder.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/tdac.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/ground_truth.cc" "src/CMakeFiles/tdac.dir/data/ground_truth.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/ground_truth.cc.o.d"
+  "/root/repo/src/data/profile.cc" "src/CMakeFiles/tdac.dir/data/profile.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/profile.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/tdac.dir/data/value.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/value.cc.o.d"
+  "/root/repo/src/eval/calibration.cc" "src/CMakeFiles/tdac.dir/eval/calibration.cc.o" "gcc" "src/CMakeFiles/tdac.dir/eval/calibration.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/tdac.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/tdac.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/tdac.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/tdac.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/tdac.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/tdac.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/series.cc" "src/CMakeFiles/tdac.dir/eval/series.cc.o" "gcc" "src/CMakeFiles/tdac.dir/eval/series.cc.o.d"
+  "/root/repo/src/eval/trust_eval.cc" "src/CMakeFiles/tdac.dir/eval/trust_eval.cc.o" "gcc" "src/CMakeFiles/tdac.dir/eval/trust_eval.cc.o.d"
+  "/root/repo/src/gen/exam.cc" "src/CMakeFiles/tdac.dir/gen/exam.cc.o" "gcc" "src/CMakeFiles/tdac.dir/gen/exam.cc.o.d"
+  "/root/repo/src/gen/flights.cc" "src/CMakeFiles/tdac.dir/gen/flights.cc.o" "gcc" "src/CMakeFiles/tdac.dir/gen/flights.cc.o.d"
+  "/root/repo/src/gen/grouped_source_sim.cc" "src/CMakeFiles/tdac.dir/gen/grouped_source_sim.cc.o" "gcc" "src/CMakeFiles/tdac.dir/gen/grouped_source_sim.cc.o.d"
+  "/root/repo/src/gen/stocks.cc" "src/CMakeFiles/tdac.dir/gen/stocks.cc.o" "gcc" "src/CMakeFiles/tdac.dir/gen/stocks.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/CMakeFiles/tdac.dir/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/tdac.dir/gen/synthetic.cc.o.d"
+  "/root/repo/src/partition/attribute_partition.cc" "src/CMakeFiles/tdac.dir/partition/attribute_partition.cc.o" "gcc" "src/CMakeFiles/tdac.dir/partition/attribute_partition.cc.o.d"
+  "/root/repo/src/partition/gen_partition.cc" "src/CMakeFiles/tdac.dir/partition/gen_partition.cc.o" "gcc" "src/CMakeFiles/tdac.dir/partition/gen_partition.cc.o.d"
+  "/root/repo/src/partition/greedy_partition.cc" "src/CMakeFiles/tdac.dir/partition/greedy_partition.cc.o" "gcc" "src/CMakeFiles/tdac.dir/partition/greedy_partition.cc.o.d"
+  "/root/repo/src/partition/group_runner.cc" "src/CMakeFiles/tdac.dir/partition/group_runner.cc.o" "gcc" "src/CMakeFiles/tdac.dir/partition/group_runner.cc.o.d"
+  "/root/repo/src/partition/partition_metrics.cc" "src/CMakeFiles/tdac.dir/partition/partition_metrics.cc.o" "gcc" "src/CMakeFiles/tdac.dir/partition/partition_metrics.cc.o.d"
+  "/root/repo/src/partition/set_partition_enumerator.cc" "src/CMakeFiles/tdac.dir/partition/set_partition_enumerator.cc.o" "gcc" "src/CMakeFiles/tdac.dir/partition/set_partition_enumerator.cc.o.d"
+  "/root/repo/src/partition/weighting.cc" "src/CMakeFiles/tdac.dir/partition/weighting.cc.o" "gcc" "src/CMakeFiles/tdac.dir/partition/weighting.cc.o.d"
+  "/root/repo/src/td/accu.cc" "src/CMakeFiles/tdac.dir/td/accu.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/accu.cc.o.d"
+  "/root/repo/src/td/accu_sim.cc" "src/CMakeFiles/tdac.dir/td/accu_sim.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/accu_sim.cc.o.d"
+  "/root/repo/src/td/copy_detection.cc" "src/CMakeFiles/tdac.dir/td/copy_detection.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/copy_detection.cc.o.d"
+  "/root/repo/src/td/crh.cc" "src/CMakeFiles/tdac.dir/td/crh.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/crh.cc.o.d"
+  "/root/repo/src/td/depen.cc" "src/CMakeFiles/tdac.dir/td/depen.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/depen.cc.o.d"
+  "/root/repo/src/td/estimates.cc" "src/CMakeFiles/tdac.dir/td/estimates.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/estimates.cc.o.d"
+  "/root/repo/src/td/investment.cc" "src/CMakeFiles/tdac.dir/td/investment.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/investment.cc.o.d"
+  "/root/repo/src/td/majority_vote.cc" "src/CMakeFiles/tdac.dir/td/majority_vote.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/majority_vote.cc.o.d"
+  "/root/repo/src/td/registry.cc" "src/CMakeFiles/tdac.dir/td/registry.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/registry.cc.o.d"
+  "/root/repo/src/td/sums.cc" "src/CMakeFiles/tdac.dir/td/sums.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/sums.cc.o.d"
+  "/root/repo/src/td/truth_discovery.cc" "src/CMakeFiles/tdac.dir/td/truth_discovery.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/truth_discovery.cc.o.d"
+  "/root/repo/src/td/truth_finder.cc" "src/CMakeFiles/tdac.dir/td/truth_finder.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/truth_finder.cc.o.d"
+  "/root/repo/src/td/value_similarity.cc" "src/CMakeFiles/tdac.dir/td/value_similarity.cc.o" "gcc" "src/CMakeFiles/tdac.dir/td/value_similarity.cc.o.d"
+  "/root/repo/src/tdac/tdac.cc" "src/CMakeFiles/tdac.dir/tdac/tdac.cc.o" "gcc" "src/CMakeFiles/tdac.dir/tdac/tdac.cc.o.d"
+  "/root/repo/src/tdac/tdoc.cc" "src/CMakeFiles/tdac.dir/tdac/tdoc.cc.o" "gcc" "src/CMakeFiles/tdac.dir/tdac/tdoc.cc.o.d"
+  "/root/repo/src/tdac/truth_vectors.cc" "src/CMakeFiles/tdac.dir/tdac/truth_vectors.cc.o" "gcc" "src/CMakeFiles/tdac.dir/tdac/truth_vectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accu_test.dir/accu_test.cc.o"
+  "CMakeFiles/accu_test.dir/accu_test.cc.o.d"
+  "accu_test"
+  "accu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_runtime_test.dir/common_runtime_test.cc.o"
+  "CMakeFiles/common_runtime_test.dir/common_runtime_test.cc.o.d"
+  "common_runtime_test"
+  "common_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

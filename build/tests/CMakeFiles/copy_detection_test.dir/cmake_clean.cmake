@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copy_detection_test.dir/copy_detection_test.cc.o"
+  "CMakeFiles/copy_detection_test.dir/copy_detection_test.cc.o.d"
+  "copy_detection_test"
+  "copy_detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copy_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_test.dir/crh_test.cc.o"
+  "CMakeFiles/crh_test.dir/crh_test.cc.o.d"
+  "crh_test"
+  "crh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

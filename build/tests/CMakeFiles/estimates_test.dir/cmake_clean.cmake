@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimates_test.dir/estimates_test.cc.o"
+  "CMakeFiles/estimates_test.dir/estimates_test.cc.o.d"
+  "estimates_test"
+  "estimates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

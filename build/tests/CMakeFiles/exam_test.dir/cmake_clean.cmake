@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exam_test.dir/exam_test.cc.o"
+  "CMakeFiles/exam_test.dir/exam_test.cc.o.d"
+  "exam_test"
+  "exam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

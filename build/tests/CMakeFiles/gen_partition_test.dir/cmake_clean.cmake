@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_partition_test.dir/gen_partition_test.cc.o"
+  "CMakeFiles/gen_partition_test.dir/gen_partition_test.cc.o.d"
+  "gen_partition_test"
+  "gen_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_partition_test.dir/greedy_partition_test.cc.o"
+  "CMakeFiles/greedy_partition_test.dir/greedy_partition_test.cc.o.d"
+  "greedy_partition_test"
+  "greedy_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_sim_test.dir/grouped_sim_test.cc.o"
+  "CMakeFiles/grouped_sim_test.dir/grouped_sim_test.cc.o.d"
+  "grouped_sim_test"
+  "grouped_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investment_test.dir/investment_test.cc.o"
+  "CMakeFiles/investment_test.dir/investment_test.cc.o.d"
+  "investment_test"
+  "investment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

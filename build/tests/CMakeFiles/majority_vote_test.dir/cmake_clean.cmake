@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majority_vote_test.dir/majority_vote_test.cc.o"
+  "CMakeFiles/majority_vote_test.dir/majority_vote_test.cc.o.d"
+  "majority_vote_test"
+  "majority_vote_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majority_vote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_partition_enumerator_test.dir/set_partition_enumerator_test.cc.o"
+  "CMakeFiles/set_partition_enumerator_test.dir/set_partition_enumerator_test.cc.o.d"
+  "set_partition_enumerator_test"
+  "set_partition_enumerator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_partition_enumerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sums_test.dir/sums_test.cc.o"
+  "CMakeFiles/sums_test.dir/sums_test.cc.o.d"
+  "sums_test"
+  "sums_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sums_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdac_test.dir/tdac_test.cc.o"
+  "CMakeFiles/tdac_test.dir/tdac_test.cc.o.d"
+  "tdac_test"
+  "tdac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdoc_test.dir/tdoc_test.cc.o"
+  "CMakeFiles/tdoc_test.dir/tdoc_test.cc.o.d"
+  "tdoc_test"
+  "tdoc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_eval_test.dir/trust_eval_test.cc.o"
+  "CMakeFiles/trust_eval_test.dir/trust_eval_test.cc.o.d"
+  "trust_eval_test"
+  "trust_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truth_discovery_internal_test.dir/truth_discovery_internal_test.cc.o"
+  "CMakeFiles/truth_discovery_internal_test.dir/truth_discovery_internal_test.cc.o.d"
+  "truth_discovery_internal_test"
+  "truth_discovery_internal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truth_discovery_internal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

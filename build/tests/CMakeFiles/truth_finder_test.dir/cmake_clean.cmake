@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truth_finder_test.dir/truth_finder_test.cc.o"
+  "CMakeFiles/truth_finder_test.dir/truth_finder_test.cc.o.d"
+  "truth_finder_test"
+  "truth_finder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truth_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truth_vectors_test.dir/truth_vectors_test.cc.o"
+  "CMakeFiles/truth_vectors_test.dir/truth_vectors_test.cc.o.d"
+  "truth_vectors_test"
+  "truth_vectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truth_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

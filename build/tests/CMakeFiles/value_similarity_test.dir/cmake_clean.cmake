@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_similarity_test.dir/value_similarity_test.cc.o"
+  "CMakeFiles/value_similarity_test.dir/value_similarity_test.cc.o.d"
+  "value_similarity_test"
+  "value_similarity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdac_cli.dir/tdac_cli.cc.o"
+  "CMakeFiles/tdac_cli.dir/tdac_cli.cc.o.d"
+  "tdac_cli"
+  "tdac_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdac_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

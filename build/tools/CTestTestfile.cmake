@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_algorithms "/root/repo/build/tools/tdac_cli" "algorithms")
+set_tests_properties(cli_algorithms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_and_run "sh" "-c" "/root/repo/build/tools/tdac_cli generate --dataset=ds1 --objects=50               --out-claims=/root/repo/build/tools/cli_claims.csv               --out-truth=/root/repo/build/tools/cli_truth.csv &&           /root/repo/build/tools/tdac_cli stats               --claims=/root/repo/build/tools/cli_claims.csv &&           /root/repo/build/tools/tdac_cli run               --claims=/root/repo/build/tools/cli_claims.csv               --truth=/root/repo/build/tools/cli_truth.csv               --algorithm=Accu --tdac               --out=/root/repo/build/tools/cli_resolved.csv")
+set_tests_properties(cli_generate_and_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
