@@ -86,8 +86,8 @@ int main(int argc, char** argv) {
     rows.push_back(Run("sparse-aware distance", sparse, *data));
 
     tdac::TdacOptions parallel = base_opts;
-    parallel.parallel_groups = true;
-    rows.push_back(Run("parallel groups", parallel, *data));
+    parallel.threads = 4;
+    rows.push_back(Run("parallel (4 threads)", parallel, *data));
 
     tdac::TdacOptions one_restart = base_opts;
     one_restart.kmeans.num_restarts = 1;

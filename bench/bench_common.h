@@ -6,11 +6,16 @@
 // algorithms, and experiment-table printing.
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "td/accu.h"
@@ -27,8 +32,18 @@ struct BenchArgs {
 
   uint64_t seed = 42;
 
+  /// Thread count for the parallel execution layer: 0 defers to the
+  /// process default (`TDAC_THREADS` env override, else hardware
+  /// concurrency); 1 forces the exact serial path.
+  int threads = 0;
+
   /// Run at full paper scale / full sweep ranges (slower).
   bool full = false;
+
+  /// The thread count actually in effect for this run (resolves the 0
+  /// default); recorded in every bench table/JSON that times parallel
+  /// code so perf numbers are attributable to a configuration.
+  int EffectiveThreads() const { return tdac::EffectiveThreadCount(threads); }
 
   /// When non-empty, benches that back a paper figure also write the
   /// figure's data series as CSV + gnuplot script into this directory.
@@ -48,10 +63,12 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.seed = std::stoull(value_of("--seed="));
     } else if (a == "--full") {
       args.full = true;
+    } else if (a.rfind("--threads=", 0) == 0) {
+      args.threads = std::stoi(value_of("--threads="));
     } else if (a.rfind("--export-dir=", 0) == 0) {
       args.export_dir = value_of("--export-dir=");
     } else if (a == "--help" || a == "-h") {
-      std::cout << "flags: [--objects=N] [--seed=S] [--full] "
+      std::cout << "flags: [--objects=N] [--seed=S] [--threads=N] [--full] "
                    "[--export-dir=DIR]\n";
       std::exit(0);
     } else {
@@ -60,6 +77,104 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// \brief A flat JSON object with insertion-ordered fields, for
+/// machine-readable bench output (one record per measured point).
+///
+/// Strings are escaped minimally (quote/backslash/control chars); numbers
+/// are emitted via ostringstream so they round-trip doubles.
+class JsonRecord {
+ public:
+  JsonRecord& Set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonRecord& Set(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    fields_.emplace_back(key, os.str());
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonRecord& Set(const std::string& key, size_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& Set(const std::string& key, unsigned long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes `records` as a JSON array, one record per line.
+inline void WriteJsonArray(std::ostream& os,
+                           const std::vector<JsonRecord>& records) {
+  os << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    os << "  " << records[i].ToString() << (i + 1 < records.size() ? "," : "")
+       << "\n";
+  }
+  os << "]\n";
+}
+
+/// Writes the records to `<export_dir>/<filename>` when an export dir was
+/// given, and always echoes them to stdout (so the JSON is in the bench
+/// log either way). Exits on IO failure.
+inline void ExportJson(const BenchArgs& args, const std::string& filename,
+                       const std::vector<JsonRecord>& records) {
+  if (!args.export_dir.empty()) {
+    const std::string path = args.export_dir + "/" + filename;
+    std::ofstream file(path);
+    if (!file) {
+      std::cerr << "cannot write " << path << "\n";
+      std::exit(1);
+    }
+    WriteJsonArray(file, records);
+    std::cout << "json -> " << path << "\n";
+  }
+  WriteJsonArray(std::cout, records);
 }
 
 /// The five standard algorithms of the paper's Section 4.1, with their

@@ -2,10 +2,15 @@
 // becomes important when the number of attributes, objects and sources is
 // very large"): wall-clock of MajorityVote, Accu, TD-AC(F=Accu), and the
 // brute-force AccuGenPartition while scaling objects, sources, and
-// attributes independently. The brute force is only run while its Bell-
-// number search space stays tractable.
+// attributes independently — plus a threads axis for the parallel
+// execution layer (paper conclusion, perspective (ii)): the same TD-AC
+// workload at 1, 2, 4, and 8 threads, with speedups recorded as JSON.
+// The brute force is only run while its Bell-number search space stays
+// tractable.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/math_util.h"
@@ -14,6 +19,7 @@
 #include "common/timer.h"
 #include "gen/synthetic.h"
 #include "partition/gen_partition.h"
+#include "partition/greedy_partition.h"
 #include "tdac/tdac.h"
 
 namespace {
@@ -58,6 +64,7 @@ double TimeIt(const tdac::TruthDiscovery& algo, const tdac::Dataset& data) {
 
 int main(int argc, char** argv) {
   tdac_bench::BenchArgs args = tdac_bench::ParseArgs(argc, argv);
+  std::vector<tdac_bench::JsonRecord> json;
 
   struct Point {
     int objects;
@@ -71,7 +78,7 @@ int main(int argc, char** argv) {
   for (int sources : {20, 40}) points.push_back({200, sources, 6});
   for (int attributes : {10, 16}) points.push_back({200, 10, attributes});
 
-  tdac::TablePrinter table({"objects", "sources", "attrs", "claims",
+  tdac::TablePrinter table({"objects", "sources", "attrs", "claims", "threads",
                             "MV(s)", "Accu(s)", "TD-AC(s)", "BruteForce(s)",
                             "partitions"});
   for (const Point& p : points) {
@@ -82,11 +89,23 @@ int main(int argc, char** argv) {
     tdac::Accu accu;
     tdac::TdacOptions topts;
     topts.base = &accu;
+    topts.threads = args.threads;
     tdac::Tdac td(topts);
 
     double mv_s = TimeIt(mv, data.dataset);
     double accu_s = TimeIt(accu, data.dataset);
     double td_s = TimeIt(td, data.dataset);
+
+    tdac_bench::JsonRecord record;
+    record.Set("axis", "scale")
+        .Set("objects", p.objects)
+        .Set("sources", p.sources)
+        .Set("attrs", p.attributes)
+        .Set("claims", data.dataset.num_claims())
+        .Set("threads", args.EffectiveThreads())
+        .Set("seconds_mv", mv_s)
+        .Set("seconds_accu", accu_s)
+        .Set("seconds_tdac", td_s);
 
     std::string brute_s = "-";
     std::string partitions = "-";
@@ -94,14 +113,20 @@ int main(int argc, char** argv) {
       tdac::GenPartitionOptions gopts;
       gopts.base = &accu;
       gopts.weighting = tdac::WeightingFunction::kAvg;
+      gopts.threads = args.threads;
       tdac::GenPartitionAlgorithm brute(gopts);
-      brute_s = tdac::FormatDouble(TimeIt(brute, data.dataset), 3);
+      const double seconds = TimeIt(brute, data.dataset);
+      brute_s = tdac::FormatDouble(seconds, 3);
       partitions = std::to_string(tdac::BellNumber(p.attributes));
+      record.Set("seconds_brute", seconds)
+          .Set("partitions", tdac::BellNumber(p.attributes));
     }
+    json.push_back(std::move(record));
 
     table.AddRow({std::to_string(p.objects), std::to_string(p.sources),
                   std::to_string(p.attributes),
                   std::to_string(data.dataset.num_claims()),
+                  std::to_string(args.EffectiveThreads()),
                   tdac::FormatDouble(mv_s, 3), tdac::FormatDouble(accu_s, 3),
                   tdac::FormatDouble(td_s, 3), brute_s, partitions});
   }
@@ -109,5 +134,71 @@ int main(int argc, char** argv) {
   std::cout << "Scalability: wall-clock seconds while scaling each dimension "
                "(brute force skipped when Bell(#attrs) explodes)\n\n";
   table.Print(std::cout);
+
+  // Threads axis: one fixed workload, swept over the thread count. The
+  // TD-AC k sweep, its per-group discovery, and the greedy partition
+  // search all fan out over the pool; results are bit-identical at every
+  // point of the axis (see tests/parallel_determinism_test.cc), so the
+  // only thing that may change is the wall-clock.
+  {
+    const int objects = args.full ? 800 : 400;
+    const int sources = 16;
+    const int attributes = 12;
+    tdac::GeneratedData data =
+        Generate(objects, sources, attributes, args.seed);
+
+    tdac::Accu accu;
+    tdac::TablePrinter threads_table(
+        {"threads", "TD-AC(s)", "speedup", "Greedy(s)", "speedup"});
+    double tdac_base = 0.0;
+    double greedy_base = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      tdac::TdacOptions topts;
+      topts.base = &accu;
+      topts.threads = threads;
+      tdac::Tdac td(topts);
+      const double td_s = TimeIt(td, data.dataset);
+
+      tdac::GenPartitionOptions gopts;
+      gopts.base = &accu;
+      gopts.weighting = tdac::WeightingFunction::kAvg;
+      gopts.threads = threads;
+      tdac::GreedyPartitionAlgorithm greedy(gopts);
+      const double greedy_s = TimeIt(greedy, data.dataset);
+
+      if (threads == 1) {
+        tdac_base = td_s;
+        greedy_base = greedy_s;
+      }
+      threads_table.AddRow(
+          {std::to_string(threads), tdac::FormatDouble(td_s, 3),
+           tdac::FormatDouble(td_s > 0 ? tdac_base / td_s : 0.0, 2),
+           tdac::FormatDouble(greedy_s, 3),
+           tdac::FormatDouble(greedy_s > 0 ? greedy_base / greedy_s : 0.0,
+                              2)});
+      json.push_back(
+          tdac_bench::JsonRecord()
+              .Set("axis", "threads")
+              .Set("objects", objects)
+              .Set("sources", sources)
+              .Set("attrs", attributes)
+              .Set("claims", data.dataset.num_claims())
+              .Set("threads", threads)
+              .Set("seconds_tdac", td_s)
+              .Set("speedup_tdac", td_s > 0 ? tdac_base / td_s : 0.0)
+              .Set("seconds_greedy", greedy_s)
+              .Set("speedup_greedy",
+                   greedy_s > 0 ? greedy_base / greedy_s : 0.0));
+    }
+
+    std::cout << "\nThreads axis: TD-AC(F=Accu) and AccuGreedyPartition on "
+                 "the same workload (" << objects << " objects, " << sources
+              << " sources, " << attributes
+              << " attrs); speedup is vs threads=1\n\n";
+    threads_table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  tdac_bench::ExportJson(args, "scalability.json", json);
   return 0;
 }

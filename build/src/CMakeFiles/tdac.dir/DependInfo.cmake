@@ -15,10 +15,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/csv.cc" "src/CMakeFiles/tdac.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/csv.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/tdac.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/logging.cc.o.d"
   "/root/repo/src/common/math_util.cc" "src/CMakeFiles/tdac.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/tdac.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/parallel.cc.o.d"
   "/root/repo/src/common/random.cc" "src/CMakeFiles/tdac.dir/common/random.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/tdac.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/CMakeFiles/tdac.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/string_util.cc.o.d"
   "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/tdac.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/tdac.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/tdac.dir/common/thread_pool.cc.o.d"
   "/root/repo/src/data/dataset.cc" "src/CMakeFiles/tdac.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/dataset.cc.o.d"
   "/root/repo/src/data/dataset_builder.cc" "src/CMakeFiles/tdac.dir/data/dataset_builder.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/dataset_builder.cc.o.d"
   "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/tdac.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/tdac.dir/data/dataset_io.cc.o.d"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_runner_concurrency_test.dir/group_runner_concurrency_test.cc.o"
+  "CMakeFiles/group_runner_concurrency_test.dir/group_runner_concurrency_test.cc.o.d"
+  "group_runner_concurrency_test"
+  "group_runner_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_runner_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -39,7 +39,7 @@ int main() {
   tdac::Accu accu;
   tdac::TdacOptions opts;
   opts.base = &accu;
-  opts.parallel_groups = true;  // the conclusion's parallel extension
+  opts.threads = 0;  // the conclusion's parallel extension (TDAC_THREADS)
   tdac::Tdac tdac_algo(opts);
 
   auto rows =

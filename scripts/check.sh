@@ -1,0 +1,53 @@
+#!/bin/sh
+# One-shot verification of the tier-1 suite, optionally under a sanitizer.
+#
+#   scripts/check.sh          # plain build + ctest (the tier-1 gate)
+#   scripts/check.sh tsan     # ThreadSanitizer build + ctest, TDAC_THREADS=8
+#   scripts/check.sh asan     # AddressSanitizer+UBSan build + ctest
+#
+# The sanitizer modes exist for the parallel execution layer
+# (src/common/thread_pool.*, parallel.*, and everything that fans out over
+# them): TSan runs the whole suite with an oversubscribed pool so that the
+# determinism and concurrency tests actually interleave, even on few-core
+# CI machines. Each mode uses its own build directory, so switching modes
+# never poisons the incremental plain build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-plain}"
+case "$mode" in
+  plain)
+    build_dir=build
+    sanitize=""
+    ;;
+  tsan|thread)
+    build_dir=build-tsan
+    sanitize=thread
+    ;;
+  asan|address)
+    build_dir=build-asan
+    sanitize=address
+    ;;
+  *)
+    echo "usage: scripts/check.sh [plain|tsan|asan]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$build_dir" -S . -DTDAC_SANITIZE="$sanitize"
+cmake --build "$build_dir" -j "$(nproc)"
+
+echo "== ctest ($mode) =="
+if [ -n "$sanitize" ]; then
+  # Oversubscribe the pool so races interleave even on few-core machines;
+  # second-guess TSan's default behavior of not failing the process.
+  TDAC_THREADS=8 \
+  TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}" \
+  ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
+    ctest --test-dir "$build_dir" --output-on-failure
+else
+  ctest --test-dir "$build_dir" --output-on-failure
+fi
+
+echo "check.sh: $mode OK"

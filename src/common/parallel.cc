@@ -1,0 +1,98 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tdac {
+
+namespace {
+
+/// State shared between the caller and the helper tasks of one loop.
+/// Held by shared_ptr because helpers may outlive the ParallelFor call
+/// (a helper that never got scheduled runs after the caller returned,
+/// finds no work left, and exits).
+struct LoopState {
+  explicit LoopState(size_t n) : total(n) {}
+
+  const size_t total;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr first_error;  // guarded by mutex
+
+  const std::function<void(size_t)>* body = nullptr;
+
+  /// Claims and runs iterations until the counter is exhausted.
+  void Work() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        // Lock so the notify cannot race past the caller's wait check.
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options) {
+  if (n == 0) return;
+  ThreadPool* pool = options.pool != nullptr ? options.pool
+                                             : &ThreadPool::Global();
+  int width = options.max_parallelism > 0
+                  ? std::min(options.max_parallelism, pool->num_threads())
+                  : pool->num_threads();
+  if (width <= 1 || n < options.min_parallel_iterations ||
+      pool->num_workers() == 0) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>(n);
+  state->body = &body;
+  // The caller is one worker; helpers never outnumber remaining iterations.
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(width) - 1, n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    // Fire-and-forget: completion is tracked by the done-counter, not by
+    // futures, so the caller never blocks on a helper the pool cannot
+    // schedule (which is what makes nested ParallelFor deadlock-free).
+    pool->Submit([state]() { state->Work(); });
+  }
+  state->Work();
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(lock, [&]() {
+      return state->done.load(std::memory_order_acquire) == state->total;
+    });
+  }
+  // `body` lives on the caller's frame: helpers must be done with it here.
+  // They are — done == total implies every claimed iteration finished, and
+  // unscheduled helpers only touch `state` (kept alive by shared_ptr).
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+int EffectiveThreadCount(int requested) {
+  if (requested > 0) return std::min(requested, ThreadPool::kMaxThreads);
+  return ThreadPool::DefaultThreadCount();
+}
+
+}  // namespace tdac

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace tdac {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::clamp(num_threads, 1, kMaxThreads)) {
+  const int workers = num_threads_ - 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain-then-join: run everything already queued on this thread so no
+  // submitted future is abandoned, then wake the workers to exit.
+  while (RunOneTask()) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::Enqueue(std::function<void()> task) {
+  if (workers_.empty()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads must not be joined during static
+  // destruction (tasks could outlive other statics).
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+int ThreadPool::DefaultThreadCount() {
+  static const int count = []() {
+    if (const char* env = std::getenv("TDAC_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        return static_cast<int>(std::min<long>(v, kMaxThreads));
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(std::min<unsigned>(hw, kMaxThreads)) : 1;
+  }();
+  return count;
+}
+
+}  // namespace tdac

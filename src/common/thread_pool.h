@@ -1,0 +1,113 @@
+#ifndef TDAC_COMMON_THREAD_POOL_H_
+#define TDAC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tdac {
+
+/// \brief A fixed-size pool of worker threads with a futures-based task API.
+///
+/// The pool is the single execution substrate behind every parallel hot
+/// path in the library (the TD-AC k sweep, per-group discovery, and
+/// partition-search scoring). Design points:
+///
+///  - `Submit` returns a `std::future` carrying the callable's return value
+///    (including `Status` / `Result<T>`) or any thrown exception, so error
+///    propagation survives crossing thread boundaries unchanged.
+///  - Tasks may submit further tasks (nested submission) — enqueueing never
+///    blocks on task completion. Blocking *waits* on sibling futures from
+///    inside a pool thread can still starve a fully-loaded pool; the
+///    `ParallelFor` helper in common/parallel.h is the nesting-safe way to
+///    fan out loop iterations (the caller participates, so it never waits
+///    on work that cannot be scheduled).
+///  - Destruction drains the queue: tasks already submitted are run to
+///    completion before the workers join, so no future returned by `Submit`
+///    is ever abandoned.
+///  - A pool of size <= 1 spawns no threads at all; `Submit` then runs the
+///    task inline. `threads == 1` is therefore an exact serial fallback.
+///
+/// Determinism contract: the pool schedules tasks in submission order but
+/// completes them in any order. Callers that need bit-identical results at
+/// every thread count must (a) give each task an independent RNG (seeded
+/// by task index, never by thread id) and (b) reduce task outputs in task
+/// order, e.g. by writing into a pre-sized vector indexed by task id.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller thread is the remaining
+  /// executor via ParallelFor); values <= 1 mean a serial pool with no
+  /// worker threads. Values are clamped to `kMaxThreads`.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Logical parallelism of this pool (worker threads + the caller), as
+  /// configured at construction; always >= 1.
+  int num_threads() const { return num_threads_; }
+
+  /// Number of background worker threads (num_threads() - 1, or 0).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` are captured into the future. On a serial pool (or after
+  /// Shutdown began) the task runs inline on the calling thread.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (!Enqueue([task]() { (*task)(); })) {
+      (*task)();  // serial pool or shutting down: run inline
+    }
+    return future;
+  }
+
+  /// Runs one queued task on the calling thread if any is pending.
+  /// Returns false when the queue was empty. Lets blocked callers help
+  /// drain the pool instead of idling (used by ParallelFor).
+  bool RunOneTask();
+
+  /// The process-wide default pool, sized by `DefaultThreadCount()`.
+  /// Constructed on first use; never destroyed (workers are detached-joined
+  /// at process exit via static destruction order being irrelevant for a
+  /// leaked singleton).
+  static ThreadPool& Global();
+
+  /// Default parallelism: the `TDAC_THREADS` environment variable when it
+  /// is set to a positive integer, otherwise std::thread::hardware_concurrency
+  /// (minimum 1). Read once per process.
+  static int DefaultThreadCount();
+
+  /// Upper bound on configurable pool sizes (guards absurd TDAC_THREADS).
+  static constexpr int kMaxThreads = 256;
+
+ private:
+  /// Returns false if the task was not queued (serial pool / shutdown).
+  bool Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_THREAD_POOL_H_

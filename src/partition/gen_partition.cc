@@ -1,6 +1,7 @@
 #include "partition/gen_partition.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "partition/group_runner.h"
 #include "partition/set_partition_enumerator.h"
 
@@ -41,28 +42,57 @@ Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
         "); raise max_attributes explicitly if you really mean it");
   }
 
-  GroupRunner runner(options_.base, &data);
+  GroupRunner runner(options_.base, &data, options_.threads);
   GenPartitionReport report;
   bool have_best = false;
 
-  SetPartitionEnumerator enumerator(n);
-  while (enumerator.Next()) {
-    TDAC_ASSIGN_OR_RETURN(AttributePartition partition,
-                          enumerator.Current(attributes));
-    ++report.partitions_explored;
-    TDAC_ASSIGN_OR_RETURN(
-        double score,
-        runner.Score(partition, options_.weighting, options_.oracle_truth));
+  // Candidate partitions are pulled from the (stateful, serial) enumerator
+  // in batches; each batch is scored in parallel — concurrent Score calls
+  // share the runner's memo, so every distinct group still runs the base
+  // algorithm exactly once — and reduced in enumeration order, preserving
+  // the serial loop's tie-breaking exactly.
+  const size_t batch_size =
+      runner.threads() > 1 ? 16 * static_cast<size_t>(runner.threads()) : 1;
+  ParallelForOptions par;
+  par.max_parallelism = runner.threads();
 
-    // Strictly better score wins; on a tie prefer the finer partition
-    // (degenerate ties — e.g. a base algorithm that is perfect on every
-    // grouping — otherwise collapse to the first-enumerated all-in-one).
-    if (!have_best || score > report.best_score ||
-        (score == report.best_score &&
-         partition.num_groups() > report.best_partition.num_groups())) {
-      have_best = true;
-      report.best_score = score;
-      report.best_partition = partition;
+  SetPartitionEnumerator enumerator(n);
+  bool exhausted = false;
+  while (!exhausted) {
+    std::vector<AttributePartition> batch;
+    batch.reserve(batch_size);
+    while (batch.size() < batch_size) {
+      if (!enumerator.Next()) {
+        exhausted = true;
+        break;
+      }
+      TDAC_ASSIGN_OR_RETURN(AttributePartition partition,
+                            enumerator.Current(attributes));
+      batch.push_back(std::move(partition));
+    }
+    std::vector<Result<double>> scores(batch.size(), Result<double>(0.0));
+    ParallelFor(
+        batch.size(),
+        [&](size_t i) {
+          scores[i] =
+              runner.Score(batch[i], options_.weighting, options_.oracle_truth);
+        },
+        par);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++report.partitions_explored;
+      TDAC_RETURN_NOT_OK(scores[i].status());
+      const double score = scores[i].value();
+
+      // Strictly better score wins; on a tie prefer the finer partition
+      // (degenerate ties — e.g. a base algorithm that is perfect on every
+      // grouping — otherwise collapse to the first-enumerated all-in-one).
+      if (!have_best || score > report.best_score ||
+          (score == report.best_score &&
+           batch[i].num_groups() > report.best_partition.num_groups())) {
+        have_best = true;
+        report.best_score = score;
+        report.best_partition = std::move(batch[i]);
+      }
     }
   }
   report.groups_evaluated = runner.groups_evaluated();

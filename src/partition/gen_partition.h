@@ -25,6 +25,14 @@ struct GenPartitionOptions {
   /// Safety bound: enumeration is refused beyond this many attributes
   /// (Bell(10) is already 115,975 partitions).
   int max_attributes = 10;
+
+  /// Fan-out of the search: candidate partitions are scored in enumeration
+  /// -order batches and each partition's groups run concurrently through
+  /// the shared GroupRunner memo. 0 means the process default
+  /// (`TDAC_THREADS` env, else hardware concurrency); 1 forces the exact
+  /// serial path. Scores and the chosen partition are bit-identical at
+  /// every thread count.
+  int threads = 0;
 };
 
 /// \brief Diagnostics of a brute-force run.

@@ -1,8 +1,10 @@
 #include "partition/greedy_partition.h"
 
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "partition/group_runner.h"
 
 namespace tdac {
@@ -35,8 +37,10 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
   const int n = static_cast<int>(attributes.size());
   if (n < 1) return Status::InvalidArgument("GreedyPartition: no attributes");
 
-  GroupRunner runner(options_.base, &data);
+  GroupRunner runner(options_.base, &data, options_.threads);
   GenPartitionReport report;
+  ParallelForOptions par;
+  par.max_parallelism = runner.threads();
 
   // Start from all singletons.
   std::vector<std::vector<AttributeId>> groups;
@@ -49,13 +53,19 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
       runner.Score(current, options_.weighting, options_.oracle_truth));
   ++report.partitions_explored;
 
-  // Merge the best-improving pair until no merge improves.
+  // Merge the best-improving pair until no merge improves. Each wave's
+  // candidates (one per unordered pair of current groups) are independent
+  // — the merged pair is a brand-new group, so scoring them concurrently
+  // drives distinct base runs through the shared memo — and the argmax is
+  // taken serially in (i, j) order, which is exactly the serial loop's
+  // tie-breaking (first-enumerated candidate wins a tied score).
   bool improved = true;
   while (improved && current.num_groups() > 1) {
     improved = false;
-    AttributePartition best_candidate;
-    double best_score = current_score;
     const auto& cur_groups = current.groups();
+
+    std::vector<AttributePartition> candidates;
+    candidates.reserve(cur_groups.size() * (cur_groups.size() - 1) / 2);
     for (size_t i = 0; i < cur_groups.size(); ++i) {
       for (size_t j = i + 1; j < cur_groups.size(); ++j) {
         std::vector<std::vector<AttributeId>> merged;
@@ -70,19 +80,33 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
         }
         TDAC_ASSIGN_OR_RETURN(AttributePartition candidate,
                               AttributePartition::FromGroups(std::move(merged)));
-        TDAC_ASSIGN_OR_RETURN(double score,
-                              runner.Score(candidate, options_.weighting,
-                                           options_.oracle_truth));
-        ++report.partitions_explored;
-        if (score > best_score) {
-          best_score = score;
-          best_candidate = candidate;
-          improved = true;
-        }
+        candidates.push_back(std::move(candidate));
+      }
+    }
+
+    std::vector<Result<double>> scores(candidates.size(), Result<double>(0.0));
+    ParallelFor(
+        candidates.size(),
+        [&](size_t c) {
+          scores[c] = runner.Score(candidates[c], options_.weighting,
+                                   options_.oracle_truth);
+        },
+        par);
+
+    AttributePartition best_candidate;
+    double best_score = current_score;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      TDAC_RETURN_NOT_OK(scores[c].status());
+      ++report.partitions_explored;
+      const double score = scores[c].value();
+      if (score > best_score) {
+        best_score = score;
+        best_candidate = std::move(candidates[c]);
+        improved = true;
       }
     }
     if (improved) {
-      current = best_candidate;
+      current = std::move(best_candidate);
       current_score = best_score;
     }
   }

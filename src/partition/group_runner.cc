@@ -1,61 +1,88 @@
 #include "partition/group_runner.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/random.h"
 #include "eval/metrics.h"
 
 namespace tdac {
 
-GroupRunner::GroupRunner(const TruthDiscovery* base, const Dataset* data)
-    : base_(base), data_(data) {
+GroupRunner::GroupRunner(const TruthDiscovery* base, const Dataset* data,
+                         int threads)
+    : base_(base), data_(data), threads_(EffectiveThreadCount(threads)) {
   TDAC_CHECK(base_ != nullptr) << "GroupRunner requires a base algorithm";
   TDAC_CHECK(data_ != nullptr) << "GroupRunner requires a dataset";
 }
 
-std::string GroupRunner::GroupKey(const std::vector<AttributeId>& group) {
-  // Groups arrive sorted (AttributePartition canonical form); the key is
-  // the id list, which has no 64-attribute limit unlike a bitmask.
-  std::string key;
-  key.reserve(group.size() * 4);
+size_t GroupRunner::GroupKeyHash::operator()(
+    const std::vector<AttributeId>& group) const {
+  // splitmix64 over the id sequence, length-seeded; equality on the vector
+  // itself makes the memo exact regardless of hash quality.
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ group.size();
+  uint64_t h = 0;
   for (AttributeId a : group) {
-    key += std::to_string(a);
-    key += ',';
+    state ^= static_cast<uint64_t>(a) + 0x2545f4914f6cdd1dULL;
+    h = h * 31 + SplitMix64(&state);
   }
-  return key;
+  return static_cast<size_t>(h);
+}
+
+GroupRunner::Entry* GroupRunner::EntryFor(
+    const std::vector<AttributeId>& group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = memo_.try_emplace(group);
+  if (inserted) it->second = std::make_unique<Entry>();
+  return it->second.get();
 }
 
 Result<const GroupRunner::GroupRun*> GroupRunner::Run(
     const std::vector<AttributeId>& group) {
-  std::string key = GroupKey(group);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return &it->second;
-
-  Dataset restricted = data_->RestrictToAttributes(group);
-  GroupRun run;
-  run.claim_counts.assign(static_cast<size_t>(data_->num_sources()), 0);
-  if (restricted.num_claims() > 0) {
-    TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult r, base_->Discover(restricted));
-    run.predicted = std::move(r.predicted);
-    run.confidence = std::move(r.confidence);
-    run.trust = std::move(r.source_trust);
-    for (const Claim& c : restricted.claims()) {
-      ++run.claim_counts[static_cast<size_t>(c.source)];
+  Entry* entry = EntryFor(group);
+  // Concurrent requesters of the same group block here until the first
+  // one finishes; the computation itself runs outside the map mutex so
+  // distinct groups evaluate in parallel.
+  std::call_once(entry->once, [&]() {
+    Dataset restricted = data_->RestrictToAttributes(group);
+    GroupRun& run = entry->run;
+    run.claim_counts.assign(static_cast<size_t>(data_->num_sources()), 0);
+    if (restricted.num_claims() > 0) {
+      Result<TruthDiscoveryResult> r = base_->Discover(restricted);
+      if (!r.ok()) {
+        entry->status = r.status();
+        return;
+      }
+      TruthDiscoveryResult& result = r.value();
+      run.predicted = std::move(result.predicted);
+      run.confidence = std::move(result.confidence);
+      run.trust = std::move(result.source_trust);
+      for (const Claim& c : restricted.claims()) {
+        ++run.claim_counts[static_cast<size_t>(c.source)];
+      }
+    } else {
+      run.trust.assign(static_cast<size_t>(data_->num_sources()), 0.0);
     }
-  } else {
-    run.trust.assign(static_cast<size_t>(data_->num_sources()), 0.0);
-  }
-  auto [ins, inserted] = memo_.emplace(std::move(key), std::move(run));
-  (void)inserted;
-  return &ins->second;
+    evaluated_.fetch_add(1, std::memory_order_acq_rel);
+  });
+  if (!entry->status.ok()) return entry->status;
+  return &entry->run;
 }
 
 Result<double> GroupRunner::Score(const AttributePartition& partition,
                                   WeightingFunction weighting,
                                   const GroundTruth* oracle) {
+  const auto& groups = partition.groups();
+  std::vector<Result<const GroupRun*>> fetched(groups.size(),
+                                               Result<const GroupRun*>(nullptr));
+  ParallelForOptions popts;
+  popts.max_parallelism = threads_;
+  ParallelFor(
+      groups.size(), [&](size_t g) { fetched[g] = Run(groups[g]); }, popts);
+
   std::vector<const GroupRun*> runs;
-  runs.reserve(partition.num_groups());
-  for (const auto& group : partition.groups()) {
-    TDAC_ASSIGN_OR_RETURN(const GroupRun* run, Run(group));
-    runs.push_back(run);
+  runs.reserve(groups.size());
+  for (Result<const GroupRun*>& r : fetched) {
+    TDAC_RETURN_NOT_OK(r.status());
+    runs.push_back(r.value());
   }
 
   if (weighting == WeightingFunction::kOracle) {
@@ -90,14 +117,25 @@ Result<double> GroupRunner::Score(const AttributePartition& partition,
 
 Result<TruthDiscoveryResult> GroupRunner::Aggregate(
     const AttributePartition& partition) {
+  const auto& groups = partition.groups();
+  std::vector<Result<const GroupRun*>> fetched(groups.size(),
+                                               Result<const GroupRun*>(nullptr));
+  ParallelForOptions popts;
+  popts.max_parallelism = threads_;
+  ParallelFor(
+      groups.size(), [&](size_t g) { fetched[g] = Run(groups[g]); }, popts);
+
   TruthDiscoveryResult result;
   result.iterations = -1;  // search-based algorithms render "-"
   result.converged = true;
   const size_t num_sources = static_cast<size_t>(data_->num_sources());
   std::vector<double> trust_weighted(num_sources, 0.0);
   std::vector<double> trust_claims(num_sources, 0.0);
-  for (const auto& group : partition.groups()) {
-    TDAC_ASSIGN_OR_RETURN(const GroupRun* run, Run(group));
+  // Serial reduction in partition order keeps the merge (and therefore the
+  // result) bit-identical at every thread count.
+  for (size_t g = 0; g < groups.size(); ++g) {
+    TDAC_RETURN_NOT_OK(fetched[g].status());
+    const GroupRun* run = fetched[g].value();
     result.predicted.MergeFrom(run->predicted);
     for (const auto& [key, conf] : run->confidence) {
       result.confidence[key] = conf;

@@ -1,7 +1,10 @@
 #ifndef TDAC_PARTITION_GROUP_RUNNER_H_
 #define TDAC_PARTITION_GROUP_RUNNER_H_
 
-#include <string>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +21,16 @@ namespace tdac {
 /// Partition-search algorithms (the exhaustive AccuGenPartition and the
 /// greedy variant) evaluate many partitions that share groups; the base
 /// algorithm only ever runs once per distinct group.
+///
+/// Thread safety: `Run`, `Score`, and `Aggregate` may be called
+/// concurrently. The memo is guarded by a mutex for map structure and a
+/// per-entry once-latch for computation, so a group requested from many
+/// threads at once is still evaluated exactly once — later requesters
+/// block until the first computation finishes and then share its result.
+/// `Score` and `Aggregate` additionally fan the per-group runs of one
+/// partition out over the thread pool (see `set_threads`); their returned
+/// scores and aggregates are bit-identical at every thread count because
+/// the reduction over groups is always done serially in partition order.
 class GroupRunner {
  public:
   /// Outcome of the base algorithm on one group's restriction.
@@ -28,10 +41,15 @@ class GroupRunner {
     std::vector<size_t> claim_counts;  // per source, claims inside the group
   };
 
-  /// Neither pointer is owned; both must outlive the runner.
-  GroupRunner(const TruthDiscovery* base, const Dataset* data);
+  /// Neither pointer is owned; both must outlive the runner. `threads`
+  /// caps the per-partition fan-out of Score/Aggregate: 0 means the
+  /// process default (TDAC_THREADS env, else hardware concurrency), 1
+  /// forces the serial path.
+  GroupRunner(const TruthDiscovery* base, const Dataset* data,
+              int threads = 0);
 
   /// Memoized run of the base algorithm on `group` (sorted attribute ids).
+  /// The returned pointer stays valid for the runner's lifetime.
   Result<const GroupRun*> Run(const std::vector<AttributeId>& group);
 
   /// Scores a partition: kMax/kAvg collapse each source's per-group
@@ -44,15 +62,45 @@ class GroupRunner {
   /// (predictions, confidences, claim-weighted source trust).
   Result<TruthDiscoveryResult> Aggregate(const AttributePartition& partition);
 
-  /// Distinct groups the base algorithm actually ran on.
-  size_t groups_evaluated() const { return memo_.size(); }
+  /// Distinct groups the base algorithm actually ran on (successfully
+  /// evaluated memo entries; concurrent duplicate requests count once).
+  size_t groups_evaluated() const {
+    return evaluated_.load(std::memory_order_acquire);
+  }
+
+  int threads() const { return threads_; }
 
  private:
-  static std::string GroupKey(const std::vector<AttributeId>& group);
+  /// Memo keys are the sorted attribute-id lists themselves (canonical
+  /// AttributePartition form), hashed id-wise — exact by construction, so
+  /// two distinct groups can never collide the way a flattened string or
+  /// bitmask key could.
+  struct GroupKeyHash {
+    size_t operator()(const std::vector<AttributeId>& group) const;
+  };
+
+  /// One memo slot. Entries are created under `mutex_` but computed
+  /// outside it (under the entry's own once-latch), so a slow group never
+  /// serializes lookups of other groups. Entries are heap-allocated so
+  /// rehashing the map cannot move them while another thread waits.
+  struct Entry {
+    std::once_flag once;
+    Status status;
+    GroupRun run;
+  };
+
+  /// Looks up or creates the entry, computing at most once.
+  Entry* EntryFor(const std::vector<AttributeId>& group);
 
   const TruthDiscovery* base_;
   const Dataset* data_;
-  std::unordered_map<std::string, GroupRun> memo_;
+  const int threads_;
+
+  std::mutex mutex_;  // guards memo_'s structure only
+  std::unordered_map<std::vector<AttributeId>, std::unique_ptr<Entry>,
+                     GroupKeyHash>
+      memo_;
+  std::atomic<size_t> evaluated_{0};
 };
 
 }  // namespace tdac

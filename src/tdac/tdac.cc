@@ -1,10 +1,10 @@
 #include "tdac/tdac.h"
 
 #include <algorithm>
-#include <future>
 #include <memory>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 
 namespace tdac {
@@ -87,19 +87,28 @@ Result<TdacReport> Tdac::RunPass(const Dataset& data,
   }
   report.seconds_vectors = vector_timer.ElapsedSeconds();
 
-  // Optional sparse-aware distance matrix for the silhouette.
+  ParallelForOptions par;
+  par.max_parallelism = EffectiveThreadCount(options_.threads);
+
+  // Optional sparse-aware distance matrix for the silhouette. Row i owns
+  // the cells (i, j>i) and their mirrors (j, i), which are disjoint across
+  // rows, so the rows parallelize without synchronization.
   std::vector<std::vector<double>> sparse_dist;
   if (options_.sparse_aware) {
     const size_t n = matrix.vectors.size();
     sparse_dist.assign(n, std::vector<double>(n, 0.0));
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        double d = MaskedHammingDistance(matrix.vectors[i], matrix.vectors[j],
-                                         matrix.masks[i], matrix.masks[j]);
-        sparse_dist[i][j] = d;
-        sparse_dist[j][i] = d;
-      }
-    }
+    ParallelFor(
+        n,
+        [&](size_t i) {
+          for (size_t j = i + 1; j < n; ++j) {
+            double d =
+                MaskedHammingDistance(matrix.vectors[i], matrix.vectors[j],
+                                      matrix.masks[i], matrix.masks[j]);
+            sparse_dist[i][j] = d;
+            sparse_dist[j][i] = d;
+          }
+        },
+        par);
   }
 
   // Step (iii): sweep k with the clustering backend, keep the best
@@ -124,38 +133,67 @@ Result<TdacReport> Tdac::RunPass(const Dataset& data,
     }
   }
 
+  // Each candidate k's clustering + silhouette run is independent of every
+  // other k (k-means re-seeds per call from options, the dendrogram cut is
+  // read-only), so the sweep fans out over the pool. Per-k outcomes land
+  // in a slot vector indexed by k and are reduced serially in ascending-k
+  // order below — the exact tie-breaking of the serial loop, bit for bit.
+  struct SweepOutcome {
+    std::vector<int> assignment;
+    int effective_k = 0;
+    double score = 0.0;
+    bool ok = false;
+  };
+  const size_t sweep_size =
+      hi >= lo && !(options_.backend == ClusteringBackend::kAgglomerative &&
+                    dendrogram == nullptr)
+          ? static_cast<size_t>(hi - lo + 1)
+          : 0;
+  std::vector<SweepOutcome> outcomes(sweep_size);
+  ParallelFor(
+      sweep_size,
+      [&](size_t idx) {
+        const int k = lo + static_cast<int>(idx);
+        SweepOutcome& out = outcomes[idx];
+        std::vector<int> assignment;
+        if (options_.backend == ClusteringBackend::kAgglomerative) {
+          auto cut = dendrogram->CutToK(k);
+          if (!cut.ok()) return;
+          assignment = std::move(cut).value();
+        } else {
+          KMeansOptions kopts = options_.kmeans;
+          kopts.k = k;
+          auto kmeans_result = KMeans(matrix.vectors, kopts);
+          if (!kmeans_result.ok()) return;
+          assignment = std::move(kmeans_result.value().assignment);
+        }
+        int effective_k = CompactLabels(&assignment, k);
+        if (effective_k < 2) return;
+        Result<SilhouetteResult> sil =
+            options_.sparse_aware
+                ? SilhouetteFromDistances(sparse_dist, assignment, effective_k)
+                : Silhouette(matrix.vectors, assignment, effective_k,
+                             options_.silhouette_metric);
+        if (!sil.ok()) return;
+        out.assignment = std::move(assignment);
+        out.effective_k = effective_k;
+        out.score = sil.value().partition_score;
+        out.ok = true;
+      },
+      par);
+
   bool have_best = false;
   std::vector<int> best_assignment;
   int best_k = 0;
-  for (int k = lo; k <= hi; ++k) {
-    std::vector<int> assignment;
-    if (options_.backend == ClusteringBackend::kAgglomerative) {
-      if (dendrogram == nullptr) break;
-      auto cut = dendrogram->CutToK(k);
-      if (!cut.ok()) continue;
-      assignment = std::move(cut).value();
-    } else {
-      KMeansOptions kopts = options_.kmeans;
-      kopts.k = k;
-      auto kmeans_result = KMeans(matrix.vectors, kopts);
-      if (!kmeans_result.ok()) continue;
-      assignment = std::move(kmeans_result.value().assignment);
-    }
-    int effective_k = CompactLabels(&assignment, k);
-    if (effective_k < 2) continue;
-    Result<SilhouetteResult> sil =
-        options_.sparse_aware
-            ? SilhouetteFromDistances(sparse_dist, assignment, effective_k)
-            : Silhouette(matrix.vectors, assignment, effective_k,
-                         options_.silhouette_metric);
-    if (!sil.ok()) continue;
-    const double score = sil.value().partition_score;
-    report.silhouette_by_k.emplace_back(k, score);
-    if (!have_best || score > report.silhouette) {
+  for (size_t idx = 0; idx < outcomes.size(); ++idx) {
+    SweepOutcome& out = outcomes[idx];
+    if (!out.ok) continue;
+    report.silhouette_by_k.emplace_back(lo + static_cast<int>(idx), out.score);
+    if (!have_best || out.score > report.silhouette) {
       have_best = true;
-      report.silhouette = score;
-      best_assignment = assignment;
-      best_k = effective_k;
+      report.silhouette = out.score;
+      best_assignment = std::move(out.assignment);
+      best_k = out.effective_k;
     }
   }
   report.seconds_sweep = sweep_timer.ElapsedSeconds();
@@ -192,16 +230,15 @@ Result<TdacReport> Tdac::RunPass(const Dataset& data,
     return options_.base->Discover(restricted);
   };
 
-  if (options_.parallel_groups && groups.size() > 1) {
-    std::vector<std::future<Result<TruthDiscoveryResult>>> futures;
-    futures.reserve(groups.size());
-    for (const auto& group : groups) {
-      futures.push_back(std::async(std::launch::async, run_group, group));
-    }
-    for (auto& f : futures) partials.push_back(f.get());
-  } else {
-    for (const auto& group : groups) partials.push_back(run_group(group));
+  // Groups are disjoint attribute sets, so the base runs are independent;
+  // partials are merged serially in group order below, which keeps the
+  // aggregate bit-identical at every thread count.
+  for (size_t g = 0; g < groups.size(); ++g) {
+    partials.emplace_back(TruthDiscoveryResult{});
   }
+  ParallelFor(
+      groups.size(), [&](size_t g) { partials[g] = run_group(groups[g]); },
+      par);
 
   TruthDiscoveryResult& merged = report.result;
   merged.iterations = 1;  // TD-AC runs a single outer pass (paper Table 4)

@@ -49,8 +49,13 @@ struct TdacOptions {
   bool sparse_aware = false;
 
   /// Parallel-computation extension (paper conclusion, perspective (ii)):
-  /// run the base algorithm on the partition's groups concurrently.
-  bool parallel_groups = false;
+  /// the k sweep, the sparse distance matrix, and the per-group base runs
+  /// fan out over the shared thread pool. 0 means the process default
+  /// (`TDAC_THREADS` env override, else hardware concurrency); 1 forces
+  /// the exact serial path. Results are bit-identical at every thread
+  /// count: each parallel unit is seeded independently and reduced in
+  /// deterministic (k / group) order.
+  int threads = 0;
 
   /// Sweep bounds; the paper sweeps k in [2, |A| - 1]. max_k <= 0 means
   /// |A| - 1.

@@ -105,8 +105,9 @@ TEST(TdacTest, ParallelMatchesSerial) {
   Accu base;
   TdacOptions serial_opts;
   serial_opts.base = &base;
+  serial_opts.threads = 1;
   TdacOptions parallel_opts = serial_opts;
-  parallel_opts.parallel_groups = true;
+  parallel_opts.threads = 4;
 
   auto serial = Tdac(serial_opts).DiscoverWithReport(data.dataset);
   auto parallel = Tdac(parallel_opts).DiscoverWithReport(data.dataset);

@@ -1,0 +1,238 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tdac {
+namespace {
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.num_workers(), 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto future = pool.Submit([caller]() {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 7;
+  });
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPoolTest, ClampsDegenerateSizes) {
+  EXPECT_EQ(ThreadPool(0).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(-3).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(ThreadPool::kMaxThreads + 100).num_threads(),
+            ThreadPool::kMaxThreads);
+}
+
+TEST(ThreadPoolTest, CompletesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i]() { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, StatusAndResultCrossThreadBoundary) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() -> Result<int> { return 41; });
+  auto err = pool.Submit(
+      []() -> Result<int> { return Status::InvalidArgument("bad input"); });
+  auto status = pool.Submit([]() { return Status::Internal("broken"); });
+
+  Result<int> ok_result = ok.get();
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 41);
+
+  Result<int> err_result = err.get();
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err_result.status().message(), "bad input");
+
+  Status s = status.get();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // A task that submits a follow-up task; the outer future resolves to the
+  // inner future's value without the outer task blocking on it.
+  auto outer = pool.Submit([&pool]() {
+    return pool.Submit([]() { return 123; });
+  });
+  EXPECT_EQ(outer.get().get(), 123);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Every worker runs an outer iteration that itself fans out an inner
+  // loop: with caller participation the inner loops complete even though
+  // the pool is fully saturated by the outer ones.
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  std::atomic<int> inner_total{0};
+  ParallelFor(
+      8,
+      [&](size_t) {
+        ParallelFor(
+            16, [&](size_t) { inner_total.fetch_add(1); }, opts);
+      },
+      opts);
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    // One slow task to back the queue up, then a burst of pending ones.
+    futures.push_back(pool.Submit([]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }));
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit([&executed]() { executed.fetch_add(1); }));
+    }
+    // Destructor runs here with tasks almost certainly still queued.
+  }
+  EXPECT_EQ(executed.load(), 64);
+  // Every future is fulfilled — none abandoned as broken promises.
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  // DefaultThreadCount latches TDAC_THREADS on first use, so the test can
+  // only pin down its invariants, not flip the env mid-process.
+  const int count = ThreadPool::DefaultThreadCount();
+  EXPECT_GE(count, 1);
+  EXPECT_LE(count, ThreadPool::kMaxThreads);
+  if (const char* env = std::getenv("TDAC_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0 && parsed <= ThreadPool::kMaxThreads) {
+      EXPECT_EQ(count, parsed);
+    }
+  }
+}
+
+class ParallelForSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(ParallelForSweepTest, EveryIndexRunsExactlyOnce) {
+  const size_t n = std::get<0>(GetParam());
+  const int threads = std::get<1>(GetParam());
+  ThreadPool pool(threads);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  opts.max_parallelism = threads;
+
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(
+      n, [&](size_t i) { hits[i].fetch_add(1); }, opts);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+  }
+}
+
+// The off-by-one sweep of the issue: ranges around a "natural" size n = 8
+// ({0, 1, n-1, n, n+1}) crossed with thread counts {1, 2, 8}.
+INSTANTIATE_TEST_SUITE_P(
+    OffByOneSweep, ParallelForSweepTest,
+    ::testing::Combine(::testing::Values<size_t>(0, 1, 7, 8, 9),
+                       ::testing::Values(1, 2, 8)));
+
+TEST(ParallelForTest, ExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      ParallelFor(
+          32,
+          [&](size_t i) {
+            ran.fetch_add(1);
+            if (i == 13) throw std::logic_error("iteration 13");
+          },
+          opts),
+      std::logic_error);
+  // No early cancellation: side effects are thread-count-invariant.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelForTest, OrderedReductionIsDeterministic) {
+  // The canonical usage pattern: write slot i, reduce in order afterwards.
+  // The reduced value must not depend on the thread count.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    ParallelForOptions opts;
+    opts.pool = &pool;
+    opts.max_parallelism = threads;
+    std::vector<double> slots(1000);
+    ParallelFor(
+        slots.size(),
+        [&](size_t i) { slots[i] = 1.0 / (static_cast<double>(i) + 1.0); },
+        opts);
+    double sum = 0.0;
+    for (double v : slots) sum += v;  // fixed-order float reduction
+    return sum;
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelForTest, UsesGlobalPoolByDefault) {
+  std::set<std::thread::id> seen;
+  std::mutex mutex;
+  ParallelFor(64, [&](size_t) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), static_cast<size_t>(ThreadPool::Global().num_threads()));
+}
+
+TEST(ParallelForTest, EffectiveThreadCountResolution) {
+  EXPECT_EQ(EffectiveThreadCount(3), 3);
+  EXPECT_EQ(EffectiveThreadCount(ThreadPool::kMaxThreads + 50),
+            ThreadPool::kMaxThreads);
+  EXPECT_EQ(EffectiveThreadCount(0), ThreadPool::DefaultThreadCount());
+  EXPECT_EQ(EffectiveThreadCount(-1), ThreadPool::DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace tdac

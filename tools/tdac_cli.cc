@@ -10,7 +10,7 @@
 //       Print dataset statistics (Table 8 columns).
 //   tdac_cli run --claims=c.csv --algorithm=Accu [--tdac] [--truth=t.csv]
 //       Resolve truths; with --truth also print the paper's metric columns.
-//       [--sparse --parallel --agglomerative --out=resolved.csv]
+//       [--sparse --threads=N --serial --agglomerative --out=resolved.csv]
 
 #include <iostream>
 #include <map>
@@ -80,7 +80,7 @@ Flags ParseFlags(int argc, char** argv) {
          "           [--objects=N] [--seed=S] [--fill-missing] [--range=R]\n"
          "  tdac_cli stats --claims=FILE\n"
          "  tdac_cli run --claims=FILE --algorithm=NAME [--tdac|--tdoc]\n"
-         "           [--truth=FILE] [--out=FILE] [--sparse] [--parallel]\n"
+         "           [--truth=FILE] [--out=FILE] [--sparse] [--threads=N] [--serial]\n"
          "           [--agglomerative] [--max-k=K] [--refine=N] [--trust-out=FILE]\n";
   std::exit(2);
 }
@@ -172,7 +172,13 @@ int CmdRun(const Flags& flags) {
     tdac::TdacOptions options;
     options.base = base->get();
     options.sparse_aware = flags.Has("sparse");
-    options.parallel_groups = flags.Has("parallel");
+    // --serial forces the exact single-thread path; --threads=N caps the
+    // fan-out. Default: TDAC_THREADS env override, else hardware width.
+    if (flags.Has("serial")) {
+      options.threads = 1;
+    } else if (flags.Has("threads")) {
+      options.threads = std::stoi(flags.Get("threads"));
+    }
     if (flags.Has("agglomerative")) {
       options.backend = tdac::ClusteringBackend::kAgglomerative;
     }
