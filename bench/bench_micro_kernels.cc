@@ -8,6 +8,7 @@
 #include "clustering/kmeans.h"
 #include "clustering/silhouette.h"
 #include "common/random.h"
+#include "data/dataset_view.h"
 #include "gen/synthetic.h"
 #include "td/accu.h"
 #include "td/majority_vote.h"
@@ -104,6 +105,65 @@ void BM_Accu(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Accu)->Arg(100)->Arg(200);
+
+// --- Attribute restriction: copying path vs. zero-copy view -------------
+//
+// The workload is the Table 5 synthetic generator (DS1 shape) and the
+// subset is its first planted group — exactly the restriction TD-AC and
+// the partition searches perform per candidate group.
+
+tdac::GeneratedData Table5Data(int objects) {
+  auto config = tdac::PaperSyntheticConfig(1, 42);
+  if (!config.ok()) std::abort();
+  config->num_objects = objects;
+  auto data = tdac::GenerateSynthetic(*config);
+  if (!data.ok()) std::abort();
+  return data.MoveValue();
+}
+
+std::vector<tdac::AttributeId> Table5Group() {
+  auto config = tdac::PaperSyntheticConfig(1, 42);
+  if (!config.ok()) std::abort();
+  return config->planted_groups.front();
+}
+
+void BM_RestrictCopy(benchmark::State& state) {
+  auto data = Table5Data(static_cast<int>(state.range(0)));
+  auto group = Table5Group();
+  for (auto _ : state) {
+    tdac::Dataset restricted = data.dataset.RestrictToAttributes(group);
+    benchmark::DoNotOptimize(restricted.num_claims());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_claims()));
+}
+BENCHMARK(BM_RestrictCopy)->Arg(400)->Arg(2000);
+
+void BM_RestrictView(benchmark::State& state) {
+  auto data = Table5Data(static_cast<int>(state.range(0)));
+  auto group = Table5Group();
+  for (auto _ : state) {
+    tdac::DatasetView view(data.dataset, group);
+    benchmark::DoNotOptimize(view.num_claims());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_claims()));
+}
+BENCHMARK(BM_RestrictView)->Arg(400)->Arg(2000);
+
+void BM_RestrictViewCached(benchmark::State& state) {
+  // Steady-state cost when the restriction is served by a warm
+  // RestrictionCache (the common case inside partition search).
+  auto data = Table5Data(static_cast<int>(state.range(0)));
+  auto group = Table5Group();
+  tdac::RestrictionCache cache(&data.dataset);
+  cache.Attributes(group);
+  for (auto _ : state) {
+    const tdac::DatasetView& view = cache.Attributes(group);
+    benchmark::DoNotOptimize(view.num_claims());
+  }
+}
+BENCHMARK(BM_RestrictViewCached)->Arg(400)->Arg(2000);
 
 }  // namespace
 

@@ -23,7 +23,7 @@ class ConfidenceWeightedVote : public tdac::TruthDiscovery {
   std::string_view name() const override { return "ConfidenceWeightedVote"; }
 
   tdac::Result<tdac::TruthDiscoveryResult> Discover(
-      const tdac::Dataset& data) const override {
+      const tdac::DatasetLike& data) const override {
     // Pass 1: plain majority to estimate per-source agreement.
     tdac::MajorityVote majority;
     TDAC_ASSIGN_OR_RETURN(tdac::TruthDiscoveryResult first,

@@ -76,7 +76,12 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
       end_field();
       ++i;
     } else if (c == '\r') {
-      ++i;  // tolerated; the matching '\n' ends the row
+      // Row terminator, RFC 4180 lenient: CRLF counts once, and a bare CR
+      // (classic-Mac line ending) ends the row too instead of silently
+      // vanishing from the field.
+      end_row();
+      ++i;
+      if (i < n && text[i] == '\n') ++i;
     } else if (c == '\n') {
       end_row();
       ++i;

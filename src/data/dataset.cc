@@ -9,28 +9,11 @@
 
 namespace tdac {
 
-namespace {
-const std::vector<int32_t>& EmptyIndexVector() {
-  static const std::vector<int32_t>* empty = new std::vector<int32_t>();
-  return *empty;
-}
-}  // namespace
-
 const std::vector<int32_t>& Dataset::ClaimsOn(ObjectId object,
                                               AttributeId attribute) const {
   auto it = by_item_.find(ObjectAttrKey(object, attribute));
-  if (it == by_item_.end()) return EmptyIndexVector();
+  if (it == by_item_.end()) return EmptyClaimIndexList();
   return it->second;
-}
-
-const Value* Dataset::ValueOf(SourceId source, ObjectId object,
-                              AttributeId attribute) const {
-  for (int32_t idx : ClaimsOn(object, attribute)) {
-    if (claims_[static_cast<size_t>(idx)].source == source) {
-      return &claims_[static_cast<size_t>(idx)].value;
-    }
-  }
-  return nullptr;
 }
 
 double Dataset::DataCoverageRate() const {
@@ -101,26 +84,6 @@ Dataset Dataset::RestrictToObjects(const std::vector<ObjectId>& objects) const {
   return out;
 }
 
-std::vector<ObjectId> Dataset::ActiveObjects() const {
-  std::vector<char> seen(object_names_.size(), 0);
-  for (const Claim& c : claims_) seen[static_cast<size_t>(c.object)] = 1;
-  std::vector<ObjectId> out;
-  for (size_t o = 0; o < seen.size(); ++o) {
-    if (seen[o]) out.push_back(static_cast<ObjectId>(o));
-  }
-  return out;
-}
-
-std::vector<AttributeId> Dataset::ActiveAttributes() const {
-  std::vector<char> seen(attribute_names_.size(), 0);
-  for (const Claim& c : claims_) seen[static_cast<size_t>(c.attribute)] = 1;
-  std::vector<AttributeId> out;
-  for (size_t a = 0; a < seen.size(); ++a) {
-    if (seen[a]) out.push_back(static_cast<AttributeId>(a));
-  }
-  return out;
-}
-
 std::string Dataset::Summary() const {
   std::ostringstream os;
   os << num_sources() << " sources, " << num_objects() << " objects, "
@@ -133,6 +96,14 @@ void Dataset::BuildIndexes() {
   by_item_.clear();
   by_source_.assign(source_names_.size(), {});
   items_.clear();
+  claim_ids_.resize(claims_.size());
+  claim_objects_.resize(claims_.size());
+  claim_attributes_.resize(claims_.size());
+  for (size_t i = 0; i < claims_.size(); ++i) {
+    claim_ids_[i] = static_cast<int32_t>(i);
+    claim_objects_[i] = claims_[i].object;
+    claim_attributes_[i] = claims_[i].attribute;
+  }
   for (size_t i = 0; i < claims_.size(); ++i) {
     const Claim& c = claims_[i];
     by_item_[ObjectAttrKey(c.object, c.attribute)].push_back(

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/claim.h"
+#include "data/dataset_like.h"
 #include "data/ids.h"
 
 namespace tdac {
@@ -15,10 +16,12 @@ namespace tdac {
 /// A `Dataset` is the triplet (S, A, O) of the paper plus the observations:
 /// name tables for sources, objects, and attributes, and the claim list with
 /// two indexes — by data item (object, attribute) and by source. Datasets are
-/// built with `DatasetBuilder` and are cheap to copy-restrict to an
-/// attribute subset (`RestrictToAttributes`), which is how TD-AC runs a base
-/// algorithm per attribute cluster while keeping the original id space.
-class Dataset {
+/// built with `DatasetBuilder`. Restricting to an attribute or object subset
+/// — how TD-AC runs a base algorithm per attribute cluster — is done either
+/// with a zero-copy `DatasetView` (preferred; see data/dataset_view.h) or by
+/// materializing a copy (`RestrictToAttributes` / `RestrictToObjects`); both
+/// preserve the original id space.
+class Dataset : public DatasetLike {
  public:
   Dataset() = default;
 
@@ -27,12 +30,16 @@ class Dataset {
   Dataset(Dataset&&) = default;
   Dataset& operator=(Dataset&&) = default;
 
-  int num_sources() const { return static_cast<int>(source_names_.size()); }
-  int num_objects() const { return static_cast<int>(object_names_.size()); }
-  int num_attributes() const {
+  int num_sources() const override {
+    return static_cast<int>(source_names_.size());
+  }
+  int num_objects() const override {
+    return static_cast<int>(object_names_.size());
+  }
+  int num_attributes() const override {
     return static_cast<int>(attribute_names_.size());
   }
-  size_t num_claims() const { return claims_.size(); }
+  size_t num_claims() const override { return claims_.size(); }
 
   const std::string& source_name(SourceId s) const {
     return source_names_[static_cast<size_t>(s)];
@@ -55,52 +62,58 @@ class Dataset {
   }
 
   const std::vector<Claim>& claims() const { return claims_; }
-  const Claim& claim(size_t index) const { return claims_[index]; }
+  const Claim& claim(size_t index) const override { return claims_[index]; }
+
+  /// All claim indices, 0..num_claims()-1.
+  const std::vector<int32_t>& claim_ids() const override { return claim_ids_; }
+
+  /// Flat per-claim axis-id columns (claim_objects()[i] ==
+  /// claims()[i].object and likewise for attributes). Restriction filters
+  /// scan these instead of gathering whole `Claim` structs — the id is the
+  /// only field the keep-test needs, and a contiguous int32 column is far
+  /// kinder to the cache than striding through claims with inline Values.
+  const std::vector<int32_t>& claim_objects() const { return claim_objects_; }
+  const std::vector<int32_t>& claim_attributes() const {
+    return claim_attributes_;
+  }
 
   /// Indices (into claims()) of all claims about the data item
   /// (object, attribute); empty when no source covers it.
   const std::vector<int32_t>& ClaimsOn(ObjectId object,
-                                       AttributeId attribute) const;
+                                       AttributeId attribute) const override;
 
   /// Indices of all claims made by `source`.
-  const std::vector<int32_t>& ClaimsBySource(SourceId source) const {
+  const std::vector<int32_t>& ClaimsBySource(SourceId source) const override {
     return by_source_[static_cast<size_t>(source)];
   }
 
   /// Keys (see ObjectAttrKey) of every data item with at least one claim,
   /// in ascending key order (object-major).
-  const std::vector<uint64_t>& DataItems() const { return items_; }
+  const std::vector<uint64_t>& DataItems() const override { return items_; }
 
-  /// The value `source` claims for (object, attribute), or nullptr when the
-  /// source does not cover that data item.
-  const Value* ValueOf(SourceId source, ObjectId object,
-                       AttributeId attribute) const;
+  const Dataset& storage() const override { return *this; }
 
   /// Data Coverage Rate in percent, per the paper's Eq. 7 (Section 4.4):
   /// the fraction of (source, data item) pairs that carry a claim, over
   /// sources and attributes active per object.
   double DataCoverageRate() const;
 
-  /// A dataset containing only claims whose attribute is in `attributes`.
-  /// Name tables and id spaces are preserved, so predictions on the
-  /// restriction can be merged directly with predictions on its complement.
+  /// A materialized dataset containing only claims whose attribute is in
+  /// `attributes`. Name tables and id spaces are preserved. Prefer
+  /// `DatasetView` for read-only restriction — it shares the parent's
+  /// storage and indexes instead of copying them.
   Dataset RestrictToAttributes(const std::vector<AttributeId>& attributes) const;
 
   /// The object-axis analogue of RestrictToAttributes (used by the TD-OC
   /// object-partitioning extension).
   Dataset RestrictToObjects(const std::vector<ObjectId>& objects) const;
 
-  /// Attributes that have at least one claim.
-  std::vector<AttributeId> ActiveAttributes() const;
-
-  /// Objects that have at least one claim.
-  std::vector<ObjectId> ActiveObjects() const;
-
   /// Human-readable one-line summary (counts + DCR).
   std::string Summary() const;
 
  private:
   friend class DatasetBuilder;
+  friend class DatasetView;  // Materialize() assembles a Dataset directly
 
   void BuildIndexes();
 
@@ -112,6 +125,9 @@ class Dataset {
   std::unordered_map<uint64_t, std::vector<int32_t>> by_item_;
   std::vector<std::vector<int32_t>> by_source_;
   std::vector<uint64_t> items_;
+  std::vector<int32_t> claim_ids_;
+  std::vector<int32_t> claim_objects_;
+  std::vector<int32_t> claim_attributes_;
 };
 
 }  // namespace tdac

@@ -1,0 +1,38 @@
+#include "data/dataset_like.h"
+
+namespace tdac {
+
+std::vector<AttributeId> DatasetLike::ActiveAttributes() const {
+  std::vector<char> seen(static_cast<size_t>(num_attributes()), 0);
+  for (int32_t id : claim_ids()) {
+    seen[static_cast<size_t>(claim(static_cast<size_t>(id)).attribute)] = 1;
+  }
+  std::vector<AttributeId> out;
+  for (size_t a = 0; a < seen.size(); ++a) {
+    if (seen[a]) out.push_back(static_cast<AttributeId>(a));
+  }
+  return out;
+}
+
+std::vector<ObjectId> DatasetLike::ActiveObjects() const {
+  std::vector<char> seen(static_cast<size_t>(num_objects()), 0);
+  for (int32_t id : claim_ids()) {
+    seen[static_cast<size_t>(claim(static_cast<size_t>(id)).object)] = 1;
+  }
+  std::vector<ObjectId> out;
+  for (size_t o = 0; o < seen.size(); ++o) {
+    if (seen[o]) out.push_back(static_cast<ObjectId>(o));
+  }
+  return out;
+}
+
+const Value* DatasetLike::ValueOf(SourceId source, ObjectId object,
+                                  AttributeId attribute) const {
+  for (int32_t idx : ClaimsOn(object, attribute)) {
+    const Claim& c = claim(static_cast<size_t>(idx));
+    if (c.source == source) return &c.value;
+  }
+  return nullptr;
+}
+
+}  // namespace tdac

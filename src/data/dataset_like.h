@@ -1,0 +1,81 @@
+#ifndef TDAC_DATA_DATASET_LIKE_H_
+#define TDAC_DATA_DATASET_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/claim.h"
+#include "data/ids.h"
+
+namespace tdac {
+
+class Dataset;
+
+/// The shared empty claim-index list returned by lookups that miss.
+inline const std::vector<int32_t>& EmptyClaimIndexList() {
+  static const std::vector<int32_t>* empty = new std::vector<int32_t>();
+  return *empty;
+}
+
+/// \brief The read interface shared by `Dataset` (owning storage) and
+/// `DatasetView` (zero-copy restriction of a parent).
+///
+/// Everything a truth-discovery algorithm consumes goes through this
+/// interface: claim iteration (`claim_ids()` + `claim()`), the per-item
+/// conflict index (`DataItems()` + `ClaimsOn()`), the per-source index
+/// (`ClaimsBySource()`), and the id-space counts. Claim ids are indices
+/// into the *storage* dataset's claim array, so they are stable across
+/// every view of the same storage and a view's `ClaimsOn` can return the
+/// storage's index lists by reference without copying.
+///
+/// Id spaces (sources / objects / attributes) are always the storage's:
+/// restricting never renumbers, so predictions computed on a restriction
+/// merge directly with predictions on its complement.
+class DatasetLike {
+ public:
+  virtual ~DatasetLike() = default;
+
+  virtual int num_sources() const = 0;
+  virtual int num_objects() const = 0;
+  virtual int num_attributes() const = 0;
+  virtual size_t num_claims() const = 0;
+
+  /// The claim with storage index `index`. Valid for every id appearing in
+  /// `claim_ids()`, `ClaimsOn()`, or `ClaimsBySource()`.
+  virtual const Claim& claim(size_t index) const = 0;
+
+  /// Storage indices of every claim in this dataset/view, in ascending
+  /// (original claim) order.
+  virtual const std::vector<int32_t>& claim_ids() const = 0;
+
+  /// Indices of all claims about the data item (object, attribute); empty
+  /// when no covered source claims it (or the item is restricted away).
+  virtual const std::vector<int32_t>& ClaimsOn(ObjectId object,
+                                               AttributeId attribute) const = 0;
+
+  /// Indices of all claims made by `source` (restricted to the view).
+  virtual const std::vector<int32_t>& ClaimsBySource(SourceId source) const = 0;
+
+  /// Keys (see ObjectAttrKey) of every data item with at least one claim,
+  /// in ascending key order (object-major).
+  virtual const std::vector<uint64_t>& DataItems() const = 0;
+
+  /// The underlying storage dataset: itself for a `Dataset`, the root
+  /// parent for a `DatasetView`. Views of views share one storage.
+  virtual const Dataset& storage() const = 0;
+
+  /// Attributes with at least one claim, ascending.
+  std::vector<AttributeId> ActiveAttributes() const;
+
+  /// Objects with at least one claim, ascending.
+  std::vector<ObjectId> ActiveObjects() const;
+
+  /// The value `source` claims for (object, attribute), or nullptr when the
+  /// source does not cover that data item.
+  const Value* ValueOf(SourceId source, ObjectId object,
+                       AttributeId attribute) const;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_DATASET_LIKE_H_

@@ -1,0 +1,167 @@
+#include "data/dataset_view.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tdac {
+
+DatasetView::DatasetView(const DatasetLike& parent,
+                         const std::vector<AttributeId>& attributes)
+    : parent_(&parent), storage_(&parent.storage()), restrict_objects_(false) {
+  keep_.assign(static_cast<size_t>(storage_->num_attributes()), 0);
+  for (AttributeId a : attributes) {
+    TDAC_CHECK(a >= 0 && a < storage_->num_attributes())
+        << "DatasetView: attribute id out of range: " << a;
+    keep_[static_cast<size_t>(a)] = 1;
+  }
+  FilterClaimIds(parent, storage_->claim_attributes());
+  items_.reserve(parent.DataItems().size());
+  for (uint64_t key : parent.DataItems()) {
+    if (keep_[static_cast<size_t>(AttributeFromKey(key))]) {
+      items_.push_back(key);
+    }
+  }
+}
+
+DatasetView::DatasetView(const DatasetLike& parent, ObjectAxis,
+                         const std::vector<ObjectId>& objects)
+    : parent_(&parent), storage_(&parent.storage()), restrict_objects_(true) {
+  keep_.assign(static_cast<size_t>(storage_->num_objects()), 0);
+  for (ObjectId o : objects) {
+    TDAC_CHECK(o >= 0 && o < storage_->num_objects())
+        << "DatasetView: object id out of range: " << o;
+    keep_[static_cast<size_t>(o)] = 1;
+  }
+  FilterClaimIds(parent, storage_->claim_objects());
+  items_.reserve(parent.DataItems().size());
+  for (uint64_t key : parent.DataItems()) {
+    if (keep_[static_cast<size_t>(ObjectFromKey(key))]) {
+      items_.push_back(key);
+    }
+  }
+}
+
+void DatasetView::FilterClaimIds(const DatasetLike& parent,
+                                 const std::vector<int32_t>& axis) {
+  // Branchless compaction: whether a claim survives is close to a coin
+  // flip per claim (attribute groups interleave in storage order), so a
+  // conditional push_back pays a mispredict on most claims. Writing every
+  // id and bumping the cursor by the keep bit keeps the loop a straight
+  // store + add.
+  const std::vector<int32_t>& parent_ids = parent.claim_ids();
+  claim_ids_.resize(parent_ids.size());
+  size_t kept = 0;
+  for (int32_t id : parent_ids) {
+    claim_ids_[kept] = id;
+    kept += static_cast<size_t>(
+        keep_[static_cast<size_t>(axis[static_cast<size_t>(id)])]);
+  }
+  claim_ids_.resize(kept);
+}
+
+const std::vector<int32_t>& DatasetView::ClaimsOn(
+    ObjectId object, AttributeId attribute) const {
+  const int32_t axis_id = restrict_objects_ ? object : attribute;
+  if (axis_id < 0 || static_cast<size_t>(axis_id) >= keep_.size() ||
+      keep_[static_cast<size_t>(axis_id)] == 0) {
+    return EmptyClaimIndexList();
+  }
+  // Every claim on (object, attribute) shares this view's surviving axis
+  // id, so the parent's list is correct verbatim — no filtering, no copy.
+  return parent_->ClaimsOn(object, attribute);
+}
+
+const std::vector<int32_t>& DatasetView::ClaimsBySource(
+    SourceId source) const {
+  std::call_once(by_source_once_, [&]() {
+    const std::vector<int32_t>& axis = restrict_objects_
+                                           ? storage_->claim_objects()
+                                           : storage_->claim_attributes();
+    by_source_.assign(static_cast<size_t>(storage_->num_sources()), {});
+    for (size_t s = 0; s < by_source_.size(); ++s) {
+      for (int32_t id : parent_->ClaimsBySource(static_cast<SourceId>(s))) {
+        if (keep_[static_cast<size_t>(axis[static_cast<size_t>(id)])]) {
+          by_source_[s].push_back(id);
+        }
+      }
+    }
+  });
+  return by_source_[static_cast<size_t>(source)];
+}
+
+Dataset DatasetView::Materialize() const {
+  Dataset out;
+  out.source_names_ = storage_->source_names();
+  out.object_names_ = storage_->object_names();
+  out.attribute_names_ = storage_->attribute_names();
+  out.claims_.reserve(claim_ids_.size());
+  for (int32_t id : claim_ids_) {
+    out.claims_.push_back(storage_->claim(static_cast<size_t>(id)));
+  }
+  out.BuildIndexes();
+  return out;
+}
+
+RestrictionCache::RestrictionCache(const DatasetLike* parent)
+    : parent_(parent) {
+  TDAC_CHECK(parent_ != nullptr) << "RestrictionCache requires a parent";
+}
+
+size_t RestrictionCache::KeyHash::operator()(const Key& key) const {
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ key.ids.size() ^
+                   (key.object_axis ? 0x8000000000000000ULL : 0);
+  uint64_t h = 0;
+  for (int32_t id : key.ids) {
+    state ^= static_cast<uint64_t>(id) + 0x2545f4914f6cdd1dULL;
+    h = h * 31 + SplitMix64(&state);
+  }
+  return static_cast<size_t>(h);
+}
+
+const DatasetView& RestrictionCache::ViewFor(Key key) {
+  Entry* entry;
+  const Key* stored;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = memo_.try_emplace(std::move(key));
+    if (inserted) it->second = std::make_unique<Entry>();
+    entry = it->second.get();
+    // References to map elements survive rehashing, and entries are never
+    // erased, so the stored key can be read outside the lock.
+    stored = &it->first;
+  }
+  std::call_once(entry->once, [&]() {
+    if (stored->object_axis) {
+      entry->view = std::make_unique<DatasetView>(
+          *parent_, DatasetView::ObjectAxis{}, stored->ids);
+    } else {
+      entry->view = std::make_unique<DatasetView>(*parent_, stored->ids);
+    }
+    built_.fetch_add(1, std::memory_order_acq_rel);
+  });
+  return *entry->view;
+}
+
+const DatasetView& RestrictionCache::Attributes(
+    const std::vector<AttributeId>& attributes) {
+  Key key;
+  key.object_axis = false;
+  key.ids = attributes;
+  return ViewFor(std::move(key));
+}
+
+const DatasetView& RestrictionCache::Objects(
+    const std::vector<ObjectId>& objects) {
+  Key key;
+  key.object_axis = true;
+  key.ids = objects;
+  return ViewFor(std::move(key));
+}
+
+size_t RestrictionCache::views_built() const {
+  return built_.load(std::memory_order_acquire);
+}
+
+}  // namespace tdac

@@ -1,0 +1,153 @@
+#ifndef TDAC_DATA_DATASET_VIEW_H_
+#define TDAC_DATA_DATASET_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/dataset_like.h"
+
+namespace tdac {
+
+/// \brief A zero-copy, immutable view of a parent `DatasetLike` restricted
+/// to an attribute or object subset.
+///
+/// Where `Dataset::RestrictToAttributes` copies every kept claim (values
+/// included), re-copies all three name tables, and rebuilds the item and
+/// source indexes, a view only records which ids survive and filters the
+/// parent's *index* vectors (4-byte claim ids). In particular `ClaimsOn`
+/// returns the storage dataset's per-item index list by reference: every
+/// claim on a data item shares that item's object and attribute, so the
+/// list is either kept verbatim or dropped entirely — never partially
+/// filtered. The per-source index is filtered lazily on first use.
+///
+/// Restriction composes: the parent may itself be a `DatasetView`, and the
+/// construction cost is proportional to the *parent's* size, not the
+/// storage's. Claim ids are storage indices at every nesting depth, so
+/// results computed on any view merge directly with results from any other
+/// view of the same storage.
+///
+/// Lifetime: a view holds non-owning pointers to its parent (and the
+/// storage behind it) and must not outlive either. `RestrictionCache`
+/// below keeps its views alive as long as the cache itself.
+///
+/// Thread safety: after construction a view is logically immutable and
+/// safe to read from any number of threads (the lazy per-source index is
+/// built under a once-latch).
+class DatasetView final : public DatasetLike {
+ public:
+  /// View of `parent` keeping only claims whose attribute is in
+  /// `attributes`. Ids must be valid in the storage's attribute space.
+  DatasetView(const DatasetLike& parent,
+              const std::vector<AttributeId>& attributes);
+
+  /// Tag type selecting the object-axis restriction (TD-OC).
+  struct ObjectAxis {};
+  DatasetView(const DatasetLike& parent, ObjectAxis,
+              const std::vector<ObjectId>& objects);
+
+  DatasetView(const DatasetView&) = delete;
+  DatasetView& operator=(const DatasetView&) = delete;
+
+  int num_sources() const override { return storage_->num_sources(); }
+  int num_objects() const override { return storage_->num_objects(); }
+  int num_attributes() const override { return storage_->num_attributes(); }
+  size_t num_claims() const override { return claim_ids_.size(); }
+
+  const Claim& claim(size_t index) const override {
+    return storage_->claim(index);
+  }
+  const std::vector<int32_t>& claim_ids() const override { return claim_ids_; }
+
+  const std::vector<int32_t>& ClaimsOn(ObjectId object,
+                                       AttributeId attribute) const override;
+  const std::vector<int32_t>& ClaimsBySource(SourceId source) const override;
+  const std::vector<uint64_t>& DataItems() const override { return items_; }
+
+  const Dataset& storage() const override { return *storage_; }
+
+  /// Materializes the view into an owning `Dataset` — the equivalent of
+  /// the copying restriction path. Mainly for tests and serialization.
+  Dataset Materialize() const;
+
+ private:
+  /// Fills claim_ids_ with the parent ids whose axis id (from the flat
+  /// storage column `axis`) is kept, preserving ascending order.
+  void FilterClaimIds(const DatasetLike& parent,
+                      const std::vector<int32_t>& axis);
+
+  const DatasetLike* parent_;
+  const Dataset* storage_;
+
+  /// Keep-mask over the restricted axis, indexed by storage id.
+  std::vector<char> keep_;
+  bool restrict_objects_ = false;
+
+  std::vector<int32_t> claim_ids_;  // ascending storage claim indices
+  std::vector<uint64_t> items_;     // surviving data items, ascending
+
+  /// Per-source claim index, filtered from the parent's on first use.
+  mutable std::once_flag by_source_once_;
+  mutable std::vector<std::vector<int32_t>> by_source_;
+};
+
+/// \brief A small per-parent cache of restriction views, so the repeated
+/// groups produced by TD-AC refinement rounds and exhaustive/greedy
+/// partition search share one view instead of re-filtering per request.
+///
+/// Same memo discipline as `GroupRunner`: a mutex guards the map structure
+/// only, and each entry carries a once-latch, so a view requested from
+/// many threads at once is built exactly once, off the map lock, while
+/// distinct subsets build in parallel. Returned references stay valid for
+/// the cache's lifetime; the cache must not outlive `parent`.
+class RestrictionCache {
+ public:
+  /// `parent` is not owned and must outlive the cache.
+  explicit RestrictionCache(const DatasetLike* parent);
+
+  /// The (shared) view of `parent` restricted to `attributes`.
+  const DatasetView& Attributes(const std::vector<AttributeId>& attributes);
+
+  /// The (shared) view of `parent` restricted to `objects`.
+  const DatasetView& Objects(const std::vector<ObjectId>& objects);
+
+  /// Number of distinct views actually built (cache misses).
+  size_t views_built() const;
+
+ private:
+  /// Cache key: the restriction axis plus the (storage-space) id subset.
+  struct Key {
+    bool object_axis = false;
+    std::vector<int32_t> ids;
+
+    bool operator==(const Key& other) const {
+      return object_axis == other.object_axis && ids == other.ids;
+    }
+  };
+
+  /// splitmix64 over the id sequence, length- and axis-seeded; equality on
+  /// the vector itself makes the memo exact regardless of hash quality.
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<DatasetView> view;
+  };
+
+  const DatasetView& ViewFor(Key key);
+
+  const DatasetLike* parent_;
+  mutable std::mutex mutex_;  // guards memo_'s structure only
+  std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash> memo_;
+  std::atomic<size_t> built_{0};
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_DATASET_VIEW_H_

@@ -18,7 +18,8 @@ PerformanceMetrics MetricsFromCounts(const ConfusionCounts& counts) {
   return m;
 }
 
-PerformanceMetrics Evaluate(const Dataset& data, const GroundTruth& predicted,
+PerformanceMetrics Evaluate(const DatasetLike& data,
+                            const GroundTruth& predicted,
                             const GroundTruth& gold) {
   ConfusionCounts counts;
   size_t items_correct = 0;
@@ -36,7 +37,8 @@ PerformanceMetrics Evaluate(const Dataset& data, const GroundTruth& predicted,
   }
 
   // Claim-level confusion.
-  for (const Claim& c : data.claims()) {
+  for (int32_t id : data.claim_ids()) {
+    const Claim& c = data.claim(static_cast<size_t>(id));
     const Value* p = predicted.Get(c.object, c.attribute);
     const Value* g = gold.Get(c.object, c.attribute);
     if (p == nullptr || g == nullptr) {

@@ -3,7 +3,7 @@
 
 #include <cstddef>
 
-#include "data/dataset.h"
+#include "data/dataset_like.h"
 #include "data/ground_truth.h"
 
 namespace tdac {
@@ -43,7 +43,8 @@ struct PerformanceMetrics {
 PerformanceMetrics MetricsFromCounts(const ConfusionCounts& counts);
 
 /// Evaluates `predicted` against `gold` over all claims in `data`.
-PerformanceMetrics Evaluate(const Dataset& data, const GroundTruth& predicted,
+PerformanceMetrics Evaluate(const DatasetLike& data,
+                            const GroundTruth& predicted,
                             const GroundTruth& gold);
 
 }  // namespace tdac

@@ -16,13 +16,13 @@ GenPartitionAlgorithm::GenPartitionAlgorithm(GenPartitionOptions options)
 }
 
 Result<TruthDiscoveryResult> GenPartitionAlgorithm::Discover(
-    const Dataset& data) const {
+    const DatasetLike& data) const {
   TDAC_ASSIGN_OR_RETURN(GenPartitionReport report, DiscoverWithReport(data));
   return std::move(report.result);
 }
 
 Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
-    const Dataset& data) const {
+    const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("GenPartition: empty dataset");
   }

@@ -63,10 +63,10 @@ class GenPartitionAlgorithm : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   /// Like Discover but also returns which partition won and search stats.
-  Result<GenPartitionReport> DiscoverWithReport(const Dataset& data) const;
+  Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const GenPartitionOptions& options() const { return options_; }
 

@@ -18,13 +18,13 @@ GreedyPartitionAlgorithm::GreedyPartitionAlgorithm(GenPartitionOptions options)
 }
 
 Result<TruthDiscoveryResult> GreedyPartitionAlgorithm::Discover(
-    const Dataset& data) const {
+    const DatasetLike& data) const {
   TDAC_ASSIGN_OR_RETURN(GenPartitionReport report, DiscoverWithReport(data));
   return std::move(report.result);
 }
 
 Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
-    const Dataset& data) const {
+    const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("GreedyPartition: empty dataset");
   }

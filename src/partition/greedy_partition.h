@@ -24,11 +24,11 @@ class GreedyPartitionAlgorithm : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   /// Like Discover but also reports the final partition and search stats
   /// (`partitions_explored` counts scored candidate partitions).
-  Result<GenPartitionReport> DiscoverWithReport(const Dataset& data) const;
+  Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const GenPartitionOptions& options() const { return options_; }
 

@@ -7,9 +7,12 @@
 
 namespace tdac {
 
-GroupRunner::GroupRunner(const TruthDiscovery* base, const Dataset* data,
+GroupRunner::GroupRunner(const TruthDiscovery* base, const DatasetLike* data,
                          int threads)
-    : base_(base), data_(data), threads_(EffectiveThreadCount(threads)) {
+    : base_(base),
+      data_(data),
+      threads_(EffectiveThreadCount(threads)),
+      restrictions_(data) {
   TDAC_CHECK(base_ != nullptr) << "GroupRunner requires a base algorithm";
   TDAC_CHECK(data_ != nullptr) << "GroupRunner requires a dataset";
 }
@@ -42,7 +45,7 @@ Result<const GroupRunner::GroupRun*> GroupRunner::Run(
   // one finishes; the computation itself runs outside the map mutex so
   // distinct groups evaluate in parallel.
   std::call_once(entry->once, [&]() {
-    Dataset restricted = data_->RestrictToAttributes(group);
+    const DatasetView& restricted = restrictions_.Attributes(group);
     GroupRun& run = entry->run;
     run.claim_counts.assign(static_cast<size_t>(data_->num_sources()), 0);
     if (restricted.num_claims() > 0) {
@@ -55,8 +58,9 @@ Result<const GroupRunner::GroupRun*> GroupRunner::Run(
       run.predicted = std::move(result.predicted);
       run.confidence = std::move(result.confidence);
       run.trust = std::move(result.source_trust);
-      for (const Claim& c : restricted.claims()) {
-        ++run.claim_counts[static_cast<size_t>(c.source)];
+      for (int32_t id : restricted.claim_ids()) {
+        ++run.claim_counts[static_cast<size_t>(
+            restricted.claim(static_cast<size_t>(id)).source)];
       }
     } else {
       run.trust.assign(static_cast<size_t>(data_->num_sources()), 0.0);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "data/dataset_view.h"
 #include "data/ground_truth.h"
 #include "partition/attribute_partition.h"
 #include "partition/weighting.h"
@@ -41,11 +42,12 @@ class GroupRunner {
     std::vector<size_t> claim_counts;  // per source, claims inside the group
   };
 
-  /// Neither pointer is owned; both must outlive the runner. `threads`
-  /// caps the per-partition fan-out of Score/Aggregate: 0 means the
-  /// process default (TDAC_THREADS env, else hardware concurrency), 1
-  /// forces the serial path.
-  GroupRunner(const TruthDiscovery* base, const Dataset* data,
+  /// Neither pointer is owned; both must outlive the runner. `data` may be
+  /// an owning `Dataset` or a `DatasetView`. `threads` caps the
+  /// per-partition fan-out of Score/Aggregate: 0 means the process default
+  /// (TDAC_THREADS env, else hardware concurrency), 1 forces the serial
+  /// path.
+  GroupRunner(const TruthDiscovery* base, const DatasetLike* data,
               int threads = 0);
 
   /// Memoized run of the base algorithm on `group` (sorted attribute ids).
@@ -93,8 +95,13 @@ class GroupRunner {
   Entry* EntryFor(const std::vector<AttributeId>& group);
 
   const TruthDiscovery* base_;
-  const Dataset* data_;
+  const DatasetLike* data_;
   const int threads_;
+
+  /// Zero-copy restriction views, shared across Run/Score/Aggregate; the
+  /// run memo keys match the cache keys, so a group's view is built at
+  /// most once and stays alive for the runner's lifetime.
+  RestrictionCache restrictions_;
 
   std::mutex mutex_;  // guards memo_'s structure only
   std::unordered_map<std::vector<AttributeId>, std::unique_ptr<Entry>,

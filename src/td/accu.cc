@@ -19,7 +19,7 @@ double VoteWeight(double accuracy, double n_false) {
 
 }  // namespace
 
-Result<TruthDiscoveryResult> Accu::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> Accu::Discover(const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Accu: empty dataset");
   }

@@ -56,7 +56,7 @@ class Accu : public TruthDiscovery {
 
   std::string_view name() const override { return "Accu"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   const AccuOptions& options() const { return options_; }
 

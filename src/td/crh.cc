@@ -7,7 +7,7 @@
 
 namespace tdac {
 
-Result<TruthDiscoveryResult> Crh::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> Crh::Discover(const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("CRH: empty dataset");
   }

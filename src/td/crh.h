@@ -27,7 +27,7 @@ class Crh : public TruthDiscovery {
 
   std::string_view name() const override { return "CRH"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  private:
   CrhOptions options_;

@@ -38,7 +38,7 @@ void AffineRescale(std::vector<double>* v) {
 
 }  // namespace
 
-Result<TruthDiscoveryResult> TwoEstimates::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> TwoEstimates::Discover(const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Estimates: empty dataset");
   }

@@ -35,7 +35,7 @@ class TwoEstimates : public TruthDiscovery {
 
   std::string_view name() const override { return "2-Estimates"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  protected:
   /// When true the update also maintains per-value difficulty estimates

@@ -30,7 +30,7 @@ void PooledInvestment::BeliefsFromInvestments(
   }
 }
 
-Result<TruthDiscoveryResult> Investment::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> Investment::Discover(const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Investment: empty dataset");
   }

@@ -25,7 +25,7 @@ class Investment : public TruthDiscovery {
 
   std::string_view name() const override { return "Investment"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  protected:
   /// Hook distinguishing PooledInvestment: maps per-item collected

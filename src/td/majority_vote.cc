@@ -3,7 +3,7 @@
 namespace tdac {
 
 Result<TruthDiscoveryResult> MajorityVote::Discover(
-    const Dataset& data) const {
+    const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("MajorityVote: empty dataset");
   }
@@ -29,7 +29,8 @@ Result<TruthDiscoveryResult> MajorityVote::Discover(
   // Post-hoc source trust: agreement rate with the elected values.
   result.source_trust.assign(static_cast<size_t>(data.num_sources()), 0.0);
   std::vector<double> counts(static_cast<size_t>(data.num_sources()), 0.0);
-  for (const Claim& c : data.claims()) {
+  for (int32_t id : data.claim_ids()) {
+    const Claim& c = data.claim(static_cast<size_t>(id));
     const Value* elected = result.predicted.Get(c.object, c.attribute);
     counts[static_cast<size_t>(c.source)] += 1.0;
     if (elected != nullptr && *elected == c.value) {

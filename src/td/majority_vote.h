@@ -17,7 +17,7 @@ class MajorityVote : public TruthDiscovery {
 
   std::string_view name() const override { return "MajorityVote"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 };
 
 }  // namespace tdac

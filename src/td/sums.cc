@@ -26,7 +26,7 @@ double AverageLog::TrustFromBeliefs(double belief_sum,
          static_cast<double>(claim_count);
 }
 
-Result<TruthDiscoveryResult> Sums::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> Sums::Discover(const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Sums: empty dataset");
   }

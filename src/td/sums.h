@@ -24,7 +24,7 @@ class Sums : public TruthDiscovery {
 
   std::string_view name() const override { return "Sums"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  protected:
   /// Hook distinguishing Sums from AverageLog: how a source's new trust is

@@ -8,7 +8,7 @@
 namespace tdac {
 namespace td_internal {
 
-std::vector<ItemConflict> GroupClaimsByItem(const Dataset& data) {
+std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data) {
   std::vector<ItemConflict> out;
   out.reserve(data.DataItems().size());
   for (uint64_t key : data.DataItems()) {

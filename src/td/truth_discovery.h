@@ -8,7 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
-#include "data/dataset.h"
+#include "data/dataset_like.h"
 #include "data/ground_truth.h"
 
 namespace tdac {
@@ -56,10 +56,11 @@ class TruthDiscovery {
   /// Stable algorithm name ("MajorityVote", "TruthFinder", ...).
   virtual std::string_view name() const = 0;
 
-  /// Runs the algorithm over all claims in `data`. Fails on an empty
-  /// dataset; items whose conflict set is empty are simply absent from the
-  /// result.
-  virtual Result<TruthDiscoveryResult> Discover(const Dataset& data) const = 0;
+  /// Runs the algorithm over all claims in `data` — an owning `Dataset` or
+  /// a zero-copy `DatasetView` restriction. Fails on an empty dataset;
+  /// items whose conflict set is empty are simply absent from the result.
+  virtual Result<TruthDiscoveryResult> Discover(
+      const DatasetLike& data) const = 0;
 };
 
 namespace td_internal {
@@ -74,7 +75,7 @@ struct ItemConflict {
 
 /// Groups the dataset's claims by data item, with values sorted (total order
 /// on Value) so that downstream tie-breaking is deterministic.
-std::vector<ItemConflict> GroupClaimsByItem(const Dataset& data);
+std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data);
 
 /// Index of the value with maximal score; ties resolved to the smallest
 /// index (i.e. the smallest value, given sorted values).

@@ -6,7 +6,7 @@
 
 namespace tdac {
 
-Result<TruthDiscoveryResult> TruthFinder::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> TruthFinder::Discover(const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("TruthFinder: empty dataset");
   }

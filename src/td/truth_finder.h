@@ -47,7 +47,7 @@ class TruthFinder : public TruthDiscovery {
 
   std::string_view name() const override { return "TruthFinder"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   const TruthFinderOptions& options() const { return options_; }
 

@@ -32,19 +32,22 @@ Tdac::Tdac(TdacOptions options) : options_(options) {
   name_ = "TD-AC(F=" + std::string(options_.base->name()) + ")";
 }
 
-Result<TruthDiscoveryResult> Tdac::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> Tdac::Discover(const DatasetLike& data) const {
   TDAC_ASSIGN_OR_RETURN(TdacReport report, DiscoverWithReport(data));
   return std::move(report.result);
 }
 
-Result<TdacReport> Tdac::DiscoverWithReport(const Dataset& data) const {
-  TDAC_ASSIGN_OR_RETURN(TdacReport report, RunPass(data, nullptr));
+Result<TdacReport> Tdac::DiscoverWithReport(const DatasetLike& data) const {
+  // One restriction cache for the whole call: refinement rounds usually
+  // re-derive most groups, and each re-derived group reuses its view.
+  RestrictionCache cache(&data);
+  TDAC_ASSIGN_OR_RETURN(TdacReport report, RunPass(data, &cache, nullptr));
   // Refinement extension: rebuild the truth vectors against our own merged
   // predictions and re-run, until the partition stabilizes.
   for (int round = 0; round < options_.refinement_rounds; ++round) {
     if (report.fell_back_to_base) break;
     GroundTruth reference = report.result.predicted;
-    TDAC_ASSIGN_OR_RETURN(TdacReport next, RunPass(data, &reference));
+    TDAC_ASSIGN_OR_RETURN(TdacReport next, RunPass(data, &cache, &reference));
     const bool stable = next.partition == report.partition;
     next.seconds_vectors += report.seconds_vectors;
     next.seconds_sweep += report.seconds_sweep;
@@ -55,7 +58,8 @@ Result<TdacReport> Tdac::DiscoverWithReport(const Dataset& data) const {
   return report;
 }
 
-Result<TdacReport> Tdac::RunPass(const Dataset& data,
+Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
+                                 RestrictionCache* cache,
                                  const GroundTruth* reference) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("TD-AC: empty dataset");
@@ -221,9 +225,13 @@ Result<TdacReport> Tdac::RunPass(const Dataset& data,
   std::vector<Result<TruthDiscoveryResult>> partials;
   partials.reserve(groups.size());
 
-  auto run_group = [&](const std::vector<AttributeId>& group)
-      -> Result<TruthDiscoveryResult> {
-    Dataset restricted = data.RestrictToAttributes(group);
+  // Each group is restricted exactly once, to a zero-copy view served by
+  // the shared cache; the same view instance feeds both the base run here
+  // and the trust-weighting merge below.
+  std::vector<const DatasetView*> views(groups.size(), nullptr);
+  auto run_group = [&](size_t g) -> Result<TruthDiscoveryResult> {
+    const DatasetView& restricted = cache->Attributes(groups[g]);
+    views[g] = &restricted;
     if (restricted.num_claims() == 0) {
       return TruthDiscoveryResult{};
     }
@@ -237,8 +245,7 @@ Result<TdacReport> Tdac::RunPass(const Dataset& data,
     partials.emplace_back(TruthDiscoveryResult{});
   }
   ParallelFor(
-      groups.size(), [&](size_t g) { partials[g] = run_group(groups[g]); },
-      par);
+      groups.size(), [&](size_t g) { partials[g] = run_group(g); }, par);
 
   TruthDiscoveryResult& merged = report.result;
   merged.iterations = 1;  // TD-AC runs a single outer pass (paper Table 4)
@@ -255,10 +262,10 @@ Result<TdacReport> Tdac::RunPass(const Dataset& data,
     merged.converged = merged.converged && partial.converged;
     if (!partial.source_trust.empty()) {
       // Weight each group's trust estimate by the source's claim volume in
-      // that group.
-      Dataset restricted = data.RestrictToAttributes(groups[g]);
+      // that group, read off the view the group already ran on.
       std::vector<double> counts(trust_claims.size(), 0.0);
-      for (const Claim& c : restricted.claims()) {
+      for (int32_t id : views[g]->claim_ids()) {
+        const Claim& c = views[g]->claim(static_cast<size_t>(id));
         counts[static_cast<size_t>(c.source)] += 1.0;
       }
       for (size_t s = 0; s < trust_weighted.size(); ++s) {

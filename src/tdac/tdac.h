@@ -8,6 +8,7 @@
 #include "clustering/hierarchical.h"
 #include "clustering/kmeans.h"
 #include "clustering/silhouette.h"
+#include "data/dataset_view.h"
 #include "partition/attribute_partition.h"
 #include "td/truth_discovery.h"
 #include "tdac/truth_vectors.h"
@@ -115,11 +116,11 @@ class Tdac : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   /// Like Discover but also returns the chosen partition, the silhouette
   /// sweep, and a wall-clock breakdown.
-  Result<TdacReport> DiscoverWithReport(const Dataset& data) const;
+  Result<TdacReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const TdacOptions& options() const { return options_; }
 
@@ -127,8 +128,10 @@ class Tdac : public TruthDiscovery {
   /// One pass of Algorithm 1. With `reference == nullptr` the reference
   /// truth comes from running the base algorithm on the whole dataset (the
   /// paper's buildTruthVectors); otherwise the supplied predictions are
-  /// used (refinement rounds).
-  Result<TdacReport> RunPass(const Dataset& data,
+  /// used (refinement rounds). Group restrictions are zero-copy views
+  /// served by `cache`, which is shared across refinement rounds so a
+  /// re-derived group never rebuilds its view.
+  Result<TdacReport> RunPass(const DatasetLike& data, RestrictionCache* cache,
                              const GroundTruth* reference) const;
 
   TdacOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "data/dataset_view.h"
 
 namespace tdac {
 
@@ -27,12 +28,12 @@ Tdoc::Tdoc(TdocOptions options) : options_(options) {
   name_ = "TD-OC(F=" + std::string(options_.base->name()) + ")";
 }
 
-Result<TruthDiscoveryResult> Tdoc::Discover(const Dataset& data) const {
+Result<TruthDiscoveryResult> Tdoc::Discover(const DatasetLike& data) const {
   TDAC_ASSIGN_OR_RETURN(TdocReport report, DiscoverWithReport(data));
   return std::move(report.result);
 }
 
-Result<TdocReport> Tdoc::DiscoverWithReport(const Dataset& data) const {
+Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("TD-OC: empty dataset");
   }
@@ -62,7 +63,8 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const Dataset& data) const {
   for (size_t r = 0; r < objects.size(); ++r) {
     row_of[static_cast<size_t>(objects[r])] = static_cast<int>(r);
   }
-  for (const Claim& c : data.claims()) {
+  for (int32_t id : data.claim_ids()) {
+    const Claim& c = data.claim(static_cast<size_t>(id));
     const int r = row_of[static_cast<size_t>(c.object)];
     if (r < 0) continue;
     const Value* truth = reference.predicted.Get(c.object, c.attribute);
@@ -117,7 +119,7 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const Dataset& data) const {
   std::vector<double> trust_weighted(num_sources, 0.0);
   std::vector<double> trust_claims(num_sources, 0.0);
   for (const auto& group : report.groups) {
-    Dataset restricted = data.RestrictToObjects(group);
+    const DatasetView restricted(data, DatasetView::ObjectAxis{}, group);
     if (restricted.num_claims() == 0) continue;
     TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult partial,
                           options_.base->Discover(restricted));
@@ -125,7 +127,8 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const Dataset& data) const {
     for (auto& [key, conf] : partial.confidence) merged.confidence[key] = conf;
     merged.converged = merged.converged && partial.converged;
     std::vector<double> counts(num_sources, 0.0);
-    for (const Claim& c : restricted.claims()) {
+    for (int32_t id : restricted.claim_ids()) {
+      const Claim& c = restricted.claim(static_cast<size_t>(id));
       counts[static_cast<size_t>(c.source)] += 1.0;
     }
     for (size_t s = 0; s < num_sources; ++s) {

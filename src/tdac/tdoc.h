@@ -59,9 +59,9 @@ class Tdoc : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override;
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
-  Result<TdocReport> DiscoverWithReport(const Dataset& data) const;
+  Result<TdocReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const TdocOptions& options() const { return options_; }
 

@@ -2,7 +2,7 @@
 
 namespace tdac {
 
-Result<TruthVectorMatrix> BuildTruthVectors(const Dataset& data,
+Result<TruthVectorMatrix> BuildTruthVectors(const DatasetLike& data,
                                             const GroundTruth& reference) {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("BuildTruthVectors: empty dataset");
@@ -21,7 +21,8 @@ Result<TruthVectorMatrix> BuildTruthVectors(const Dataset& data,
     row_of[static_cast<size_t>(matrix.attributes[r])] = static_cast<int>(r);
   }
 
-  for (const Claim& c : data.claims()) {
+  for (int32_t id : data.claim_ids()) {
+    const Claim& c = data.claim(static_cast<size_t>(id));
     const int r = row_of[static_cast<size_t>(c.attribute)];
     if (r < 0) continue;
     const size_t col =
@@ -36,7 +37,7 @@ Result<TruthVectorMatrix> BuildTruthVectors(const Dataset& data,
 }
 
 Result<TruthVectorMatrix> BuildTruthVectors(const TruthDiscovery& base,
-                                            const Dataset& data) {
+                                            const DatasetLike& data) {
   TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult reference, base.Discover(data));
   return BuildTruthVectors(data, reference.predicted);
 }

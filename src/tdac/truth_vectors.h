@@ -6,7 +6,7 @@
 
 #include "clustering/distance.h"
 #include "common/result.h"
-#include "data/dataset.h"
+#include "data/dataset_like.h"
 #include "data/ground_truth.h"
 #include "td/truth_discovery.h"
 
@@ -33,13 +33,13 @@ struct TruthVectorMatrix {
 
 /// Builds the truth-vector matrix for all active attributes of `data`,
 /// against an explicit reference truth.
-Result<TruthVectorMatrix> BuildTruthVectors(const Dataset& data,
+Result<TruthVectorMatrix> BuildTruthVectors(const DatasetLike& data,
                                             const GroundTruth& reference);
 
 /// Convenience: first runs `base` on the whole dataset to obtain the
 /// reference truth (the paper's buildTruthVectors(F, A, O, S)).
 Result<TruthVectorMatrix> BuildTruthVectors(const TruthDiscovery& base,
-                                            const Dataset& data);
+                                            const DatasetLike& data);
 
 }  // namespace tdac
 

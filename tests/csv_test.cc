@@ -41,6 +41,41 @@ TEST(CsvParseTest, CrLf) {
   EXPECT_EQ((*rows)[0][1], "b");
 }
 
+TEST(CsvParseTest, BareCrEndsRow) {
+  // A lone CR (classic-Mac line ending) terminates the row; it must not
+  // silently disappear so that "a\rb" reads back as "ab".
+  auto rows = ParseCsv("a\rb");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"b"}));
+}
+
+TEST(CsvParseTest, BareCrDocument) {
+  auto rows = ParseCsv("a,b\rc,d\r");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvParseTest, CrLfIsOneTerminator) {
+  // CRLF must not produce a phantom empty row between the CR and the LF.
+  auto rows = ParseCsv("a\r\n\r\nb\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{""}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"b"}));
+}
+
+TEST(CsvParseTest, CrInsideQuotesIsContent) {
+  auto rows = ParseCsv("\"a\rb\",c\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a\rb", "c"}));
+}
+
 TEST(CsvParseTest, QuotedFieldsRoundTrip) {
   CsvWriter w;
   std::vector<std::string> original{"plain", "with,comma", "with\"quote",

@@ -27,7 +27,7 @@ class CountingBase : public TruthDiscovery {
  public:
   std::string_view name() const override { return "CountingMV"; }
 
-  Result<TruthDiscoveryResult> Discover(const Dataset& data) const override {
+  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override {
     calls_.fetch_add(1, std::memory_order_acq_rel);
     return inner_.Discover(data);
   }
