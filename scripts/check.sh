@@ -4,13 +4,18 @@
 #   scripts/check.sh          # plain build + ctest (the tier-1 gate)
 #   scripts/check.sh tsan     # ThreadSanitizer build + ctest, TDAC_THREADS=8
 #   scripts/check.sh asan     # AddressSanitizer+UBSan build + ctest
+#   scripts/check.sh ubsan    # standalone UBSan build + ctest
+#   scripts/check.sh lint     # tdac_lint + clang-tidy (if installed)
 #
 # The sanitizer modes exist for the parallel execution layer
 # (src/common/thread_pool.*, parallel.*, and everything that fans out over
 # them): TSan runs the whole suite with an oversubscribed pool so that the
 # determinism and concurrency tests actually interleave, even on few-core
-# CI machines. Each mode uses its own build directory, so switching modes
-# never poisons the incremental plain build.
+# CI machines. The standalone UBSan mode gives undefined-behaviour coverage
+# without ASan's shadow memory (UBSan otherwise only rides along with ASan,
+# and TSan cannot combine with either). Each mode uses its own build
+# directory, so switching modes never poisons the incremental plain build.
+# CI runs every mode in its matrix (.github/workflows/ci.yml).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,8 +34,20 @@ case "$mode" in
     build_dir=build-asan
     sanitize=address
     ;;
+  ubsan|undefined)
+    build_dir=build-ubsan
+    sanitize=undefined
+    ;;
+  lint)
+    cmake -B build -S .
+    cmake --build build -j "$(nproc)" --target tdac_lint
+    ./build/tools/tdac_lint --root .
+    cmake --build build --target tidy
+    echo "check.sh: lint OK"
+    exit 0
+    ;;
   *)
-    echo "usage: scripts/check.sh [plain|tsan|asan]" >&2
+    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint]" >&2
     exit 2
     ;;
 esac
@@ -41,13 +58,15 @@ cmake --build "$build_dir" -j "$(nproc)"
 echo "== ctest ($mode) =="
 if [ -n "$sanitize" ]; then
   # Oversubscribe the pool so races interleave even on few-core machines;
-  # second-guess TSan's default behavior of not failing the process.
+  # second-guess the sanitizers' default behavior of not failing the
+  # process on a report.
   TDAC_THREADS=8 \
   TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}" \
   ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
-    ctest --test-dir "$build_dir" --output-on-failure
+  UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 else
-  ctest --test-dir "$build_dir" --output-on-failure
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 fi
 
 echo "check.sh: $mode OK"

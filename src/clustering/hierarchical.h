@@ -44,7 +44,7 @@ class Dendrogram {
   /// Assignment with exactly k clusters (1 <= k <= n): the last k - 1
   /// merges are undone. Labels are compacted to [0, k) in order of first
   /// appearance.
-  Result<std::vector<int>> CutToK(int k) const;
+  [[nodiscard]] Result<std::vector<int>> CutToK(int k) const;
 
  private:
   int num_points_;
@@ -53,11 +53,12 @@ class Dendrogram {
 
 /// Builds the merge tree bottom-up with the requested linkage. O(n^3),
 /// intended for attribute counts (tens to low hundreds of points).
-Result<Dendrogram> AgglomerativeCluster(const std::vector<FeatureVector>& points,
-                                        const AgglomerativeOptions& options);
+[[nodiscard]] Result<Dendrogram> AgglomerativeCluster(
+    const std::vector<FeatureVector>& points,
+    const AgglomerativeOptions& options);
 
 /// Same, over a precomputed symmetric distance matrix.
-Result<Dendrogram> AgglomerativeClusterFromDistances(
+[[nodiscard]] Result<Dendrogram> AgglomerativeClusterFromDistances(
     const std::vector<std::vector<double>>& distances,
     const AgglomerativeOptions& options);
 

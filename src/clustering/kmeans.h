@@ -47,6 +47,7 @@ struct KMeansResult {
 
 /// Runs k-means over `points`. All points must share one dimension.
 /// Deterministic for a fixed (points, options) pair.
+[[nodiscard]]
 Result<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
                             const KMeansOptions& options);
 

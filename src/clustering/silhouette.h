@@ -34,6 +34,7 @@ struct SilhouetteResult {
 /// Computes the silhouette of `assignment` (values in [0, k)) over `points`
 /// with the given metric (the paper uses Hamming on truth vectors).
 /// Fails when k < 2, assignment size mismatches, or a cluster is empty.
+[[nodiscard]]
 Result<SilhouetteResult> Silhouette(const std::vector<FeatureVector>& points,
                                     const std::vector<int>& assignment, int k,
                                     DistanceMetric metric =
@@ -41,7 +42,7 @@ Result<SilhouetteResult> Silhouette(const std::vector<FeatureVector>& points,
 
 /// Same computation over a precomputed symmetric distance matrix (used by
 /// TD-AC's sparse-aware mode, whose masked distance needs per-point masks).
-Result<SilhouetteResult> SilhouetteFromDistances(
+[[nodiscard]] Result<SilhouetteResult> SilhouetteFromDistances(
     const std::vector<std::vector<double>>& distances,
     const std::vector<int>& assignment, int k);
 

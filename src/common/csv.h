@@ -31,18 +31,19 @@ class CsvWriter {
 };
 
 /// Parses a full CSV document into rows of fields.
+[[nodiscard]]
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
                                                        char delimiter = ',');
 
 /// Reads and parses a CSV file from disk.
-Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char delimiter = ',');
 
 /// Writes `text` to `path`, overwriting.
-Status WriteFile(const std::string& path, std::string_view text);
+[[nodiscard]] Status WriteFile(const std::string& path, std::string_view text);
 
 /// Reads an entire file into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace tdac
 

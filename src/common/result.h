@@ -16,8 +16,11 @@ namespace tdac {
 /// Accessing the value of an errored result aborts the process with a
 /// diagnostic (library code must check `ok()` first or use the
 /// TDAC_ASSIGN_OR_RETURN macro).
+///
+/// Like `Status`, the class is [[nodiscard]]: a dropped Result is a dropped
+/// error. `tdac_lint` enforces the matching annotation on declarations.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an errored result. `status` must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT implicit

@@ -23,22 +23,25 @@ double Dataset::DataCoverageRate() const {
   // number of claims on o (claims are unique per (s, o, a)).
   if (claims_.empty()) return 0.0;
   struct PerObject {
-    std::unordered_set<int32_t> sources;
-    std::unordered_set<int32_t> attributes;
+    std::unordered_set<int32_t> source_set;
+    std::unordered_set<int32_t> attribute_set;
     size_t claims = 0;
   };
   std::unordered_map<int32_t, PerObject> per_object;
   for (const Claim& c : claims_) {
     PerObject& po = per_object[c.object];
-    po.sources.insert(c.source);
-    po.attributes.insert(c.attribute);
+    po.source_set.insert(c.source);
+    po.attribute_set.insert(c.attribute);
     ++po.claims;
   }
   double full = 0.0;
   double present = 0.0;
+  // Sums of integer-valued doubles are exact (well below 2^53), so the
+  // traversal order cannot change the result.
+  // lint: unordered-ok (exact integer sums)
   for (const auto& [object, po] : per_object) {
-    full += static_cast<double>(po.sources.size()) *
-            static_cast<double>(po.attributes.size());
+    full += static_cast<double>(po.source_set.size()) *
+            static_cast<double>(po.attribute_set.size());
     present += static_cast<double>(po.claims);
   }
   if (full <= 0.0) return 0.0;
@@ -112,6 +115,7 @@ void Dataset::BuildIndexes() {
         static_cast<int32_t>(i));
   }
   items_.reserve(by_item_.size());
+  // lint: unordered-ok (keys are sorted below)
   for (const auto& [key, indices] : by_item_) items_.push_back(key);
   std::sort(items_.begin(), items_.end());
 }

@@ -31,17 +31,19 @@ class DatasetBuilder {
 
   /// Records a claim. Fails with AlreadyExists if this (source, object,
   /// attribute) already has a claim, and with InvalidArgument on bad ids.
+  [[nodiscard]]
   Status AddClaim(SourceId source, ObjectId object, AttributeId attribute,
                   Value value);
 
   /// Name-based convenience overload (interns all three names).
+  [[nodiscard]]
   Status AddClaim(const std::string& source, const std::string& object,
                   const std::string& attribute, Value value);
 
   size_t num_claims() const { return dataset_.claims_.size(); }
 
   /// Finalizes the dataset and resets the builder. Fails when empty.
-  Result<Dataset> Build();
+  [[nodiscard]] Result<Dataset> Build();
 
  private:
   Dataset dataset_;

@@ -21,23 +21,25 @@ namespace tdac {
 std::string DatasetToCsv(const Dataset& dataset);
 
 /// Parses claim-file CSV text into a Dataset.
-Result<Dataset> DatasetFromCsv(const std::string& text);
+[[nodiscard]] Result<Dataset> DatasetFromCsv(const std::string& text);
 
+[[nodiscard]]
 Status SaveDataset(const Dataset& dataset, const std::string& path);
-Result<Dataset> LoadDataset(const std::string& path);
+[[nodiscard]] Result<Dataset> LoadDataset(const std::string& path);
 
 /// Renders `truth` (with names resolved via `dataset`) as truth-file CSV.
 std::string GroundTruthToCsv(const GroundTruth& truth, const Dataset& dataset);
 
 /// Parses truth-file CSV, resolving names against `dataset`. Rows naming
 /// unknown objects/attributes fail with NotFound.
-Result<GroundTruth> GroundTruthFromCsv(const std::string& text,
-                                       const Dataset& dataset);
+[[nodiscard]] Result<GroundTruth> GroundTruthFromCsv(const std::string& text,
+                                                     const Dataset& dataset);
 
+[[nodiscard]]
 Status SaveGroundTruth(const GroundTruth& truth, const Dataset& dataset,
                        const std::string& path);
-Result<GroundTruth> LoadGroundTruth(const std::string& path,
-                                    const Dataset& dataset);
+[[nodiscard]] Result<GroundTruth> LoadGroundTruth(const std::string& path,
+                                                  const Dataset& dataset);
 
 /// Renders per-source trust (indexed by SourceId) as `source,trust` CSV.
 std::string SourceTrustToCsv(const std::vector<double>& trust,
@@ -45,11 +47,14 @@ std::string SourceTrustToCsv(const std::vector<double>& trust,
 
 /// Parses a trust CSV back into a vector indexed by `dataset`'s source ids;
 /// sources absent from the file keep 0. Unknown names fail with NotFound.
+[[nodiscard]]
 Result<std::vector<double>> SourceTrustFromCsv(const std::string& text,
                                                const Dataset& dataset);
 
-Status SaveSourceTrust(const std::vector<double>& trust,
-                       const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status SaveSourceTrust(const std::vector<double>& trust,
+                                     const Dataset& dataset,
+                                     const std::string& path);
+[[nodiscard]]
 Result<std::vector<double>> LoadSourceTrust(const std::string& path,
                                             const Dataset& dataset);
 

@@ -7,6 +7,7 @@ namespace tdac {
 std::vector<uint64_t> GroundTruth::SortedKeys() const {
   std::vector<uint64_t> keys;
   keys.reserve(truth_.size());
+  // lint: unordered-ok (keys are sorted below)
   for (const auto& [key, value] : truth_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   return keys;

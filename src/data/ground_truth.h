@@ -29,7 +29,7 @@ class GroundTruth {
   }
 
   bool Has(ObjectId object, AttributeId attribute) const {
-    return truth_.count(ObjectAttrKey(object, attribute)) > 0;
+    return truth_.contains(ObjectAttrKey(object, attribute));
   }
 
   size_t size() const { return truth_.size(); }
@@ -38,6 +38,9 @@ class GroundTruth {
   /// Merges `other` into this; on key collisions `other` wins. Used by
   /// TD-AC to aggregate per-partition predictions.
   void MergeFrom(const GroundTruth& other) {
+    // Per-key map assignment commutes across distinct keys, and equal keys
+    // always resolve to `other`'s value, so traversal order is immaterial.
+    // lint: unordered-ok (key-wise assignment)
     for (const auto& [key, value] : other.truth_) truth_[key] = value;
   }
 

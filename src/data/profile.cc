@@ -46,6 +46,7 @@ DatasetProfile ProfileDataset(const Dataset& data) {
     if (distinct >= 2) {
       ++conflicted;
       size_t top = 0;
+      // lint: unordered-ok (max of size_t is order-independent)
       for (const auto& [value, count] : counts) top = std::max(top, count);
       if (2 * top > claim_indices.size()) ++decisive;
     }

@@ -34,10 +34,9 @@ struct CalibrationReport {
 /// Buckets `result`'s confidences into `num_bins` equal-width bins over
 /// [0, 1] and compares each bin's mean confidence to the empirical
 /// accuracy of the elected values against `gold`.
-Result<CalibrationReport> EvaluateCalibration(const Dataset& data,
-                                              const TruthDiscoveryResult& result,
-                                              const GroundTruth& gold,
-                                              int num_bins = 10);
+[[nodiscard]] Result<CalibrationReport> EvaluateCalibration(
+    const Dataset& data, const TruthDiscoveryResult& result,
+    const GroundTruth& gold, int num_bins = 10);
 
 }  // namespace tdac
 

@@ -25,13 +25,14 @@ struct ExperimentRow {
 };
 
 /// Runs `algorithm` on `data`, times it, and evaluates against `gold`.
+[[nodiscard]]
 Result<ExperimentRow> RunExperiment(const TruthDiscovery& algorithm,
                                     const Dataset& data,
                                     const GroundTruth& gold);
 
 /// Runs several algorithms on the same dataset; any individual failure
 /// fails the batch.
-Result<std::vector<ExperimentRow>> RunExperiments(
+[[nodiscard]] Result<std::vector<ExperimentRow>> RunExperiments(
     const std::vector<const TruthDiscovery*>& algorithms, const Dataset& data,
     const GroundTruth& gold);
 

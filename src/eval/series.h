@@ -33,7 +33,7 @@ class FigureSeries {
   std::string ToGnuplot(const std::string& csv_filename) const;
 
   /// Writes <dir>/<name>.csv and <dir>/<name>.gp.
-  Status WriteTo(const std::string& dir) const;
+  [[nodiscard]] Status WriteTo(const std::string& dir) const;
 
   const std::string& name() const { return name_; }
 

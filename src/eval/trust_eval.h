@@ -39,9 +39,9 @@ std::vector<double> EmpiricalSourceAccuracy(const Dataset& data,
 /// Compares `estimated_trust` (indexed by SourceId) against the empirical
 /// accuracies. Fails when sizes mismatch or fewer than 2 sources are
 /// evaluable.
-Result<TrustEvaluation> EvaluateTrust(const Dataset& data,
-                                      const std::vector<double>& estimated_trust,
-                                      const GroundTruth& gold);
+[[nodiscard]] Result<TrustEvaluation> EvaluateTrust(
+    const Dataset& data, const std::vector<double>& estimated_trust,
+    const GroundTruth& gold);
 
 }  // namespace tdac
 

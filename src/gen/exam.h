@@ -84,7 +84,7 @@ struct ExamData {
   std::vector<std::vector<double>> ability;
 };
 
-Result<ExamData> GenerateExam(const ExamConfig& config);
+[[nodiscard]] Result<ExamData> GenerateExam(const ExamConfig& config);
 
 /// The full 9-domain layout (name, #questions), totalling 124.
 std::vector<std::pair<std::string, int>> ExamDomainLayout();

@@ -12,7 +12,7 @@ namespace tdac {
 /// (VLDB 2013), matched to the paper's Table 8 statistics: 38 sources,
 /// 100 objects (flights), 6 attributes in three correlated families
 /// (scheduled times, actual times, gates), ~8.6k observations, DCR ~ 66%.
-Result<GroupedSimData> GenerateFlights(uint64_t seed = 42);
+[[nodiscard]] Result<GroupedSimData> GenerateFlights(uint64_t seed = 42);
 
 /// The configuration used by GenerateFlights, for tweaking in ablations.
 GroupedSimConfig FlightsConfig(uint64_t seed = 42);

@@ -69,6 +69,7 @@ struct GroupedSimData {
   std::vector<std::vector<double>> reliability;
 };
 
+[[nodiscard]]
 Result<GroupedSimData> GenerateGroupedSim(const GroupedSimConfig& config);
 
 }  // namespace tdac

@@ -13,7 +13,7 @@ namespace tdac {
 /// 100 objects (stock symbols on trading days), 15 attributes in three
 /// correlated families (price-like quotes, volume-like counters, metadata),
 /// ~57k observations, DCR ~ 75%.
-Result<GroupedSimData> GenerateStocks(uint64_t seed = 42);
+[[nodiscard]] Result<GroupedSimData> GenerateStocks(uint64_t seed = 42);
 
 /// The configuration used by GenerateStocks, for tweaking in ablations.
 GroupedSimConfig StocksConfig(uint64_t seed = 42);

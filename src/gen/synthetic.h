@@ -80,6 +80,7 @@ struct GeneratedData {
 };
 
 /// Generates a dataset from `config`. Deterministic in the seed.
+[[nodiscard]]
 Result<GeneratedData> GenerateSynthetic(const SyntheticConfig& config);
 
 /// \brief Configuration for the object-correlated twin of the generator:
@@ -115,7 +116,7 @@ struct ObjectCorrelatedData {
 
 /// Generates a dataset whose structural correlation runs along the object
 /// axis. Deterministic in the seed.
-Result<ObjectCorrelatedData> GenerateObjectCorrelated(
+[[nodiscard]] Result<ObjectCorrelatedData> GenerateObjectCorrelated(
     const ObjectCorrelatedConfig& config);
 
 /// The paper's three synthetic configurations (Tables 3 and 5):
@@ -123,6 +124,7 @@ Result<ObjectCorrelatedData> GenerateObjectCorrelated(
 /// DS2: levels (1.0, 0.0, 0.8), planted [(2,5),(1,4),(3,6)];
 /// DS3: levels (1.0, 0.2, 0.8) with noise, planted [(1,6,3),(2,4,5)].
 /// `which` is 1, 2, or 3.
+[[nodiscard]]
 Result<SyntheticConfig> PaperSyntheticConfig(int which, uint64_t seed = 42);
 
 }  // namespace tdac

@@ -45,6 +45,10 @@ Result<AttributePartition> AttributePartition::FromAssignment(
   }
   std::vector<std::vector<AttributeId>> groups;
   groups.reserve(by_label.size());
+  // Group extraction order is irrelevant: FromGroups canonicalizes (sorts
+  // within and across groups), and each group's content is order-fixed by
+  // the assignment scan above.
+  // lint: unordered-ok (FromGroups canonicalizes)
   for (auto& [label, group] : by_label) groups.push_back(std::move(group));
   return FromGroups(std::move(groups));
 }

@@ -19,12 +19,12 @@ class AttributePartition {
   AttributePartition() = default;
 
   /// Builds from explicit groups; validates disjointness and non-emptiness.
-  static Result<AttributePartition> FromGroups(
+  [[nodiscard]] static Result<AttributePartition> FromGroups(
       std::vector<std::vector<AttributeId>> groups);
 
   /// Builds from a cluster-assignment vector: `assignment[i]` is the group
   /// label of `attributes[i]`. Empty labels are skipped.
-  static Result<AttributePartition> FromAssignment(
+  [[nodiscard]] static Result<AttributePartition> FromAssignment(
       const std::vector<AttributeId>& attributes,
       const std::vector<int>& assignment);
 
@@ -33,6 +33,7 @@ class AttributePartition {
 
   /// Parses the paper-style rendering "[(1,2),(4,6),(3,5)]" with 1-based
   /// attribute numbers.
+  [[nodiscard]]
   static Result<AttributePartition> Parse(const std::string& text);
 
   size_t num_groups() const { return groups_.size(); }

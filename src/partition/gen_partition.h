@@ -63,9 +63,11 @@ class GenPartitionAlgorithm : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   /// Like Discover but also returns which partition won and search stats.
+  [[nodiscard]]
   Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const GenPartitionOptions& options() const { return options_; }

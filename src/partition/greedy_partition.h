@@ -24,10 +24,12 @@ class GreedyPartitionAlgorithm : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   /// Like Discover but also reports the final partition and search stats
   /// (`partitions_explored` counts scored candidate partitions).
+  [[nodiscard]]
   Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const GenPartitionOptions& options() const { return options_; }

@@ -141,6 +141,9 @@ Result<TruthDiscoveryResult> GroupRunner::Aggregate(
     TDAC_RETURN_NOT_OK(fetched[g].status());
     const GroupRun* run = fetched[g].value();
     result.predicted.MergeFrom(run->predicted);
+    // Groups partition the attributes, so the per-group confidence maps
+    // carry disjoint item keys; key-wise insertion commutes.
+    // lint: unordered-ok (disjoint keys)
     for (const auto& [key, conf] : run->confidence) {
       result.confidence[key] = conf;
     }

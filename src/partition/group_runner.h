@@ -52,16 +52,19 @@ class GroupRunner {
 
   /// Memoized run of the base algorithm on `group` (sorted attribute ids).
   /// The returned pointer stays valid for the runner's lifetime.
+  [[nodiscard]]
   Result<const GroupRun*> Run(const std::vector<AttributeId>& group);
 
   /// Scores a partition: kMax/kAvg collapse each source's per-group
   /// accuracy vector and average over covering sources; kOracle evaluates
   /// the aggregated prediction against `oracle` (required then).
-  Result<double> Score(const AttributePartition& partition,
-                       WeightingFunction weighting, const GroundTruth* oracle);
+  [[nodiscard]] Result<double> Score(const AttributePartition& partition,
+                                     WeightingFunction weighting,
+                                     const GroundTruth* oracle);
 
   /// Merges the per-group results of `partition` into one result
   /// (predictions, confidences, claim-weighted source trust).
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Aggregate(const AttributePartition& partition);
 
   /// Distinct groups the base algorithm actually ran on (successfully

@@ -1,6 +1,5 @@
 #include "partition/partition_metrics.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace tdac {
@@ -19,27 +18,30 @@ Result<PartitionAgreement> ComparePartitions(const AttributePartition& a,
         "ComparePartitions: need at least 2 attributes");
   }
 
-  // Contingency table n_ij = |A_i intersect B_j|.
-  std::unordered_map<uint64_t, double> contingency;
-  std::unordered_map<int, double> row_sums;
-  std::unordered_map<int, double> col_sums;
+  // Contingency table n_ij = |A_i intersect B_j|, dense over the group-id
+  // grid: group ids are small (<= |attributes|), so vectors beat a hash map
+  // and — unlike unordered_map — reduce in a fixed order, keeping the sums
+  // bit-identical run to run.
+  const size_t rows = a.groups().size();
+  const size_t cols = b.groups().size();
+  std::vector<double> contingency(rows * cols, 0.0);
+  std::vector<double> row_sums(rows, 0.0);
+  std::vector<double> col_sums(cols, 0.0);
   for (AttributeId attr : attrs_a) {
-    int ga = a.GroupOf(attr);
-    int gb = b.GroupOf(attr);
-    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(ga)) << 32) |
-                   static_cast<uint32_t>(gb);
-    contingency[key] += 1.0;
+    const size_t ga = static_cast<size_t>(a.GroupOf(attr));
+    const size_t gb = static_cast<size_t>(b.GroupOf(attr));
+    contingency[ga * cols + gb] += 1.0;
     row_sums[ga] += 1.0;
     col_sums[gb] += 1.0;
   }
 
   auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
   double sum_nij = 0.0;
-  for (const auto& [key, count] : contingency) sum_nij += choose2(count);
+  for (double count : contingency) sum_nij += choose2(count);
   double sum_ai = 0.0;
-  for (const auto& [g, count] : row_sums) sum_ai += choose2(count);
+  for (double count : row_sums) sum_ai += choose2(count);
   double sum_bj = 0.0;
-  for (const auto& [g, count] : col_sums) sum_bj += choose2(count);
+  for (double count : col_sums) sum_bj += choose2(count);
   const double total_pairs = choose2(static_cast<double>(n));
 
   PartitionAgreement out;

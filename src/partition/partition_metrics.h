@@ -23,6 +23,7 @@ struct PartitionAgreement {
 };
 
 /// Fails when the two partitions cover different attribute sets.
+[[nodiscard]]
 Result<PartitionAgreement> ComparePartitions(const AttributePartition& a,
                                              const AttributePartition& b);
 

@@ -34,7 +34,7 @@ class SetPartitionEnumerator {
 
   /// Materializes the current partition over the given attribute ids
   /// (attributes[i] gets label rgs()[i]).
-  Result<AttributePartition> Current(
+  [[nodiscard]] Result<AttributePartition> Current(
       const std::vector<AttributeId>& attributes) const;
 
  private:

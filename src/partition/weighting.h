@@ -25,6 +25,7 @@ enum class WeightingFunction {
 };
 
 std::string_view WeightingFunctionName(WeightingFunction w);
+[[nodiscard]]
 Result<WeightingFunction> ParseWeightingFunction(std::string_view name);
 
 /// Collapses one source's per-group accuracies with `w` (kMax or kAvg;

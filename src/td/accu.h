@@ -56,6 +56,7 @@ class Accu : public TruthDiscovery {
 
   std::string_view name() const override { return "Accu"; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   const AccuOptions& options() const { return options_; }

@@ -27,6 +27,7 @@ class Crh : public TruthDiscovery {
 
   std::string_view name() const override { return "CRH"; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  private:

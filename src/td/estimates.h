@@ -35,6 +35,7 @@ class TwoEstimates : public TruthDiscovery {
 
   std::string_view name() const override { return "2-Estimates"; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  protected:

@@ -25,6 +25,7 @@ class Investment : public TruthDiscovery {
 
   std::string_view name() const override { return "Investment"; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  protected:

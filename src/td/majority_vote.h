@@ -17,6 +17,7 @@ class MajorityVote : public TruthDiscovery {
 
   std::string_view name() const override { return "MajorityVote"; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 };
 

@@ -16,6 +16,7 @@ namespace tdac {
 /// "Accu", "AccuSim". Each algorithm is created with its published default
 /// hyper-parameters; callers needing custom options construct the concrete
 /// classes directly.
+[[nodiscard]]
 Result<std::unique_ptr<TruthDiscovery>> MakeAlgorithm(const std::string& name);
 
 /// The list of registered algorithm names, in canonical order.

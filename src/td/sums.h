@@ -24,6 +24,7 @@ class Sums : public TruthDiscovery {
 
   std::string_view name() const override { return "Sums"; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
  protected:

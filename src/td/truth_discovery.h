@@ -59,7 +59,7 @@ class TruthDiscovery {
   /// Runs the algorithm over all claims in `data` — an owning `Dataset` or
   /// a zero-copy `DatasetView` restriction. Fails on an empty dataset;
   /// items whose conflict set is empty are simply absent from the result.
-  virtual Result<TruthDiscoveryResult> Discover(
+  [[nodiscard]] virtual Result<TruthDiscoveryResult> Discover(
       const DatasetLike& data) const = 0;
 };
 

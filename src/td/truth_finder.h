@@ -47,6 +47,7 @@ class TruthFinder : public TruthDiscovery {
 
   std::string_view name() const override { return "TruthFinder"; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   const TruthFinderOptions& options() const { return options_; }

@@ -116,10 +116,12 @@ class Tdac : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
   /// Like Discover but also returns the chosen partition, the silhouette
   /// sweep, and a wall-clock breakdown.
+  [[nodiscard]]
   Result<TdacReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const TdacOptions& options() const { return options_; }
@@ -131,6 +133,7 @@ class Tdac : public TruthDiscovery {
   /// used (refinement rounds). Group restrictions are zero-copy views
   /// served by `cache`, which is shared across refinement rounds so a
   /// re-derived group never rebuilds its view.
+  [[nodiscard]]
   Result<TdacReport> RunPass(const DatasetLike& data, RestrictionCache* cache,
                              const GroundTruth* reference) const;
 

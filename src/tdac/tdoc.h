@@ -59,8 +59,10 @@ class Tdoc : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
+  [[nodiscard]]
   Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
 
+  [[nodiscard]]
   Result<TdocReport> DiscoverWithReport(const DatasetLike& data) const;
 
   const TdocOptions& options() const { return options_; }

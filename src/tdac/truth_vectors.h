@@ -33,11 +33,13 @@ struct TruthVectorMatrix {
 
 /// Builds the truth-vector matrix for all active attributes of `data`,
 /// against an explicit reference truth.
+[[nodiscard]]
 Result<TruthVectorMatrix> BuildTruthVectors(const DatasetLike& data,
                                             const GroundTruth& reference);
 
 /// Convenience: first runs `base` on the whole dataset to obtain the
 /// reference truth (the paper's buildTruthVectors(F, A, O, S)).
+[[nodiscard]]
 Result<TruthVectorMatrix> BuildTruthVectors(const TruthDiscovery& base,
                                             const DatasetLike& data);
 

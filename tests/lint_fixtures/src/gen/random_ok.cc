@@ -1,0 +1,23 @@
+// Rule `random`, passing variants: the project RNG, identifiers that merely
+// contain "rand", time() used for wall-clock (not seeding), and a reasoned
+// waiver for an intentionally nondeterministic utility.
+#include <ctime>
+
+#include "common/random.h"
+
+namespace tdac {
+
+double SeededNoise(uint64_t seed) {
+  Rng rng(seed);
+  double stranded = rng.NextDouble();  // "rand" inside a word is fine
+  std::time_t stamp = std::time(&stamp);
+  return stranded + static_cast<double>(stamp);
+}
+
+uint64_t WallClockSeed() {
+  // lint: random-ok (explicit opt-in entropy for the CLI's --seed=auto)
+  std::random_device entropy;
+  return entropy();
+}
+
+}  // namespace tdac

@@ -1,0 +1,17 @@
+// Rule `random`: every statement below bypasses the seeded tdac::Rng —
+// five findings expected (rand, srand with time-seeding counts twice:
+// srand() and time(0); random_device; mt19937).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace tdac {
+
+int UnseededNoise() {
+  std::srand(static_cast<unsigned>(std::time(0)));
+  std::random_device entropy;
+  std::mt19937 engine(entropy());
+  return std::rand() + static_cast<int>(engine());
+}
+
+}  // namespace tdac

@@ -1,0 +1,13 @@
+// Iterates a member whose unordered type is only visible in the sibling
+// header — must produce one `unordered` finding (float sum, order matters).
+#include "sibling_pair.h"
+
+namespace tdac {
+
+double SumConfidence(const RunStats& stats) {
+  double sum = 0.0;
+  for (const auto& [key, conf] : stats.confidence) sum += conf;
+  return sum;
+}
+
+}  // namespace tdac

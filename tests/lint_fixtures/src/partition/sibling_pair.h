@@ -1,0 +1,20 @@
+// Sibling half of the unordered-rule pair: the container is declared here,
+// in the header, while the iteration happens in sibling_pair.cc. The lint
+// must share declared names across the .h/.cc pair to catch it.
+#ifndef FIXTURE_SIBLING_PAIR_H_
+#define FIXTURE_SIBLING_PAIR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace tdac {
+
+struct RunStats {
+  std::unordered_map<uint64_t, double> confidence;
+};
+
+double SumConfidence(const RunStats& stats);
+
+}  // namespace tdac
+
+#endif  // FIXTURE_SIBLING_PAIR_H_

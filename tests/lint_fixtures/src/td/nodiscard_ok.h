@@ -1,0 +1,36 @@
+// Rule `nodiscard`, passing variants: annotated declarations, an explicit
+// waiver, reference returns (nothing to discard-check), uses that are not
+// declarations (locals, parameters, factory calls, lambdas), and the
+// attribute on its own line.
+#ifndef FIXTURE_NODISCARD_OK_H_
+#define FIXTURE_NODISCARD_OK_H_
+
+#include "common/result.h"
+
+namespace tdac {
+
+[[nodiscard]] Status FrobTheThing(int knob);
+
+Status LegacyShim();  // lint: nodiscard-ok (C API shim, callers pre-date Status)
+
+class Frobber {
+ public:
+  [[nodiscard]] static Result<int> Frob(const Frobber& other);
+  [[nodiscard]]
+  Result<std::vector<int>> FrobMany(int count) const;
+  const Status& last_status() const { return last_status_; }
+  void Consume(Status incoming) { last_status_ = std::move(incoming); }
+
+  [[nodiscard]] Status Run() {
+    Status local = Status::OK();
+    auto thunk = []() -> Status { return Status::OK(); };
+    return thunk().ok() ? local : Status::Internal("thunk failed");
+  }
+
+ private:
+  Status last_status_;
+};
+
+}  // namespace tdac
+
+#endif  // FIXTURE_NODISCARD_OK_H_

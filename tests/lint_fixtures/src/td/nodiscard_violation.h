@@ -1,0 +1,19 @@
+// Rule `nodiscard`: both declarations below return an error-carrying type
+// by value without [[nodiscard]] — each must produce one finding.
+#ifndef FIXTURE_NODISCARD_VIOLATION_H_
+#define FIXTURE_NODISCARD_VIOLATION_H_
+
+#include "common/result.h"
+
+namespace tdac {
+
+Status FrobTheThing(int knob);
+
+class Frobber {
+ public:
+  static Result<int> Frob(const Frobber& other);
+};
+
+}  // namespace tdac
+
+#endif  // FIXTURE_NODISCARD_VIOLATION_H_

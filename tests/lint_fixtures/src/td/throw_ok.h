@@ -1,0 +1,21 @@
+// Rule `throw`, passing variants: the word in comments/strings, and a
+// waived rethrow helper (the parallel layer captures exceptions from
+// worker threads and rethrows them on the caller's side).
+#ifndef FIXTURE_THROW_OK_H_
+#define FIXTURE_THROW_OK_H_
+
+#include <exception>
+
+namespace tdac {
+
+// Never throw across the public API; return a Status instead.
+inline const char* Motto() { return "we throw nothing"; }
+
+inline void RethrowCaptured(std::exception_ptr captured) {
+  // lint: throw-ok (rethrow of a worker-thread exception on the caller)
+  if (captured) std::rethrow_exception(captured);
+}
+
+}  // namespace tdac
+
+#endif  // FIXTURE_THROW_OK_H_

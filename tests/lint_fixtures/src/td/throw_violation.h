@@ -1,0 +1,16 @@
+// Rule `throw`: a throw in a public API header (src/td/) — one finding.
+#ifndef FIXTURE_THROW_VIOLATION_H_
+#define FIXTURE_THROW_VIOLATION_H_
+
+#include <stdexcept>
+
+namespace tdac {
+
+inline int MustBePositive(int v) {
+  if (v <= 0) throw std::invalid_argument("v must be positive");
+  return v;
+}
+
+}  // namespace tdac
+
+#endif  // FIXTURE_THROW_VIOLATION_H_

@@ -1,0 +1,28 @@
+// Rule `unordered`: this file lives under src/td/ (path-scoped rule), so
+// the range-for over the map, the range-for over the accessor call, and
+// the .begin() traversal must each produce one finding.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tdac {
+
+class ConflictIndex {
+ public:
+  const std::unordered_set<int>& sources() const { return sources_; }
+
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [key, weight] : weights_) sum += weight;
+    for (int s : sources()) sum += s;
+    for (auto it = weights_.begin(); it != weights_.end(); ++it) {
+      sum += it->second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, double> weights_;
+  std::unordered_set<int> sources_;
+};
+
+}  // namespace tdac

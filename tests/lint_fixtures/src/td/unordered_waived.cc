@@ -1,0 +1,28 @@
+// Rule `unordered`, passing variants: waivers on the offending line and on
+// the line above, iteration over ordered containers, and non-iterating
+// unordered-map use (lookup / insert), none of which may fire.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace tdac {
+
+class WaivedIndex {
+ public:
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [key, weight] : weights_) sum += 1.0;  // lint: unordered-ok (count)
+    // lint: unordered-ok (max of ints is order-independent)
+    for (const auto& [key, weight] : weights_) sum = sum > key ? sum : key;
+    for (double w : ordered_) sum += w;
+    for (const auto& [key, w] : sorted_) sum += w;
+    return sum + static_cast<double>(weights_.count(0));
+  }
+
+ private:
+  std::unordered_map<int, double> weights_;
+  std::vector<double> ordered_;
+  std::map<int, double> sorted_;
+};
+
+}  // namespace tdac

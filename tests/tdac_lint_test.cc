@@ -1,0 +1,200 @@
+// End-to-end tests for tools/lint/tdac_lint.cc, driven through the real
+// binary (no linking against the tool): each test shells out to
+// TDAC_LINT_BIN against the fixture corpus under tests/lint_fixtures/ and
+// asserts on exit codes and the `file:line: [rule]` lines it prints.
+//
+// The fixture tree mirrors the real layout (src/td/, src/partition/, ...)
+// because the unordered/throw/random rules are path-scoped; pointing
+// --root at the corpus makes the same path predicates apply.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tdac {
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+  std::vector<std::string> lines;
+};
+
+std::string LintBinary() {
+  const char* bin = std::getenv("TDAC_LINT_BIN");
+  return bin != nullptr ? bin : TDAC_LINT_BIN;
+}
+
+// Runs `tdac_lint --root <root> [files...]` and captures stdout+stderr.
+LintRun RunLint(const std::string& root,
+                const std::vector<std::string>& files = {}) {
+  std::string cmd = "'" + LintBinary() + "' --root '" + root + "'";
+  for (const std::string& f : files) cmd += " '" + f + "'";
+  cmd += " 2>&1";
+
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    run.output += buf.data();
+  }
+  int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+
+  std::istringstream iss(run.output);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (!line.empty()) run.lines.push_back(line);
+  }
+  return run;
+}
+
+int CountFindings(const LintRun& run, const std::string& file,
+                  const std::string& rule) {
+  int n = 0;
+  for (const std::string& line : run.lines) {
+    if (line.find(file) != std::string::npos &&
+        line.find("[" + rule + "]") != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool HasFindingAt(const LintRun& run, const std::string& file, int line_no,
+                  const std::string& rule) {
+  std::string prefix = file + ":" + std::to_string(line_no) + ": ";
+  for (const std::string& line : run.lines) {
+    if (line.rfind(prefix, 0) == 0 &&
+        line.find("[" + rule + "]") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class TdacLintTest : public ::testing::Test {
+ protected:
+  static const LintRun& CorpusRun() {
+    static const LintRun run = RunLint(TDAC_LINT_FIXTURES);
+    return run;
+  }
+};
+
+TEST_F(TdacLintTest, CorpusScanFindsViolationsAndExitsNonZero) {
+  const LintRun& run = CorpusRun();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("findings"), std::string::npos) << run.output;
+}
+
+TEST_F(TdacLintTest, NodiscardRule) {
+  const LintRun& run = CorpusRun();
+  EXPECT_EQ(CountFindings(run, "src/td/nodiscard_violation.h", "nodiscard"), 2)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/nodiscard_violation.h", 10,
+                           "nodiscard"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/nodiscard_violation.h", 14,
+                           "nodiscard"))
+      << run.output;
+  // Annotated declarations, waivers, references, locals, and lambdas in the
+  // companion fixture must all pass.
+  EXPECT_EQ(CountFindings(run, "src/td/nodiscard_ok.h", "nodiscard"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, UnorderedRule) {
+  const LintRun& run = CorpusRun();
+  // Range-for over a member, over an accessor call, and explicit .begin().
+  EXPECT_EQ(CountFindings(run, "src/td/unordered_violation.cc", "unordered"),
+            3)
+      << run.output;
+  EXPECT_TRUE(
+      HasFindingAt(run, "src/td/unordered_violation.cc", 15, "unordered"))
+      << run.output;
+  EXPECT_TRUE(
+      HasFindingAt(run, "src/td/unordered_violation.cc", 16, "unordered"))
+      << run.output;
+  EXPECT_TRUE(
+      HasFindingAt(run, "src/td/unordered_violation.cc", 17, "unordered"))
+      << run.output;
+  // Same-line and previous-line waivers plus ordered containers: clean.
+  EXPECT_EQ(CountFindings(run, "src/td/unordered_waived.cc", "unordered"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, UnorderedRuleSeesSiblingHeaderDeclarations) {
+  const LintRun& run = CorpusRun();
+  // The unordered_map member is declared in sibling_pair.h; the iteration
+  // in sibling_pair.cc must still be caught via .h/.cc name sharing.
+  EXPECT_TRUE(
+      HasFindingAt(run, "src/partition/sibling_pair.cc", 9, "unordered"))
+      << run.output;
+  EXPECT_EQ(CountFindings(run, "src/partition/sibling_pair.h", "unordered"),
+            0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, RandomRule) {
+  const LintRun& run = CorpusRun();
+  // srand + time(0) seeding + random_device + mt19937 + rand.
+  EXPECT_EQ(CountFindings(run, "src/gen/random_violation.cc", "random"), 5)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/gen/random_violation.cc", 11, "random"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/gen/random_violation.cc", 14, "random"))
+      << run.output;
+  // Waived entropy, wall-clock time(), and "rand" inside words: clean.
+  EXPECT_EQ(CountFindings(run, "src/gen/random_ok.cc", "random"), 0)
+      << run.output;
+  // src/common/random.* is the designated home for raw entropy.
+  EXPECT_EQ(CountFindings(run, "src/common/random.cc", "random"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, ThrowRule) {
+  const LintRun& run = CorpusRun();
+  EXPECT_TRUE(HasFindingAt(run, "src/td/throw_violation.h", 10, "throw"))
+      << run.output;
+  EXPECT_EQ(CountFindings(run, "src/td/throw_violation.h", "throw"), 1)
+      << run.output;
+  // Comments, string literals, and the waived rethrow helper: clean.
+  EXPECT_EQ(CountFindings(run, "src/td/throw_ok.h", "throw"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, ExplicitFileListScansOnlyThoseFiles) {
+  LintRun run =
+      RunLint(TDAC_LINT_FIXTURES, {"src/td/throw_violation.h"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountFindings(run, "src/td/throw_violation.h", "throw"), 1)
+      << run.output;
+  EXPECT_EQ(CountFindings(run, "src/gen/random_violation.cc", "random"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, CleanExplicitFileExitsZero) {
+  LintRun run = RunLint(TDAC_LINT_FIXTURES, {"src/td/throw_ok.h"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(TdacLintTest, MissingFileExitsWithUsageError) {
+  LintRun run = RunLint(TDAC_LINT_FIXTURES, {"src/td/does_not_exist.h"});
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+// The gate the CI lint job enforces: the real tree must stay clean. Any
+// finding here means a change landed without its annotation or waiver.
+TEST_F(TdacLintTest, RealTreeSelfCheckIsClean) {
+  LintRun run = RunLint(TDAC_SOURCE_ROOT);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("OK"), std::string::npos) << run.output;
+}
+
+}  // namespace
+}  // namespace tdac
