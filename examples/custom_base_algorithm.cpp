@@ -22,8 +22,13 @@ class ConfidenceWeightedVote : public tdac::TruthDiscovery {
  public:
   std::string_view name() const override { return "ConfidenceWeightedVote"; }
 
-  tdac::Result<tdac::TruthDiscoveryResult> Discover(
-      const tdac::DatasetLike& data) const override {
+ protected:
+  // Extension point: implementations override DiscoverGuarded. This
+  // algorithm is a two-pass one-shot (no iterative loop), so there is no
+  // boundary at which the guard could usefully trip — it is simply unused.
+  tdac::Result<tdac::TruthDiscoveryResult> DiscoverGuarded(
+      const tdac::DatasetLike& data,
+      const tdac::RunGuard& /*guard*/) const override {
     // Pass 1: plain majority to estimate per-source agreement.
     tdac::MajorityVote majority;
     TDAC_ASSIGN_OR_RETURN(tdac::TruthDiscoveryResult first,

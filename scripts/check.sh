@@ -6,6 +6,8 @@
 #   scripts/check.sh asan     # AddressSanitizer+UBSan build + ctest
 #   scripts/check.sh ubsan    # standalone UBSan build + ctest
 #   scripts/check.sh lint     # tdac_lint + clang-tidy (if installed)
+#   scripts/check.sh robust   # robustness/corruption/edge-case suites
+#                             # under ASan+UBSan (fault-injection gate)
 #
 # The sanitizer modes exist for the parallel execution layer
 # (src/common/thread_pool.*, parallel.*, and everything that fans out over
@@ -46,8 +48,26 @@ case "$mode" in
     echo "check.sh: lint OK"
     exit 0
     ;;
+  robust)
+    # The fault-injection gate: run the guard/corruption/edge-case suites
+    # under ASan+UBSan so "never crash, hang, or go non-finite" is checked
+    # with memory and UB detection on, and with a hard per-test timeout so
+    # a hang fails instead of stalling. Reuses the asan build tree.
+    build_dir=build-asan
+    cmake -B "$build_dir" -S . -DTDAC_SANITIZE=address
+    cmake --build "$build_dir" -j "$(nproc)"
+    echo "== ctest (robust) =="
+    TDAC_THREADS=8 \
+    ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
+    UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}" \
+      ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        --timeout 300 \
+        -R 'run_guard_test|corrupt_test|robustness_test|edge_cases_test|crh_test|kmeans_test|csv_test|dataset_io_test|value_test'
+    echo "check.sh: robust OK"
+    exit 0
+    ;;
   *)
-    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint]" >&2
+    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|robust]" >&2
     exit 2
     ;;
 esac

@@ -36,6 +36,7 @@ struct LloydOutcome {
   std::vector<FeatureVector> centroids;
   double inertia = 0.0;
   int iterations = 0;
+  bool converged = false;
 };
 
 LloydOutcome RunLloyd(const std::vector<FeatureVector>& points, int k,
@@ -106,9 +107,13 @@ LloydOutcome RunLloyd(const std::vector<FeatureVector>& points, int k,
       }
     }
 
-    if (!changed) break;
+    if (!changed) {
+      out.converged = true;
+      break;
+    }
     if (prev_inertia - inertia >= 0 &&
         prev_inertia - inertia < options.tolerance && iter > 0) {
+      out.converged = true;
       break;
     }
     prev_inertia = inertia;
@@ -161,6 +166,7 @@ Result<KMeansResult> KMeans(const std::vector<FeatureVector>& points,
   result.centroids = std::move(best.centroids);
   result.inertia = best.inertia;
   result.iterations = best.iterations;
+  result.converged = best.converged;
   result.cluster_sizes.assign(static_cast<size_t>(options.k), 0);
   for (int a : result.assignment) {
     ++result.cluster_sizes[static_cast<size_t>(a)];

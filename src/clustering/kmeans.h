@@ -41,6 +41,11 @@ struct KMeansResult {
   /// Lloyd iterations of the winning restart.
   int iterations = 0;
 
+  /// Whether the winning restart's Lloyd loop stopped on its own
+  /// (assignment fixpoint or inertia tolerance) rather than hitting
+  /// max_iterations with the assignment still moving.
+  bool converged = false;
+
   /// Points per cluster.
   std::vector<int> cluster_sizes;
 };

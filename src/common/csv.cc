@@ -36,11 +36,19 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
                                                        char delimiter) {
-  std::vector<std::vector<std::string>> rows;
+  TDAC_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsvWithLines(text, delimiter));
+  return std::move(doc.rows);
+}
+
+Result<CsvDocument> ParseCsvWithLines(std::string_view text, char delimiter) {
+  CsvDocument doc;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  size_t line = 1;            // physical line currently being scanned
+  size_t row_start_line = 1;  // line on which the in-progress row began
+  size_t quote_open_line = 1;
   size_t i = 0;
   const size_t n = text.size();
   auto end_field = [&] {
@@ -50,7 +58,8 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
   };
   auto end_row = [&] {
     end_field();
-    rows.push_back(std::move(row));
+    doc.rows.push_back(std::move(row));
+    doc.row_lines.push_back(row_start_line);
     row.clear();
   };
   while (i < n) {
@@ -65,12 +74,14 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
           ++i;
         }
       } else {
+        if (c == '\n') ++line;  // quoted fields may span physical lines
         field += c;
         ++i;
       }
     } else if (c == '"' && !field_started && field.empty()) {
       in_quotes = true;
       field_started = true;
+      quote_open_line = line;
       ++i;
     } else if (c == delimiter) {
       end_field();
@@ -82,9 +93,13 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
       end_row();
       ++i;
       if (i < n && text[i] == '\n') ++i;
+      ++line;
+      row_start_line = line;
     } else if (c == '\n') {
       end_row();
       ++i;
+      ++line;
+      row_start_line = line;
     } else {
       field += c;
       field_started = true;
@@ -92,12 +107,14 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
     }
   }
   if (in_quotes) {
-    return Status::InvalidArgument("CSV ends inside a quoted field");
+    return Status::InvalidArgument(
+        "CSV ends inside a quoted field (quote opened on line " +
+        std::to_string(quote_open_line) + ")");
   }
   if (field_started || !field.empty() || !row.empty()) {
     end_row();
   }
-  return rows;
+  return doc;
 }
 
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(

@@ -30,10 +30,25 @@ class CsvWriter {
   std::string buffer_;
 };
 
+/// \brief A parsed CSV document with provenance: `rows[i]` began on
+/// physical 1-based line `row_lines[i]` of the input. Quoted fields may
+/// span lines, so row index and line number can diverge — error messages
+/// should always cite the line number, not the row index.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<size_t> row_lines;
+};
+
 /// Parses a full CSV document into rows of fields.
 [[nodiscard]]
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
                                                        char delimiter = ',');
+
+/// Like ParseCsv but also records the 1-based starting line of each row,
+/// for ingestion errors that point at the offending input line.
+[[nodiscard]]
+Result<CsvDocument> ParseCsvWithLines(std::string_view text,
+                                      char delimiter = ',');
 
 /// Reads and parses a CSV file from disk.
 [[nodiscard]] Result<std::vector<std::vector<std::string>>> ReadCsvFile(

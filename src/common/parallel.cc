@@ -28,14 +28,17 @@ struct LoopState {
   std::exception_ptr first_error;  // guarded by mutex
 
   const std::function<void(size_t)>* body = nullptr;
+  const RunGuard* guard = nullptr;
 
-  /// Claims and runs iterations until the counter is exhausted.
+  /// Claims and runs iterations until the counter is exhausted. When the
+  /// guard trips, claimed iterations are skipped but still counted as done
+  /// so the caller's completion wait terminates.
   void Work() {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
       try {
-        (*body)(i);
+        if (guard == nullptr || !guard->ShouldStop()) (*body)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!first_error) first_error = std::current_exception();
@@ -59,14 +62,21 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& body,
   int width = options.max_parallelism > 0
                   ? std::min(options.max_parallelism, pool->num_threads())
                   : pool->num_threads();
+  const RunGuard* guard =
+      options.guard != nullptr && options.guard->active() ? options.guard
+                                                          : nullptr;
   if (width <= 1 || n < options.min_parallel_iterations ||
       pool->num_workers() == 0) {
-    for (size_t i = 0; i < n; ++i) body(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (guard != nullptr && guard->ShouldStop()) break;
+      body(i);
+    }
     return;
   }
 
   auto state = std::make_shared<LoopState>(n);
   state->body = &body;
+  state->guard = guard;
   // The caller is one worker; helpers never outnumber remaining iterations.
   const size_t helpers =
       std::min<size_t>(static_cast<size_t>(width) - 1, n - 1);

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/run_guard.h"
 #include "common/thread_pool.h"
 
 namespace tdac {
@@ -20,6 +21,14 @@ struct ParallelForOptions {
   /// Loops with fewer iterations than this stay serial (fan-out overhead
   /// is not worth paying for tiny trip counts).
   size_t min_parallel_iterations = 2;
+
+  /// Optional run guard (not owned). When it trips (cancellation or
+  /// deadline), remaining iterations are *skipped*: the loop still returns
+  /// only after every index was either run or skipped, so slot-write
+  /// determinism is preserved for the iterations that did run. Callers that
+  /// set a guard must tolerate untouched output slots and are expected to
+  /// re-check the guard after the loop to label the result degraded.
+  const RunGuard* guard = nullptr;
 };
 
 /// \brief Runs `body(i)` for every i in [0, n), fanning the iterations out

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <unordered_map>
+#include <utility>
 
 #include "common/csv.h"
 #include "common/string_util.h"
@@ -28,7 +29,27 @@ Result<Value::Kind> ParseKind(const std::string& s) {
   if (s == "string") return Value::Kind::kString;
   if (s == "int") return Value::Kind::kInt;
   if (s == "double") return Value::Kind::kDouble;
-  return Status::InvalidArgument("unknown value kind: " + s);
+  return Status::InvalidArgument("unknown value kind '" + s + "'");
+}
+
+/// Prefixes an ingestion error with the 1-based input line and the field
+/// that failed, e.g. `claim CSV line 7, field "kind": ...`.
+Status AtLine(const std::string& file_kind, size_t line,
+              const std::string& field, const Status& status) {
+  return Status(status.code(), file_kind + " line " + std::to_string(line) +
+                                   ", field \"" + field +
+                                   "\": " + status.message());
+}
+
+/// Parses the typed value of a row, reporting the offending text on error.
+Result<Value> ParseRowValue(const std::string& file_kind, size_t line,
+                            const std::string& kind_text,
+                            const std::string& value_text) {
+  Result<Value::Kind> kind = ParseKind(kind_text);
+  if (!kind.ok()) return AtLine(file_kind, line, "kind", kind.status());
+  Result<Value> value = Value::FromTextChecked(kind.value(), value_text);
+  if (!value.ok()) return AtLine(file_kind, line, "value", value.status());
+  return value;
 }
 
 }  // namespace
@@ -45,18 +66,22 @@ std::string DatasetToCsv(const Dataset& dataset) {
 }
 
 Result<Dataset> DatasetFromCsv(const std::string& text) {
-  TDAC_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
-  if (rows.empty()) return Status::InvalidArgument("empty claim CSV");
+  TDAC_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsvWithLines(text));
+  if (doc.rows.empty()) return Status::InvalidArgument("empty claim CSV");
   DatasetBuilder builder;
-  for (size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
+  for (size_t i = 1; i < doc.rows.size(); ++i) {
+    const auto& row = doc.rows[i];
+    const size_t line = doc.row_lines[i];
     if (row.size() != 5) {
-      return Status::InvalidArgument("claim CSV row " + std::to_string(i) +
-                                     " must have 5 fields");
+      return Status::InvalidArgument(
+          "claim CSV line " + std::to_string(line) + ": expected 5 fields "
+          "(source,object,attribute,kind,value), got " +
+          std::to_string(row.size()));
     }
-    TDAC_ASSIGN_OR_RETURN(Value::Kind kind, ParseKind(row[3]));
+    TDAC_ASSIGN_OR_RETURN(Value value,
+                          ParseRowValue("claim CSV", line, row[3], row[4]));
     TDAC_RETURN_NOT_OK(
-        builder.AddClaim(row[0], row[1], row[2], Value::FromText(kind, row[4])));
+        builder.AddClaim(row[0], row[1], row[2], std::move(value)));
   }
   return builder.Build();
 }
@@ -86,7 +111,8 @@ std::string GroundTruthToCsv(const GroundTruth& truth,
 
 Result<GroundTruth> GroundTruthFromCsv(const std::string& text,
                                        const Dataset& dataset) {
-  TDAC_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  TDAC_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsvWithLines(text));
+  const auto& rows = doc.rows;
   if (rows.empty()) return Status::InvalidArgument("empty truth CSV");
   std::unordered_map<std::string, ObjectId> objects;
   for (int o = 0; o < dataset.num_objects(); ++o) {
@@ -99,20 +125,25 @@ Result<GroundTruth> GroundTruthFromCsv(const std::string& text,
   GroundTruth truth;
   for (size_t i = 1; i < rows.size(); ++i) {
     const auto& row = rows[i];
+    const size_t line = doc.row_lines[i];
     if (row.size() != 4) {
-      return Status::InvalidArgument("truth CSV row " + std::to_string(i) +
-                                     " must have 4 fields");
+      return Status::InvalidArgument(
+          "truth CSV line " + std::to_string(line) + ": expected 4 fields "
+          "(object,attribute,kind,value), got " + std::to_string(row.size()));
     }
     auto oit = objects.find(row[0]);
     if (oit == objects.end()) {
-      return Status::NotFound("unknown object: " + row[0]);
+      return AtLine("truth CSV", line, "object",
+                    Status::NotFound("unknown object '" + row[0] + "'"));
     }
     auto ait = attributes.find(row[1]);
     if (ait == attributes.end()) {
-      return Status::NotFound("unknown attribute: " + row[1]);
+      return AtLine("truth CSV", line, "attribute",
+                    Status::NotFound("unknown attribute '" + row[1] + "'"));
     }
-    TDAC_ASSIGN_OR_RETURN(Value::Kind kind, ParseKind(row[2]));
-    truth.Set(oit->second, ait->second, Value::FromText(kind, row[3]));
+    TDAC_ASSIGN_OR_RETURN(Value value,
+                          ParseRowValue("truth CSV", line, row[2], row[3]));
+    truth.Set(oit->second, ait->second, std::move(value));
   }
   return truth;
 }
@@ -138,7 +169,8 @@ std::string SourceTrustToCsv(const std::vector<double>& trust,
 
 Result<std::vector<double>> SourceTrustFromCsv(const std::string& text,
                                                const Dataset& dataset) {
-  TDAC_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  TDAC_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsvWithLines(text));
+  const auto& rows = doc.rows;
   if (rows.empty()) return Status::InvalidArgument("empty trust CSV");
   std::unordered_map<std::string, SourceId> sources;
   for (int s = 0; s < dataset.num_sources(); ++s) {
@@ -147,16 +179,23 @@ Result<std::vector<double>> SourceTrustFromCsv(const std::string& text,
   std::vector<double> trust(static_cast<size_t>(dataset.num_sources()), 0.0);
   for (size_t i = 1; i < rows.size(); ++i) {
     const auto& row = rows[i];
+    const size_t line = doc.row_lines[i];
     if (row.size() != 2) {
-      return Status::InvalidArgument("trust CSV row " + std::to_string(i) +
-                                     " must have 2 fields");
+      return Status::InvalidArgument(
+          "trust CSV line " + std::to_string(line) +
+          ": expected 2 fields (source,trust), got " +
+          std::to_string(row.size()));
     }
     auto it = sources.find(row[0]);
     if (it == sources.end()) {
-      return Status::NotFound("unknown source: " + row[0]);
+      return AtLine("trust CSV", line, "source",
+                    Status::NotFound("unknown source '" + row[0] + "'"));
     }
-    Value parsed = Value::FromText(Value::Kind::kDouble, row[1]);
-    trust[static_cast<size_t>(it->second)] = parsed.AsDouble();
+    Result<Value> parsed = Value::FromTextChecked(Value::Kind::kDouble, row[1]);
+    if (!parsed.ok()) {
+      return AtLine("trust CSV", line, "trust", parsed.status());
+    }
+    trust[static_cast<size_t>(it->second)] = parsed.value().AsDouble();
   }
   return trust;
 }

@@ -76,9 +76,53 @@ Value Value::FromText(Kind kind, std::string_view text) {
   return Value();
 }
 
+Result<Value> Value::FromTextChecked(Kind kind, std::string_view text) {
+  switch (kind) {
+    case Kind::kString:
+      return Value(std::string(text));
+    case Kind::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (text.empty() || ec != std::errc() ||
+          ptr != text.data() + text.size()) {
+        return Status::InvalidArgument("not an integer: '" +
+                                       std::string(text) + "'");
+      }
+      return Value(v);
+    }
+    case Kind::kDouble: {
+      std::string tmp(text);
+      char* end = nullptr;
+      double v = std::strtod(tmp.c_str(), &end);
+      // strtod on an empty string "succeeds" with end == begin == the
+      // terminator, so the emptiness check is load-bearing.
+      if (tmp.empty() || end != tmp.c_str() + tmp.size()) {
+        return Status::InvalidArgument("not a number: '" + tmp + "'");
+      }
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite number: '" + tmp + "'");
+      }
+      return Value(v);
+    }
+  }
+  return Status::InvalidArgument("unknown value kind");
+}
+
 bool Value::operator<(const Value& other) const {
   if (rep_.index() != other.rep_.index()) {
     return rep_.index() < other.rep_.index();
+  }
+  if (is_double()) {
+    // NaN payloads break std::variant's raw `<` (strict weak ordering
+    // requires trichotomy); sort every NaN after every number so
+    // deterministic tie-breaking survives corrupted data.
+    const double a = std::get<double>(rep_);
+    const double b = std::get<double>(other.rep_);
+    const bool a_nan = std::isnan(a);
+    const bool b_nan = std::isnan(b);
+    if (a_nan || b_nan) return !a_nan && b_nan;
+    return a < b;
   }
   return rep_ < other.rep_;
 }

@@ -6,6 +6,9 @@
 #include <string_view>
 #include <variant>
 
+#include "common/result.h"
+#include "common/status.h"
+
 namespace tdac {
 
 /// \brief A typed claim value: string, 64-bit integer, or double.
@@ -48,7 +51,16 @@ class Value {
   std::string ToString() const;
 
   /// Parses a typed value from text produced by ToString plus a kind tag.
+  /// Lenient: malformed numerics log a warning and default to 0. Use
+  /// FromTextChecked at ingestion boundaries where garbage must be refused.
   static Value FromText(Kind kind, std::string_view text);
+
+  /// Strict parse: rejects text with trailing garbage, empty numerics, and
+  /// non-finite doubles (nan/inf) instead of silently defaulting. This is
+  /// what dataset ingestion uses so corrupted input surfaces as a Status
+  /// with the offending text rather than a fabricated 0.
+  [[nodiscard]]
+  static Result<Value> FromTextChecked(Kind kind, std::string_view text);
 
   /// Exact equality: same kind and same payload. An int 2 and a double 2.0
   /// are *different* values (sources claiming "2" vs "2.0" disagree).

@@ -6,13 +6,16 @@ namespace tdac {
 
 Result<ExperimentRow> RunExperiment(const TruthDiscovery& algorithm,
                                     const Dataset& data,
-                                    const GroundTruth& gold) {
+                                    const GroundTruth& gold,
+                                    const RunGuard& guard) {
   ExperimentRow row;
   row.algorithm = std::string(algorithm.name());
   WallTimer timer;
-  TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult result, algorithm.Discover(data));
+  TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult result,
+                        algorithm.Discover(data, guard));
   row.seconds = timer.ElapsedSeconds();
   row.iterations = result.iterations;
+  row.stop_reason = result.stop_reason;
   row.metrics = Evaluate(data, result.predicted, gold);
   return row;
 }

@@ -22,13 +22,22 @@ struct ExperimentRow {
 
   /// Outer iterations; negative means "not applicable" (rendered "-").
   int iterations = 0;
+
+  /// Why the run stopped; anything other than kConverged/kMaxIterations
+  /// marks the row as degraded (deadline, cancellation, or numeric rail).
+  StopReason stop_reason = StopReason::kConverged;
+
+  bool degraded() const { return IsDegraded(stop_reason); }
 };
 
 /// Runs `algorithm` on `data`, times it, and evaluates against `gold`.
+/// An active `guard` is threaded through the run; a guarded row that
+/// tripped is still evaluated (best-so-far result) but labeled degraded.
 [[nodiscard]]
 Result<ExperimentRow> RunExperiment(const TruthDiscovery& algorithm,
                                     const Dataset& data,
-                                    const GroundTruth& gold);
+                                    const GroundTruth& gold,
+                                    const RunGuard& guard = RunGuard::None());
 
 /// Runs several algorithms on the same dataset; any individual failure
 /// fails the batch.

@@ -1,0 +1,74 @@
+#ifndef TDAC_GEN_CORRUPT_H_
+#define TDAC_GEN_CORRUPT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdac {
+
+/// \brief Seeded fault injection for claim-file CSV text.
+///
+/// Each mode simulates one real-world way a claim feed goes bad. The
+/// corruptor works on the *textual* claim CSV (not a built Dataset) so it
+/// can produce malformations — short rows, garbled bytes, "nan" literals —
+/// that the typed in-memory representation could never hold. The
+/// robustness suite feeds every mode to every registered algorithm and
+/// asserts the stack either refuses the input with a Status naming the
+/// offending line or returns a finite, stop-reason-labeled result.
+enum class CorruptionMode {
+  /// Randomly drops trailing fields from data rows (interrupted writes).
+  kTruncateRows = 0,
+  /// Overwrites random bytes with junk, including quotes and delimiters
+  /// (bit rot / encoding bugs); may break the CSV framing itself.
+  kGarbleBytes = 1,
+  /// Replaces numeric values with "nan" / "inf" / "-inf" literals.
+  kNonFiniteValues = 2,
+  /// Replaces numeric values with astronomically large magnitudes that
+  /// overflow naive exponentials downstream.
+  kWildValues = 3,
+  /// Emits exact duplicates of random claim rows (at-least-once feeds).
+  kDuplicateClaims = 4,
+  /// Adds a second claim by the same source for the same (object,
+  /// attribute) with a different value (self-contradicting source).
+  kContradictoryClaims = 5,
+  /// Rewrites the object of random rows to a fresh unique object, creating
+  /// objects covered by exactly one source (no corroboration possible).
+  kSingleSourceObjects = 6,
+  /// Forces every claim of one attribute to a single constant value
+  /// (zero-variance column: empty disagreement, degenerate clustering).
+  kConstantAttribute = 7,
+  /// Deletes every claim of one attribute (dead column; with rate >= 1 and
+  /// a single-attribute dataset this yields an empty claim file).
+  kEmptyAttribute = 8,
+};
+
+/// All modes, in enum order — the robustness suite iterates this.
+const std::vector<CorruptionMode>& AllCorruptionModes();
+
+std::string_view CorruptionModeName(CorruptionMode mode);
+
+struct CorruptionOptions {
+  CorruptionMode mode = CorruptionMode::kTruncateRows;
+
+  /// Seed for the corruptor's own Rng; same seed + same input -> same
+  /// corrupted bytes.
+  uint64_t seed = 42;
+
+  /// Fraction of eligible rows (or bytes, for kGarbleBytes) hit. At least
+  /// one site is always corrupted, so rate 0 still injects one fault.
+  double rate = 0.25;
+};
+
+/// Returns a corrupted copy of `claim_csv` (a claim file as produced by
+/// DatasetToCsv). The header row is never touched. Input that does not
+/// parse as CSV is byte-garbled instead of row-corrupted, so the function
+/// always injects *something*.
+[[nodiscard]]
+std::string CorruptClaimCsv(const std::string& claim_csv,
+                            const CorruptionOptions& options);
+
+}  // namespace tdac
+
+#endif  // TDAC_GEN_CORRUPT_H_

@@ -15,14 +15,20 @@ GenPartitionAlgorithm::GenPartitionAlgorithm(GenPartitionOptions options)
           std::string(WeightingFunctionName(options_.weighting)) + ")";
 }
 
-Result<TruthDiscoveryResult> GenPartitionAlgorithm::Discover(
-    const DatasetLike& data) const {
-  TDAC_ASSIGN_OR_RETURN(GenPartitionReport report, DiscoverWithReport(data));
+Result<TruthDiscoveryResult> GenPartitionAlgorithm::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
+  TDAC_ASSIGN_OR_RETURN(GenPartitionReport report,
+                        DiscoverWithReport(data, guard));
   return std::move(report.result);
 }
 
 Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
     const DatasetLike& data) const {
+  return DiscoverWithReport(data, RunGuard::None());
+}
+
+Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("GenPartition: empty dataset");
   }
@@ -42,9 +48,10 @@ Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
         "); raise max_attributes explicitly if you really mean it");
   }
 
-  GroupRunner runner(options_.base, &data, options_.threads);
+  GroupRunner runner(options_.base, &data, options_.threads, &guard);
   GenPartitionReport report;
   bool have_best = false;
+  std::optional<StopReason> trip;
 
   // Candidate partitions are pulled from the (stateful, serial) enumerator
   // in batches; each batch is scored in parallel — concurrent Score calls
@@ -59,6 +66,8 @@ Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
   SetPartitionEnumerator enumerator(n);
   bool exhausted = false;
   while (!exhausted) {
+    trip = guard.ShouldStop();
+    if (trip) break;  // best-so-far exits below
     std::vector<AttributePartition> batch;
     batch.reserve(batch_size);
     while (batch.size() < batch_size) {
@@ -95,9 +104,19 @@ Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
       }
     }
   }
+  if (!have_best) {
+    // Tripped before any batch was scored: the single all-attributes group
+    // (one base run on the full dataset) is the degenerate best-so-far.
+    report.best_partition = AttributePartition::Single(attributes);
+  }
   report.groups_evaluated = runner.groups_evaluated();
   TDAC_ASSIGN_OR_RETURN(report.result,
                         runner.Aggregate(report.best_partition));
+  if (trip) {
+    report.result.stop_reason =
+        CombineStopReasons(report.result.stop_reason, *trip);
+    report.result.converged = false;
+  }
   return report;
 }
 

@@ -63,14 +63,24 @@ class GenPartitionAlgorithm : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
   /// Like Discover but also returns which partition won and search stats.
   [[nodiscard]]
   Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data) const;
 
+  /// Guarded variant: the guard is checked between enumeration batches and
+  /// threaded through every base run; a tripped search returns the
+  /// best-scoring partition found so far (the single all-attributes group
+  /// if none was scored yet) labeled with the trip reason.
+  [[nodiscard]]
+  Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data,
+                                                const RunGuard& guard) const;
+
   const GenPartitionOptions& options() const { return options_; }
+
+ protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
 
  private:
   GenPartitionOptions options_;

@@ -17,14 +17,20 @@ GreedyPartitionAlgorithm::GreedyPartitionAlgorithm(GenPartitionOptions options)
           std::string(WeightingFunctionName(options_.weighting)) + ")";
 }
 
-Result<TruthDiscoveryResult> GreedyPartitionAlgorithm::Discover(
-    const DatasetLike& data) const {
-  TDAC_ASSIGN_OR_RETURN(GenPartitionReport report, DiscoverWithReport(data));
+Result<TruthDiscoveryResult> GreedyPartitionAlgorithm::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
+  TDAC_ASSIGN_OR_RETURN(GenPartitionReport report,
+                        DiscoverWithReport(data, guard));
   return std::move(report.result);
 }
 
 Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
     const DatasetLike& data) const {
+  return DiscoverWithReport(data, RunGuard::None());
+}
+
+Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("GreedyPartition: empty dataset");
   }
@@ -37,7 +43,7 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
   const int n = static_cast<int>(attributes.size());
   if (n < 1) return Status::InvalidArgument("GreedyPartition: no attributes");
 
-  GroupRunner runner(options_.base, &data, options_.threads);
+  GroupRunner runner(options_.base, &data, options_.threads, &guard);
   GenPartitionReport report;
   ParallelForOptions par;
   par.max_parallelism = runner.threads();
@@ -60,7 +66,10 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
   // taken serially in (i, j) order, which is exactly the serial loop's
   // tie-breaking (first-enumerated candidate wins a tied score).
   bool improved = true;
+  std::optional<StopReason> trip;
   while (improved && current.num_groups() > 1) {
+    trip = guard.ShouldStop();
+    if (trip) break;  // the current partition is the best-so-far
     improved = false;
     const auto& cur_groups = current.groups();
 
@@ -115,6 +124,11 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
   report.best_score = current_score;
   report.groups_evaluated = runner.groups_evaluated();
   TDAC_ASSIGN_OR_RETURN(report.result, runner.Aggregate(current));
+  if (trip) {
+    report.result.stop_reason =
+        CombineStopReasons(report.result.stop_reason, *trip);
+    report.result.converged = false;
+  }
   return report;
 }
 

@@ -24,15 +24,24 @@ class GreedyPartitionAlgorithm : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
   /// Like Discover but also reports the final partition and search stats
   /// (`partitions_explored` counts scored candidate partitions).
   [[nodiscard]]
   Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data) const;
 
+  /// Guarded variant: the guard is checked between merge waves and threaded
+  /// through every base run; a tripped search returns the best partition of
+  /// the completed waves labeled with the trip reason.
+  [[nodiscard]]
+  Result<GenPartitionReport> DiscoverWithReport(const DatasetLike& data,
+                                                const RunGuard& guard) const;
+
   const GenPartitionOptions& options() const { return options_; }
+
+ protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
 
  private:
   GenPartitionOptions options_;

@@ -8,10 +8,11 @@
 namespace tdac {
 
 GroupRunner::GroupRunner(const TruthDiscovery* base, const DatasetLike* data,
-                         int threads)
+                         int threads, const RunGuard* guard)
     : base_(base),
       data_(data),
       threads_(EffectiveThreadCount(threads)),
+      guard_(guard != nullptr ? guard : &RunGuard::None()),
       restrictions_(data) {
   TDAC_CHECK(base_ != nullptr) << "GroupRunner requires a base algorithm";
   TDAC_CHECK(data_ != nullptr) << "GroupRunner requires a dataset";
@@ -49,7 +50,7 @@ Result<const GroupRunner::GroupRun*> GroupRunner::Run(
     GroupRun& run = entry->run;
     run.claim_counts.assign(static_cast<size_t>(data_->num_sources()), 0);
     if (restricted.num_claims() > 0) {
-      Result<TruthDiscoveryResult> r = base_->Discover(restricted);
+      Result<TruthDiscoveryResult> r = base_->Discover(restricted, *guard_);
       if (!r.ok()) {
         entry->status = r.status();
         return;
@@ -58,6 +59,8 @@ Result<const GroupRunner::GroupRun*> GroupRunner::Run(
       run.predicted = std::move(result.predicted);
       run.confidence = std::move(result.confidence);
       run.trust = std::move(result.source_trust);
+      run.stop_reason = result.stop_reason;
+      run.converged = result.converged;
       for (int32_t id : restricted.claim_ids()) {
         ++run.claim_counts[static_cast<size_t>(
             restricted.claim(static_cast<size_t>(id)).source)];
@@ -147,6 +150,8 @@ Result<TruthDiscoveryResult> GroupRunner::Aggregate(
     for (const auto& [key, conf] : run->confidence) {
       result.confidence[key] = conf;
     }
+    result.stop_reason = CombineStopReasons(result.stop_reason,
+                                            run->stop_reason);
     for (size_t s = 0; s < num_sources; ++s) {
       if (run->trust.empty()) continue;
       trust_weighted[s] +=
@@ -154,6 +159,7 @@ Result<TruthDiscoveryResult> GroupRunner::Aggregate(
       trust_claims[s] += static_cast<double>(run->claim_counts[s]);
     }
   }
+  if (result.degraded()) result.converged = false;
   result.source_trust.assign(num_sources, 0.0);
   for (size_t s = 0; s < num_sources; ++s) {
     if (trust_claims[s] > 0) {

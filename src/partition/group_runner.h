@@ -40,15 +40,20 @@ class GroupRunner {
     std::unordered_map<uint64_t, double> confidence;
     std::vector<double> trust;         // per source
     std::vector<size_t> claim_counts;  // per source, claims inside the group
+    StopReason stop_reason = StopReason::kConverged;
+    bool converged = true;
   };
 
   /// Neither pointer is owned; both must outlive the runner. `data` may be
   /// an owning `Dataset` or a `DatasetView`. `threads` caps the
   /// per-partition fan-out of Score/Aggregate: 0 means the process default
   /// (TDAC_THREADS env, else hardware concurrency), 1 forces the serial
-  /// path.
+  /// path. `guard`, when given (not owned), is threaded through every
+  /// memoized base run; Aggregate's result carries the worst stop reason of
+  /// its groups. Note a memoized run keeps the stop reason of whichever
+  /// call computed it first.
   GroupRunner(const TruthDiscovery* base, const DatasetLike* data,
-              int threads = 0);
+              int threads = 0, const RunGuard* guard = nullptr);
 
   /// Memoized run of the base algorithm on `group` (sorted attribute ids).
   /// The returned pointer stays valid for the runner's lifetime.
@@ -100,6 +105,7 @@ class GroupRunner {
   const TruthDiscovery* base_;
   const DatasetLike* data_;
   const int threads_;
+  const RunGuard* guard_;  // never null; defaults to RunGuard::None()
 
   /// Zero-copy restriction views, shared across Run/Score/Aggregate; the
   /// run memo keys match the cache keys, so a group's view is built at

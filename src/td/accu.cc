@@ -19,7 +19,8 @@ double VoteWeight(double accuracy, double n_false) {
 
 }  // namespace
 
-Result<TruthDiscoveryResult> Accu::Discover(const DatasetLike& data) const {
+Result<TruthDiscoveryResult> Accu::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Accu: empty dataset");
   }
@@ -46,8 +47,15 @@ Result<TruthDiscoveryResult> Accu::Discover(const DatasetLike& data) const {
   std::vector<std::vector<double>> probs(items.size());
 
   TruthDiscoveryResult result;
+  result.stop_reason = StopReason::kMaxIterations;
   const int max_iter = std::max(1, options_.base.max_iterations);
   for (int iter = 0; iter < max_iter; ++iter) {
+    if (iter > 0) {
+      if (auto stop = guard.OnIteration()) {
+        result.stop_reason = *stop;
+        break;
+      }
+    }
     ++result.iterations;
 
     DependenceMatrix dependence(0);
@@ -119,6 +127,12 @@ Result<TruthDiscoveryResult> Accu::Discover(const DatasetLike& data) const {
       selected[it] = best;
     }
 
+    if (!AllFinite(probs)) {
+      // Keep the previous election and accuracies; probs is re-derived
+      // from them on the next run.
+      result.stop_reason = StopReason::kNonFinite;
+      break;
+    }
     if (options_.per_source_accuracy) {
       std::vector<double> new_accuracy(num_sources, 0.0);
       std::vector<double> counts(num_sources, 0.0);
@@ -141,12 +155,14 @@ Result<TruthDiscoveryResult> Accu::Discover(const DatasetLike& data) const {
       accuracy = std::move(new_accuracy);
       if (delta < options_.base.convergence_threshold && iter > 0) {
         result.converged = true;
+        result.stop_reason = StopReason::kConverged;
         break;
       }
     } else {
       // Fixed accuracy (DEPEN): stop when the election stabilizes.
       if (!selection_changed && iter > 0) {
         result.converged = true;
+        result.stop_reason = StopReason::kConverged;
         break;
       }
     }

@@ -56,12 +56,13 @@ class Accu : public TruthDiscovery {
 
   std::string_view name() const override { return "Accu"; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
   const AccuOptions& options() const { return options_; }
 
  protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
+
   AccuOptions options_;
 };
 

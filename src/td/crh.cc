@@ -7,7 +7,8 @@
 
 namespace tdac {
 
-Result<TruthDiscoveryResult> Crh::Discover(const DatasetLike& data) const {
+Result<TruthDiscoveryResult> Crh::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("CRH: empty dataset");
   }
@@ -28,9 +29,16 @@ Result<TruthDiscoveryResult> Crh::Discover(const DatasetLike& data) const {
   std::vector<std::vector<double>> votes(items.size());
 
   TruthDiscoveryResult result;
+  result.stop_reason = StopReason::kMaxIterations;
   const int max_iter = std::max(1, options_.base.max_iterations);
   std::vector<double> prev_loss(num_sources, 1.0);
   for (int iter = 0; iter < max_iter; ++iter) {
+    if (iter > 0) {
+      if (auto stop = guard.OnIteration()) {
+        result.stop_reason = *stop;
+        break;
+      }
+    }
     ++result.iterations;
 
     // Truth step: weighted vote per item.
@@ -61,17 +69,30 @@ Result<TruthDiscoveryResult> Crh::Discover(const DatasetLike& data) const {
       loss[s] = claim_counts[s] > 0.0 ? loss[s] / claim_counts[s] : 1.0;
       total_loss += loss[s];
     }
-    if (total_loss <= 0.0) total_loss = 1.0;
-    for (size_t s = 0; s < num_sources; ++s) {
-      double normalized =
-          std::max(loss[s] / total_loss, options_.loss_floor);
-      weight[s] = -std::log(normalized);
+    if (total_loss <= 0.0) {
+      // Every source agrees with the election (zero loss across the
+      // board): the -log(loss / total) weight is undefined, and with a
+      // zero loss_floor it used to blow up to -log(0). Uniform weights
+      // elect the same truths (the vote is scale-invariant).
+      std::fill(weight.begin(), weight.end(), 1.0);
+    } else {
+      for (size_t s = 0; s < num_sources; ++s) {
+        double normalized =
+            std::max(loss[s] / total_loss, options_.loss_floor);
+        weight[s] = -std::log(normalized);
+      }
     }
 
+    if (!AllFinite(weight)) {
+      // Keep the last finite weights; the election matches them.
+      result.stop_reason = StopReason::kNonFinite;
+      break;
+    }
     double change = td_internal::MeanAbsDelta(prev_loss, loss);
     prev_loss = loss;
     if (change < options_.base.convergence_threshold && iter > 0) {
       result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }

@@ -27,8 +27,10 @@ class Crh : public TruthDiscovery {
 
   std::string_view name() const override { return "CRH"; }
 
+ protected:
   [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
 
  private:
   CrhOptions options_;

@@ -38,7 +38,8 @@ void AffineRescale(std::vector<double>* v) {
 
 }  // namespace
 
-Result<TruthDiscoveryResult> TwoEstimates::Discover(const DatasetLike& data) const {
+Result<TruthDiscoveryResult> TwoEstimates::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Estimates: empty dataset");
   }
@@ -74,8 +75,15 @@ Result<TruthDiscoveryResult> TwoEstimates::Discover(const DatasetLike& data) con
   // GroupClaimsByItem sorts supporters by source id within each value.
 
   TruthDiscoveryResult result;
+  result.stop_reason = StopReason::kMaxIterations;
   const int max_iter = std::max(1, options_.base.max_iterations);
   for (int iter = 0; iter < max_iter; ++iter) {
+    if (iter > 0) {
+      if (auto stop = guard.OnIteration()) {
+        result.stop_reason = *stop;
+        break;
+      }
+    }
     ++result.iterations;
 
     // Truth estimates.
@@ -136,10 +144,16 @@ Result<TruthDiscoveryResult> TwoEstimates::Discover(const DatasetLike& data) con
       }
     }
 
+    if (!AllFinite(new_error) || !AllFinite(pi)) {
+      // Keep the last finite error vector; pi is re-derived from it.
+      result.stop_reason = StopReason::kNonFinite;
+      break;
+    }
     double change = td_internal::MeanAbsDelta(error, new_error);
     error = std::move(new_error);
     if (change < options_.base.convergence_threshold && iter > 0) {
       result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }

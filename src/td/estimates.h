@@ -35,10 +35,11 @@ class TwoEstimates : public TruthDiscovery {
 
   std::string_view name() const override { return "2-Estimates"; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
  protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
+
   /// When true the update also maintains per-value difficulty estimates
   /// (3-Estimates).
   virtual bool use_difficulty() const { return false; }

@@ -30,7 +30,8 @@ void PooledInvestment::BeliefsFromInvestments(
   }
 }
 
-Result<TruthDiscoveryResult> Investment::Discover(const DatasetLike& data) const {
+Result<TruthDiscoveryResult> Investment::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Investment: empty dataset");
   }
@@ -50,8 +51,15 @@ Result<TruthDiscoveryResult> Investment::Discover(const DatasetLike& data) const
   std::vector<std::vector<double>> belief(items.size());
 
   TruthDiscoveryResult result;
+  result.stop_reason = StopReason::kMaxIterations;
   const int max_iter = std::max(1, options_.base.max_iterations);
   for (int iter = 0; iter < max_iter; ++iter) {
+    if (iter > 0) {
+      if (auto stop = guard.OnIteration()) {
+        result.stop_reason = *stop;
+        break;
+      }
+    }
     ++result.iterations;
 
     // Per-source investment per claim.
@@ -92,10 +100,16 @@ Result<TruthDiscoveryResult> Investment::Discover(const DatasetLike& data) const
       for (double& t : new_trust) t /= mx;
     }
 
+    if (!AllFinite(new_trust) || !AllFinite(belief)) {
+      // The growth exponent can overflow pow(); keep the last finite trust.
+      result.stop_reason = StopReason::kNonFinite;
+      break;
+    }
     double delta = td_internal::MeanAbsDelta(trust, new_trust);
     trust = std::move(new_trust);
     if (delta < options_.base.convergence_threshold && iter > 0) {
       result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }

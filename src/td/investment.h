@@ -25,10 +25,11 @@ class Investment : public TruthDiscovery {
 
   std::string_view name() const override { return "Investment"; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
  protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
+
   /// Hook distinguishing PooledInvestment: maps per-item collected
   /// investments H(v) to beliefs B(v).
   virtual void BeliefsFromInvestments(const std::vector<double>& collected,

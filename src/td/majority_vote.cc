@@ -2,8 +2,9 @@
 
 namespace tdac {
 
-Result<TruthDiscoveryResult> MajorityVote::Discover(
-    const DatasetLike& data) const {
+Result<TruthDiscoveryResult> MajorityVote::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& /*guard*/) const {
+  // Single-pass: no loop boundary at which a guard could usefully trip.
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("MajorityVote: empty dataset");
   }

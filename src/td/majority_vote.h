@@ -17,8 +17,10 @@ class MajorityVote : public TruthDiscovery {
 
   std::string_view name() const override { return "MajorityVote"; }
 
+ protected:
   [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
 };
 
 }  // namespace tdac

@@ -26,7 +26,8 @@ double AverageLog::TrustFromBeliefs(double belief_sum,
          static_cast<double>(claim_count);
 }
 
-Result<TruthDiscoveryResult> Sums::Discover(const DatasetLike& data) const {
+Result<TruthDiscoveryResult> Sums::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("Sums: empty dataset");
   }
@@ -44,8 +45,15 @@ Result<TruthDiscoveryResult> Sums::Discover(const DatasetLike& data) const {
   std::vector<std::vector<double>> belief(items.size());
 
   TruthDiscoveryResult result;
+  result.stop_reason = StopReason::kMaxIterations;
   const int max_iter = std::max(1, options_.base.max_iterations);
   for (int iter = 0; iter < max_iter; ++iter) {
+    if (iter > 0) {
+      if (auto stop = guard.OnIteration()) {
+        result.stop_reason = *stop;
+        break;
+      }
+    }
     ++result.iterations;
 
     // Belief step: B(v) = sum of supporter trust, max-normalized globally.
@@ -81,10 +89,16 @@ Result<TruthDiscoveryResult> Sums::Discover(const DatasetLike& data) const {
     }
     MaxNormalize(&new_trust);
 
+    if (!AllFinite(new_trust)) {
+      // Roll back: keep the last finite trust (belief matches it).
+      result.stop_reason = StopReason::kNonFinite;
+      break;
+    }
     double delta = td_internal::MeanAbsDelta(trust, new_trust);
     trust = std::move(new_trust);
     if (delta < options_.base.convergence_threshold && iter > 0) {
       result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }

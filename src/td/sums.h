@@ -24,10 +24,11 @@ class Sums : public TruthDiscovery {
 
   std::string_view name() const override { return "Sums"; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
  protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
+
   /// Hook distinguishing Sums from AverageLog: how a source's new trust is
   /// derived from the total belief of its claims.
   virtual double TrustFromBeliefs(double belief_sum, size_t claim_count) const {

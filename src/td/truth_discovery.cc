@@ -6,6 +6,20 @@
 #include "common/logging.h"
 
 namespace tdac {
+
+Result<TruthDiscoveryResult> TruthDiscovery::Discover(
+    const DatasetLike& data) const {
+  return Discover(data, RunGuard::None());
+}
+
+Result<TruthDiscoveryResult> TruthDiscovery::Discover(
+    const DatasetLike& data, const RunGuard& guard) const {
+  TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult result,
+                        DiscoverGuarded(data, guard));
+  td_internal::SanitizeResult(result);
+  return result;
+}
+
 namespace td_internal {
 
 std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data) {
@@ -57,6 +71,27 @@ double MeanAbsDelta(const std::vector<double>& a,
   double acc = 0.0;
   for (size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
   return acc / static_cast<double>(a.size());
+}
+
+void SanitizeResult(TruthDiscoveryResult& result) {
+  bool had_non_finite = false;
+  for (double& t : result.source_trust) {
+    if (!std::isfinite(t)) {
+      t = 0.0;
+      had_non_finite = true;
+    }
+  }
+  // lint: unordered-ok (order-independent per-entry mutation, no reduction)
+  for (auto& [key, conf] : result.confidence) {
+    if (!std::isfinite(conf)) {
+      conf = 0.0;
+      had_non_finite = true;
+    }
+  }
+  if (had_non_finite) {
+    result.stop_reason = StopReason::kNonFinite;
+    result.converged = false;
+  }
 }
 
 }  // namespace td_internal

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/run_guard.h"
 #include "common/status.h"
 #include "data/dataset_like.h"
 #include "data/ground_truth.h"
@@ -45,6 +46,14 @@ struct TruthDiscoveryResult {
 
   /// Whether the convergence test fired before max_iterations.
   bool converged = false;
+
+  /// Why the run stopped. kConverged/kMaxIterations are clean outcomes;
+  /// kDeadline/kCancelled/kNonFinite label a best-so-far degraded result
+  /// (see docs/robustness.md).
+  StopReason stop_reason = StopReason::kConverged;
+
+  /// True when a guard or the numeric rails cut the run short.
+  bool degraded() const { return IsDegraded(stop_reason); }
 };
 
 /// \brief Abstract interface implemented by every algorithm (the paper's
@@ -59,8 +68,24 @@ class TruthDiscovery {
   /// Runs the algorithm over all claims in `data` — an owning `Dataset` or
   /// a zero-copy `DatasetView` restriction. Fails on an empty dataset;
   /// items whose conflict set is empty are simply absent from the result.
-  [[nodiscard]] virtual Result<TruthDiscoveryResult> Discover(
-      const DatasetLike& data) const = 0;
+  [[nodiscard]] Result<TruthDiscoveryResult> Discover(
+      const DatasetLike& data) const;
+
+  /// Guarded entry point: the run cooperatively checks `guard` at every
+  /// outer iteration and stops early with a best-so-far result labeled by
+  /// `stop_reason` when a deadline/budget/cancellation trips. Both entry
+  /// points apply the numeric rails: a result can never carry non-finite
+  /// trust or confidence (offending values are zeroed and the result is
+  /// marked kNonFinite).
+  [[nodiscard]] Result<TruthDiscoveryResult> Discover(
+      const DatasetLike& data, const RunGuard& guard) const;
+
+ protected:
+  /// Algorithm body. Implementations check `guard.OnIteration()` at the top
+  /// of every outer iteration after the first (so even a tripped guard
+  /// yields one usable iterate) and stop with the returned StopReason.
+  [[nodiscard]] virtual Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const = 0;
 };
 
 namespace td_internal {
@@ -83,6 +108,12 @@ size_t ArgMax(const std::vector<double>& scores);
 
 /// Mean absolute change per coordinate between two equal-length vectors.
 double MeanAbsDelta(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Final numeric rail applied by TruthDiscovery::Discover to every result:
+/// replaces non-finite source-trust / confidence entries with 0.0 and, if
+/// any were found, demotes the result to kNonFinite (converged = false).
+/// A no-op on finite results.
+void SanitizeResult(TruthDiscoveryResult& result);
 
 }  // namespace td_internal
 

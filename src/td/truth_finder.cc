@@ -6,7 +6,8 @@
 
 namespace tdac {
 
-Result<TruthDiscoveryResult> TruthFinder::Discover(const DatasetLike& data) const {
+Result<TruthDiscoveryResult> TruthFinder::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("TruthFinder: empty dataset");
   }
@@ -36,8 +37,15 @@ Result<TruthDiscoveryResult> TruthFinder::Discover(const DatasetLike& data) cons
   std::vector<std::vector<double>> conf(items.size());
 
   TruthDiscoveryResult result;
+  result.stop_reason = StopReason::kMaxIterations;
   const int max_iter = std::max(1, options_.base.max_iterations);
   for (int iter = 0; iter < max_iter; ++iter) {
+    if (iter > 0) {
+      if (auto stop = guard.OnIteration()) {
+        result.stop_reason = *stop;
+        break;
+      }
+    }
     ++result.iterations;
 
     // tau(s) = -ln(1 - t(s)), with trust clamped away from 1.
@@ -90,10 +98,16 @@ Result<TruthDiscoveryResult> TruthFinder::Discover(const DatasetLike& data) cons
                          : trust[s];
     }
 
+    if (!AllFinite(new_trust)) {
+      // Roll back to the last finite iterate (conf still matches `trust`).
+      result.stop_reason = StopReason::kNonFinite;
+      break;
+    }
     double change = 1.0 - CosineSimilarity(trust, new_trust);
     trust = std::move(new_trust);
     if (change < options_.base.convergence_threshold && iter > 0) {
       result.converged = true;
+      result.stop_reason = StopReason::kConverged;
       break;
     }
   }

@@ -47,10 +47,12 @@ class TruthFinder : public TruthDiscovery {
 
   std::string_view name() const override { return "TruthFinder"; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
   const TruthFinderOptions& options() const { return options_; }
+
+ protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
 
  private:
   TruthFinderOptions options_;

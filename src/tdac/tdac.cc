@@ -32,22 +32,50 @@ Tdac::Tdac(TdacOptions options) : options_(options) {
   name_ = "TD-AC(F=" + std::string(options_.base->name()) + ")";
 }
 
-Result<TruthDiscoveryResult> Tdac::Discover(const DatasetLike& data) const {
-  TDAC_ASSIGN_OR_RETURN(TdacReport report, DiscoverWithReport(data));
+Result<TruthDiscoveryResult> Tdac::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
+  TDAC_ASSIGN_OR_RETURN(TdacReport report, DiscoverWithReport(data, guard));
   return std::move(report.result);
 }
 
 Result<TdacReport> Tdac::DiscoverWithReport(const DatasetLike& data) const {
+  return DiscoverWithReport(data, RunGuard::None());
+}
+
+Result<TdacReport> Tdac::DiscoverWithReport(const DatasetLike& data,
+                                            const RunGuard& guard) const {
   // One restriction cache for the whole call: refinement rounds usually
   // re-derive most groups, and each re-derived group reuses its view.
   RestrictionCache cache(&data);
-  TDAC_ASSIGN_OR_RETURN(TdacReport report, RunPass(data, &cache, nullptr));
+  TDAC_ASSIGN_OR_RETURN(TdacReport report,
+                        RunPass(data, &cache, nullptr, guard));
   // Refinement extension: rebuild the truth vectors against our own merged
   // predictions and re-run, until the partition stabilizes.
   for (int round = 0; round < options_.refinement_rounds; ++round) {
     if (report.fell_back_to_base) break;
+    if (report.result.degraded()) break;  // first pass already cut short
+    if (auto stop = guard.ShouldStop()) {
+      // The last completed round stands; label it so the caller knows the
+      // refinement did not run to completion.
+      report.result.stop_reason =
+          CombineStopReasons(report.result.stop_reason, *stop);
+      report.result.converged = false;
+      break;
+    }
     GroundTruth reference = report.result.predicted;
-    TDAC_ASSIGN_OR_RETURN(TdacReport next, RunPass(data, &cache, &reference));
+    TDAC_ASSIGN_OR_RETURN(TdacReport next,
+                          RunPass(data, &cache, &reference, guard));
+    if (next.result.degraded()) {
+      // Keep the previous round's complete result over a partial round,
+      // labeled with the reason the new round was cut short.
+      report.result.stop_reason = CombineStopReasons(
+          report.result.stop_reason, next.result.stop_reason);
+      report.result.converged = false;
+      report.seconds_vectors += next.seconds_vectors;
+      report.seconds_sweep += next.seconds_sweep;
+      report.seconds_discovery += next.seconds_discovery;
+      break;
+    }
     const bool stable = next.partition == report.partition;
     next.seconds_vectors += report.seconds_vectors;
     next.seconds_sweep += report.seconds_sweep;
@@ -60,7 +88,8 @@ Result<TdacReport> Tdac::DiscoverWithReport(const DatasetLike& data) const {
 
 Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
                                  RestrictionCache* cache,
-                                 const GroundTruth* reference) const {
+                                 const GroundTruth* reference,
+                                 const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("TD-AC: empty dataset");
   }
@@ -72,7 +101,7 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
   // the base algorithm on the unpartitioned dataset.
   if (num_attrs < 3) {
     WallTimer timer;
-    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data));
+    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data, guard));
     report.seconds_discovery = timer.ElapsedSeconds();
     report.partition = AttributePartition::Single(attributes);
     report.chosen_k = 1;
@@ -81,18 +110,59 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
     return report;
   }
 
-  // Step (ii): reference truth + attribute truth vectors.
+  // Step (ii): reference truth + attribute truth vectors. When no external
+  // reference is supplied, the base runs once here and its result is kept:
+  // it feeds the truth vectors (exactly what BuildTruthVectors(base, data)
+  // computed internally), the fallback paths, and the fill-in for groups a
+  // tripped guard skipped.
   WallTimer vector_timer;
   TruthVectorMatrix matrix;
+  TruthDiscoveryResult reference_result;
+  bool have_reference_result = false;
   if (reference != nullptr) {
     TDAC_ASSIGN_OR_RETURN(matrix, BuildTruthVectors(data, *reference));
   } else {
-    TDAC_ASSIGN_OR_RETURN(matrix, BuildTruthVectors(*options_.base, data));
+    TDAC_ASSIGN_OR_RETURN(reference_result,
+                          options_.base->Discover(data, guard));
+    have_reference_result = true;
+    TDAC_ASSIGN_OR_RETURN(matrix,
+                          BuildTruthVectors(data, reference_result.predicted));
   }
   report.seconds_vectors = vector_timer.ElapsedSeconds();
 
+  // Degraded fallback/fill shared below: the base result on the whole
+  // dataset when we own one, else a fresh (guarded) base run.
+  auto fall_back = [&]() -> Status {
+    WallTimer timer;
+    if (have_reference_result) {
+      report.result = std::move(reference_result);
+      have_reference_result = false;
+    } else {
+      Result<TruthDiscoveryResult> run = options_.base->Discover(data, guard);
+      TDAC_RETURN_NOT_OK(run.status());
+      report.result = std::move(run).value();
+    }
+    report.seconds_discovery = timer.ElapsedSeconds();
+    report.partition = AttributePartition::Single(attributes);
+    report.chosen_k = 1;
+    report.fell_back_to_base = true;
+    report.result.iterations = 1;
+    return Status::OK();
+  };
+
+  if (auto stop = guard.ShouldStop()) {
+    // Tripped before clustering even started: the reference run is the
+    // best-so-far answer.
+    TDAC_RETURN_NOT_OK(fall_back());
+    report.result.stop_reason =
+        CombineStopReasons(report.result.stop_reason, *stop);
+    report.result.converged = false;
+    return report;
+  }
+
   ParallelForOptions par;
   par.max_parallelism = EffectiveThreadCount(options_.threads);
+  par.guard = &guard;
 
   // Optional sparse-aware distance matrix for the silhouette. Row i owns
   // the cells (i, j>i) and their mirrors (j, i), which are disjoint across
@@ -113,6 +183,15 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
           }
         },
         par);
+    if (auto stop = guard.ShouldStop()) {
+      // Rows skipped by the tripped guard leave the matrix unusable; the
+      // reference run is the best-so-far answer.
+      TDAC_RETURN_NOT_OK(fall_back());
+      report.result.stop_reason =
+          CombineStopReasons(report.result.stop_reason, *stop);
+      report.result.converged = false;
+      return report;
+    }
   }
 
   // Step (iii): sweep k with the clustering backend, keep the best
@@ -147,6 +226,7 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
     int effective_k = 0;
     double score = 0.0;
     bool ok = false;
+    bool kmeans_converged = true;
   };
   const size_t sweep_size =
       hi >= lo && !(options_.backend == ClusteringBackend::kAgglomerative &&
@@ -169,6 +249,7 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
           kopts.k = k;
           auto kmeans_result = KMeans(matrix.vectors, kopts);
           if (!kmeans_result.ok()) return;
+          out.kmeans_converged = kmeans_result.value().converged;
           assignment = std::move(kmeans_result.value().assignment);
         }
         int effective_k = CompactLabels(&assignment, k);
@@ -191,6 +272,7 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
   int best_k = 0;
   for (size_t idx = 0; idx < outcomes.size(); ++idx) {
     SweepOutcome& out = outcomes[idx];
+    if (!out.kmeans_converged) ++report.sweep_kmeans_non_converged;
     if (!out.ok) continue;
     report.silhouette_by_k.emplace_back(lo + static_cast<int>(idx), out.score);
     if (!have_best || out.score > report.silhouette) {
@@ -201,16 +283,22 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
     }
   }
   report.seconds_sweep = sweep_timer.ElapsedSeconds();
+  if (report.sweep_kmeans_non_converged > 0) {
+    TDAC_LOG_WARNING << name_ << ": k-means hit max_iterations without "
+                     << "converging for " << report.sweep_kmeans_non_converged
+                     << " of " << outcomes.size()
+                     << " sweep candidates (raise kmeans.max_iterations?)";
+  }
 
   if (!have_best) {
-    // Every k failed (e.g. all truth vectors identical): fall back.
-    WallTimer timer;
-    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data));
-    report.seconds_discovery = timer.ElapsedSeconds();
-    report.partition = AttributePartition::Single(attributes);
-    report.chosen_k = 1;
-    report.fell_back_to_base = true;
-    report.result.iterations = 1;
+    // Every k failed (all truth vectors identical, or the guard tripped
+    // before any candidate finished): fall back.
+    TDAC_RETURN_NOT_OK(fall_back());
+    if (auto stop = guard.ShouldStop()) {
+      report.result.stop_reason =
+          CombineStopReasons(report.result.stop_reason, *stop);
+      report.result.converged = false;
+    }
     return report;
   }
 
@@ -235,7 +323,7 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
     if (restricted.num_claims() == 0) {
       return TruthDiscoveryResult{};
     }
-    return options_.base->Discover(restricted);
+    return options_.base->Discover(restricted, guard);
   };
 
   // Groups are disjoint attribute sets, so the base runs are independent;
@@ -258,8 +346,13 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
     TDAC_RETURN_NOT_OK(partials[g].status());
     TruthDiscoveryResult& partial = partials[g].value();
     merged.predicted.MergeFrom(partial.predicted);
+    // lint: unordered-ok (disjoint keys across groups)
     for (auto& [key, conf] : partial.confidence) merged.confidence[key] = conf;
     merged.converged = merged.converged && partial.converged;
+    if (!partial.predicted.empty()) {
+      merged.stop_reason =
+          CombineStopReasons(merged.stop_reason, partial.stop_reason);
+    }
     if (!partial.source_trust.empty()) {
       // Weight each group's trust estimate by the source's claim volume in
       // that group, read off the view the group already ran on.
@@ -279,6 +372,32 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
     if (trust_claims[s] > 0) {
       merged.source_trust[s] = trust_weighted[s] / trust_claims[s];
     }
+  }
+
+  if (auto stop = guard.ShouldStop()) {
+    // Groups the tripped guard skipped contributed nothing; fill their
+    // items from the reference truth so the degraded result still covers
+    // the whole dataset.
+    const GroundTruth* fill = have_reference_result
+                                  ? &reference_result.predicted
+                                  : reference;
+    if (fill != nullptr) {
+      for (uint64_t key : fill->SortedKeys()) {
+        const ObjectId o = ObjectFromKey(key);
+        const AttributeId a = AttributeFromKey(key);
+        if (merged.predicted.Has(o, a)) continue;
+        merged.predicted.Set(o, a, *fill->Get(o, a));
+        if (have_reference_result) {
+          auto it = reference_result.confidence.find(key);
+          merged.confidence[key] =
+              it != reference_result.confidence.end() ? it->second : 0.0;
+        } else {
+          merged.confidence[key] = 0.0;
+        }
+      }
+    }
+    merged.stop_reason = CombineStopReasons(merged.stop_reason, *stop);
+    merged.converged = false;
   }
   report.seconds_discovery = discovery_timer.ElapsedSeconds();
   return report;

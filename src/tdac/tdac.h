@@ -88,6 +88,11 @@ struct TdacReport {
   /// algorithm then ran on the unpartitioned dataset).
   bool fell_back_to_base = false;
 
+  /// How many k-means sweep candidates hit max_iterations without
+  /// converging (a warning is logged when this is non-zero; the silhouette
+  /// still scores whatever clustering the cap produced).
+  int sweep_kmeans_non_converged = 0;
+
   /// Wall-clock breakdown (seconds): reference truth + vector construction,
   /// k sweep (k-means + silhouette), per-group discovery.
   double seconds_vectors = 0.0;
@@ -116,15 +121,26 @@ class Tdac : public TruthDiscovery {
 
   std::string_view name() const override { return name_; }
 
-  [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
   /// Like Discover but also returns the chosen partition, the silhouette
   /// sweep, and a wall-clock breakdown.
   [[nodiscard]]
   Result<TdacReport> DiscoverWithReport(const DatasetLike& data) const;
 
+  /// Guarded variant: the guard is threaded through the reference base
+  /// run, the k sweep, every per-group base run, and the refinement
+  /// rounds. On a trip the report carries the most complete result
+  /// available (missing groups filled from the reference truth) with
+  /// `result.stop_reason` naming the trip.
+  [[nodiscard]]
+  Result<TdacReport> DiscoverWithReport(const DatasetLike& data,
+                                        const RunGuard& guard) const;
+
   const TdacOptions& options() const { return options_; }
+
+ protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
 
  private:
   /// One pass of Algorithm 1. With `reference == nullptr` the reference
@@ -135,7 +151,8 @@ class Tdac : public TruthDiscovery {
   /// re-derived group never rebuilds its view.
   [[nodiscard]]
   Result<TdacReport> RunPass(const DatasetLike& data, RestrictionCache* cache,
-                             const GroundTruth* reference) const;
+                             const GroundTruth* reference,
+                             const RunGuard& guard) const;
 
   TdacOptions options_;
   std::string name_;

@@ -28,12 +28,18 @@ Tdoc::Tdoc(TdocOptions options) : options_(options) {
   name_ = "TD-OC(F=" + std::string(options_.base->name()) + ")";
 }
 
-Result<TruthDiscoveryResult> Tdoc::Discover(const DatasetLike& data) const {
-  TDAC_ASSIGN_OR_RETURN(TdocReport report, DiscoverWithReport(data));
+Result<TruthDiscoveryResult> Tdoc::DiscoverGuarded(
+    const DatasetLike& data, const RunGuard& guard) const {
+  TDAC_ASSIGN_OR_RETURN(TdocReport report, DiscoverWithReport(data, guard));
   return std::move(report.result);
 }
 
 Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
+  return DiscoverWithReport(data, RunGuard::None());
+}
+
+Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data,
+                                            const RunGuard& guard) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("TD-OC: empty dataset");
   }
@@ -42,7 +48,7 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
   const int num_objects = static_cast<int>(objects.size());
 
   auto fall_back = [&]() -> Result<TdocReport> {
-    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data));
+    TDAC_ASSIGN_OR_RETURN(report.result, options_.base->Discover(data, guard));
     report.groups = {objects};
     report.chosen_k = 1;
     report.fell_back_to_base = true;
@@ -54,7 +60,7 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
   // Reference truth from the base algorithm, then per-object truth vectors
   // over (attribute, source) pairs.
   TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult reference,
-                        options_.base->Discover(data));
+                        options_.base->Discover(data, guard));
   const size_t num_sources = static_cast<size_t>(data.num_sources());
   const size_t dim =
       static_cast<size_t>(data.num_attributes()) * num_sources;
@@ -83,11 +89,14 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
   bool have_best = false;
   std::vector<int> best_assignment;
   int best_k = 0;
+  int kmeans_non_converged = 0;
   for (int k = lo; k <= hi; ++k) {
+    if (guard.ShouldStop()) break;
     KMeansOptions kopts = options_.kmeans;
     kopts.k = k;
     auto kmeans_result = KMeans(vectors, kopts);
     if (!kmeans_result.ok()) continue;
+    if (!kmeans_result.value().converged) ++kmeans_non_converged;
     std::vector<int> assignment = std::move(kmeans_result.value().assignment);
     int effective_k = CompactLabels(&assignment, k);
     if (effective_k < 2) continue;
@@ -103,7 +112,26 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
       best_k = effective_k;
     }
   }
-  if (!have_best) return fall_back();
+  if (kmeans_non_converged > 0) {
+    TDAC_LOG_WARNING << name_ << ": k-means hit max_iterations without "
+                     << "converging for " << kmeans_non_converged
+                     << " sweep candidates (raise kmeans.max_iterations?)";
+  }
+  if (!have_best) {
+    // Every k failed (or the guard tripped before any candidate finished):
+    // the reference run is the best-so-far answer — no need to re-run it.
+    report.result = std::move(reference);
+    report.groups = {objects};
+    report.chosen_k = 1;
+    report.fell_back_to_base = true;
+    report.result.iterations = 1;
+    if (auto stop = guard.ShouldStop()) {
+      report.result.stop_reason =
+          CombineStopReasons(report.result.stop_reason, *stop);
+      report.result.converged = false;
+    }
+    return report;
+  }
 
   report.chosen_k = best_k;
   report.groups.assign(static_cast<size_t>(best_k), {});
@@ -118,14 +146,21 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
   merged.converged = true;
   std::vector<double> trust_weighted(num_sources, 0.0);
   std::vector<double> trust_claims(num_sources, 0.0);
+  std::optional<StopReason> trip;
   for (const auto& group : report.groups) {
+    if (!trip) {
+      trip = guard.ShouldStop();
+    }
+    if (trip) break;
     const DatasetView restricted(data, DatasetView::ObjectAxis{}, group);
     if (restricted.num_claims() == 0) continue;
     TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult partial,
-                          options_.base->Discover(restricted));
+                          options_.base->Discover(restricted, guard));
     merged.predicted.MergeFrom(partial.predicted);
     for (auto& [key, conf] : partial.confidence) merged.confidence[key] = conf;
     merged.converged = merged.converged && partial.converged;
+    merged.stop_reason =
+        CombineStopReasons(merged.stop_reason, partial.stop_reason);
     std::vector<double> counts(num_sources, 0.0);
     for (int32_t id : restricted.claim_ids()) {
       const Claim& c = restricted.claim(static_cast<size_t>(id));
@@ -143,6 +178,21 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data) const {
     if (trust_claims[s] > 0) {
       merged.source_trust[s] = trust_weighted[s] / trust_claims[s];
     }
+  }
+  if (trip) {
+    // Fill items of the skipped groups from the reference truth so the
+    // degraded result still covers every data item.
+    for (uint64_t key : reference.predicted.SortedKeys()) {
+      const ObjectId o = ObjectFromKey(key);
+      const AttributeId a = AttributeFromKey(key);
+      if (merged.predicted.Has(o, a)) continue;
+      merged.predicted.Set(o, a, *reference.predicted.Get(o, a));
+      auto it = reference.confidence.find(key);
+      merged.confidence[key] = it != reference.confidence.end() ? it->second
+                                                                : 0.0;
+    }
+    merged.stop_reason = CombineStopReasons(merged.stop_reason, *trip);
+    merged.converged = false;
   }
   return report;
 }

@@ -60,12 +60,21 @@ class Tdoc : public TruthDiscovery {
   std::string_view name() const override { return name_; }
 
   [[nodiscard]]
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override;
-
-  [[nodiscard]]
   Result<TdocReport> DiscoverWithReport(const DatasetLike& data) const;
 
+  /// Guarded variant: checks the guard between sweep candidates and object
+  /// groups; a tripped run returns best-so-far with missing objects filled
+  /// from the reference truth.
+  [[nodiscard]]
+  Result<TdocReport> DiscoverWithReport(const DatasetLike& data,
+                                        const RunGuard& guard) const;
+
   const TdocOptions& options() const { return options_; }
+
+ protected:
+  [[nodiscard]]
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override;
 
  private:
   TdocOptions options_;

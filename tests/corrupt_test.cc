@@ -1,0 +1,149 @@
+// The fault injector itself: seeded determinism, header preservation, and
+// the per-mode contract (which corruptions must survive ingestion as data
+// and which must be refused by it with a line-numbered error).
+
+#include "gen/corrupt.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_io.h"
+#include "test_util.h"
+
+namespace tdac {
+namespace {
+
+std::string CleanCsv() {
+  GroundTruth truth;
+  Dataset d = testutil::TwoGoodOneBad(8, &truth);
+  return DatasetToCsv(d);
+}
+
+TEST(CorruptTest, EveryModeHasANameAndIsListed) {
+  EXPECT_EQ(AllCorruptionModes().size(), 9u);
+  for (CorruptionMode mode : AllCorruptionModes()) {
+    EXPECT_NE(CorruptionModeName(mode), "unknown");
+  }
+}
+
+TEST(CorruptTest, SameSeedSameBytes) {
+  const std::string csv = CleanCsv();
+  for (CorruptionMode mode : AllCorruptionModes()) {
+    CorruptionOptions options;
+    options.mode = mode;
+    options.seed = 123;
+    EXPECT_EQ(CorruptClaimCsv(csv, options), CorruptClaimCsv(csv, options))
+        << CorruptionModeName(mode);
+  }
+}
+
+TEST(CorruptTest, EveryModeActuallyChangesTheText) {
+  const std::string csv = CleanCsv();
+  for (CorruptionMode mode : AllCorruptionModes()) {
+    CorruptionOptions options;
+    options.mode = mode;
+    EXPECT_NE(CorruptClaimCsv(csv, options), csv) << CorruptionModeName(mode);
+  }
+}
+
+TEST(CorruptTest, HeaderRowIsNeverTouched) {
+  const std::string csv = CleanCsv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  for (CorruptionMode mode : AllCorruptionModes()) {
+    CorruptionOptions options;
+    options.mode = mode;
+    const std::string corrupted = CorruptClaimCsv(csv, options);
+    EXPECT_EQ(corrupted.substr(0, corrupted.find('\n')), header)
+        << CorruptionModeName(mode);
+  }
+}
+
+TEST(CorruptTest, RateZeroStillInjectsOneFault) {
+  const std::string csv = CleanCsv();
+  CorruptionOptions options;
+  options.mode = CorruptionMode::kTruncateRows;
+  options.rate = 0.0;
+  EXPECT_NE(CorruptClaimCsv(csv, options), csv);
+}
+
+TEST(CorruptTest, TruncatedRowsAreRefusedWithTheLineNumber) {
+  CorruptionOptions options;
+  options.mode = CorruptionMode::kTruncateRows;
+  auto parsed = DatasetFromCsv(CorruptClaimCsv(CleanCsv(), options));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line "), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("expected 5 fields"),
+            std::string::npos);
+}
+
+TEST(CorruptTest, NonFiniteValuesAreRefusedAtIngestion) {
+  CorruptionOptions options;
+  options.mode = CorruptionMode::kNonFiniteValues;
+  auto parsed = DatasetFromCsv(CorruptClaimCsv(CleanCsv(), options));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("non-finite"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("line "), std::string::npos);
+}
+
+TEST(CorruptTest, StructurallyValidModesStillIngest) {
+  // These modes damage the *content*, not the framing: the result must
+  // still build a Dataset (the algorithms deal with it from there).
+  for (CorruptionMode mode :
+       {CorruptionMode::kWildValues, CorruptionMode::kContradictoryClaims,
+        CorruptionMode::kSingleSourceObjects,
+        CorruptionMode::kConstantAttribute}) {
+    CorruptionOptions options;
+    options.mode = mode;
+    auto parsed = DatasetFromCsv(CorruptClaimCsv(CleanCsv(), options));
+    EXPECT_TRUE(parsed.ok()) << CorruptionModeName(mode) << ": "
+                             << parsed.status().ToString();
+  }
+}
+
+TEST(CorruptTest, DuplicateClaimsAreRefusedAtIngestion) {
+  // Claims are keyed by (source, object, attribute); an exact duplicate row
+  // is a double-count waiting to happen, so the builder refuses it with a
+  // clear error instead of silently keeping either copy.
+  CorruptionOptions options;
+  options.mode = CorruptionMode::kDuplicateClaims;
+  auto parsed = DatasetFromCsv(CorruptClaimCsv(CleanCsv(), options));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate claim"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(CorruptTest, ContradictoryClaimsComeFromAFreshSource) {
+  CorruptionOptions options;
+  options.mode = CorruptionMode::kContradictoryClaims;
+  auto parsed = DatasetFromCsv(CorruptClaimCsv(CleanCsv(), options));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  GroundTruth truth;
+  Dataset original = testutil::TwoGoodOneBad(8, &truth);
+  EXPECT_GT(parsed->num_sources(), original.num_sources());
+  EXPECT_GT(parsed->num_claims(), original.num_claims());
+}
+
+TEST(CorruptTest, EmptyAttributeModeDropsTheBusiestColumn) {
+  CorruptionOptions options;
+  options.mode = CorruptionMode::kEmptyAttribute;
+  auto parsed = DatasetFromCsv(CorruptClaimCsv(CleanCsv(), options));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  GroundTruth truth;
+  Dataset original = testutil::TwoGoodOneBad(8, &truth);
+  EXPECT_LT(parsed->num_claims(), original.num_claims());
+}
+
+TEST(CorruptTest, SingleSourceObjectsCreatesUncorroboratedObjects) {
+  CorruptionOptions options;
+  options.mode = CorruptionMode::kSingleSourceObjects;
+  auto parsed = DatasetFromCsv(CorruptClaimCsv(CleanCsv(), options));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  GroundTruth truth;
+  Dataset original = testutil::TwoGoodOneBad(8, &truth);
+  EXPECT_GT(parsed->num_objects(), original.num_objects());
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,5 +1,7 @@
 #include "td/crh.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -85,6 +87,35 @@ TEST(CrhTest, IterationsBoundedAndConvergesOnCleanData) {
 }
 
 TEST(CrhTest, NameIsStable) { EXPECT_EQ(Crh().name(), "CRH"); }
+
+// Regression: when every source agrees with the election everywhere, every
+// per-source loss is zero. The old code patched total_loss to 1, sending
+// every weight to -log(loss_floor) via the floor — numerically fine but
+// semantically arbitrary. The fallback now assigns uniform weights
+// directly; the run must stay clean, finite, and elect the unanimous value.
+TEST(CrhTest, AllSourcesAgreeUniformFallback) {
+  std::vector<ClaimSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    std::string attr = "a" + std::to_string(i);
+    specs.push_back({"s1", "o", attr, 42 + i});
+    specs.push_back({"s2", "o", attr, 42 + i});
+    specs.push_back({"s3", "o", attr, 42 + i});
+  }
+  Dataset d = BuildDataset(specs);
+  Crh crh;
+  auto r = crh.Discover(d);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->degraded()) << StopReasonToString(r->stop_reason);
+  ASSERT_EQ(r->source_trust.size(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(std::isfinite(r->source_trust[s])) << "source " << s;
+    // Uniform fallback: no source is favored over another.
+    EXPECT_DOUBLE_EQ(r->source_trust[s], r->source_trust[0]);
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(*r->predicted.Get(0, i), Value(int64_t{42 + i})) << "item " << i;
+  }
+}
 
 TEST(CrhTest, EmptyDatasetRejected) {
   Dataset d;

@@ -124,5 +124,51 @@ TEST(CsvFileTest, MissingFileFails) {
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
+TEST(CsvLineTrackingTest, RowsRecordTheirStartingLine) {
+  auto doc = ParseCsvWithLines("h1,h2\na,b\nc,d\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 3u);
+  ASSERT_EQ(doc->row_lines.size(), 3u);
+  EXPECT_EQ(doc->row_lines[0], 1u);
+  EXPECT_EQ(doc->row_lines[1], 2u);
+  EXPECT_EQ(doc->row_lines[2], 3u);
+}
+
+TEST(CsvLineTrackingTest, QuotedNewlinesAdvanceThePhysicalLine) {
+  // Row 2 spans physical lines 2-3 (embedded newline); row 3 therefore
+  // starts on line 4, not 3 — exactly the divergence the line map exists
+  // to capture.
+  auto doc = ParseCsvWithLines("h\n\"multi\nline\"\nlast\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 3u);
+  EXPECT_EQ(doc->row_lines[0], 1u);
+  EXPECT_EQ(doc->row_lines[1], 2u);
+  EXPECT_EQ(doc->row_lines[2], 4u);
+  EXPECT_EQ(doc->rows[1][0], "multi\nline");
+}
+
+TEST(CsvLineTrackingTest, CrlfCountsAsOneLine) {
+  auto doc = ParseCsvWithLines("h1,h2\r\na,b\r\nc,d\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 3u);
+  EXPECT_EQ(doc->row_lines[2], 3u);
+}
+
+TEST(CsvLineTrackingTest, UnterminatedQuoteNamesItsOpeningLine) {
+  auto doc = ParseCsvWithLines("h\nok\n\"never closed\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(CsvLineTrackingTest, ParseCsvDelegatesAndAgrees) {
+  const std::string text = "a,b\n\"q,uoted\",2\n";
+  auto plain = ParseCsv(text);
+  auto with_lines = ParseCsvWithLines(text);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with_lines.ok());
+  EXPECT_EQ(*plain, with_lines->rows);
+}
+
 }  // namespace
 }  // namespace tdac

@@ -157,5 +157,79 @@ TEST(GroundTruthTest, SortedKeysAscending) {
   EXPECT_LT(keys[1], keys[2]);
 }
 
+// Ingestion error format is part of the API surface: tooling and humans
+// both grep for `<file kind> line N, field "F"`, so these pin it.
+
+TEST(IngestionErrorsTest, ShortClaimRowNamesItsLine) {
+  const std::string csv =
+      "source,object,attribute,kind,value\n"
+      "s1,o1,a1,int,1\n"
+      "s1,o1\n";
+  auto r = DatasetFromCsv(csv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "claim CSV line 3: expected 5 fields "
+            "(source,object,attribute,kind,value), got 2");
+}
+
+TEST(IngestionErrorsTest, BadKindNamesLineAndField) {
+  const std::string csv =
+      "source,object,attribute,kind,value\n"
+      "s1,o1,a1,floatt,1.5\n";
+  auto r = DatasetFromCsv(csv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "claim CSV line 2, field \"kind\": unknown value kind 'floatt'");
+}
+
+TEST(IngestionErrorsTest, GarbledNumberNamesLineFieldAndText) {
+  const std::string csv =
+      "source,object,attribute,kind,value\n"
+      "s1,o1,a1,int,1\n"
+      "s2,o1,a1,int,12x\n";
+  auto r = DatasetFromCsv(csv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "claim CSV line 3, field \"value\": not an integer: '12x'");
+}
+
+TEST(IngestionErrorsTest, NonFiniteDoubleIsRefused) {
+  const std::string csv =
+      "source,object,attribute,kind,value\n"
+      "s1,o1,a1,double,nan\n";
+  auto r = DatasetFromCsv(csv);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "claim CSV line 2, field \"value\": non-finite number: 'nan'");
+}
+
+TEST(IngestionErrorsTest, TruthFileErrorsCarryLinesToo) {
+  DatasetBuilder b;
+  ASSERT_TRUE(b.AddClaim("s", "obj", "attr", Value(int64_t{1})).ok());
+  auto data = b.Build();
+  ASSERT_TRUE(data.ok());
+  const std::string csv =
+      "object,attribute,kind,value\n"
+      "obj,attr,int,1\n"
+      "ghost,attr,int,2\n";
+  auto r = GroundTruthFromCsv(csv, *data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(),
+            "truth CSV line 3, field \"object\": unknown object 'ghost'");
+}
+
+TEST(IngestionErrorsTest, TrustFileErrorsCarryLinesToo) {
+  DatasetBuilder b;
+  ASSERT_TRUE(b.AddClaim("s", "obj", "attr", Value(int64_t{1})).ok());
+  auto data = b.Build();
+  ASSERT_TRUE(data.ok());
+  const std::string csv = "source,trust\ns,0.5\ns,oops\n";
+  auto r = SourceTrustFromCsv(csv, *data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "trust CSV line 3, field \"trust\": not a number: 'oops'");
+}
+
 }  // namespace
 }  // namespace tdac

@@ -27,12 +27,14 @@ class CountingBase : public TruthDiscovery {
  public:
   std::string_view name() const override { return "CountingMV"; }
 
-  Result<TruthDiscoveryResult> Discover(const DatasetLike& data) const override {
-    calls_.fetch_add(1, std::memory_order_acq_rel);
-    return inner_.Discover(data);
-  }
-
   int calls() const { return calls_.load(std::memory_order_acquire); }
+
+ protected:
+  Result<TruthDiscoveryResult> DiscoverGuarded(
+      const DatasetLike& data, const RunGuard& guard) const override {
+    calls_.fetch_add(1, std::memory_order_acq_rel);
+    return inner_.Discover(data, guard);
+  }
 
  private:
   MajorityVote inner_;

@@ -135,6 +135,35 @@ TEST(KMeansTest, BinaryTruthVectorShapedInput) {
   EXPECT_NE(r->assignment[0], r->assignment[3]);
 }
 
+TEST(KMeansTest, ReportsConvergenceAndIterationsUsed) {
+  // Two tight, well-separated blobs: Lloyd reaches an assignment fixpoint
+  // almost immediately and must say so.
+  std::vector<FeatureVector> points{
+      {0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}, {11, 10}};
+  KMeansOptions opts;
+  opts.k = 2;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_GE(r->iterations, 1);
+  EXPECT_LT(r->iterations, opts.max_iterations);
+}
+
+TEST(KMeansTest, NonConvergenceIsReportedNotHidden) {
+  // A one-iteration cap cannot reach the fixpoint check, so the result
+  // must be flagged as non-converged (TD-AC's sweep logs a warning off
+  // this flag instead of silently trusting a half-settled clustering).
+  std::vector<FeatureVector> points{
+      {0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}, {11, 10}, {5, 5}, {5, 6}};
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 1;
+  auto r = KMeans(points, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->converged);
+  EXPECT_EQ(r->iterations, 1);
+}
+
 TEST(KMeansTest, InvalidArguments) {
   std::vector<FeatureVector> points{{1, 2}, {3, 4}};
   KMeansOptions opts;

@@ -1,0 +1,264 @@
+// The fault-injection harness: every corruption mode x every registered
+// algorithm (plus the partition searches and TD-AC/TD-OC) must either be
+// refused at ingestion with a Status or produce a finite, stop-reason-
+// labeled result — never a crash, a hang, or silent NaN. Also pins the
+// guard contract end to end: deadlines honored within tolerance,
+// cancellation unwinds with best-so-far, iteration budgets cap the work.
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_guard.h"
+#include "data/dataset_io.h"
+#include "eval/experiment.h"
+#include "gen/corrupt.h"
+#include "gen/synthetic.h"
+#include "partition/gen_partition.h"
+#include "partition/greedy_partition.h"
+#include "td/registry.h"
+#include "td/sums.h"
+#include "tdac/tdac.h"
+#include "tdac/tdoc.h"
+#include "test_util.h"
+
+namespace tdac {
+namespace {
+
+/// Fails the test if any trust or confidence entry is non-finite.
+void ExpectFiniteResult(const TruthDiscoveryResult& result,
+                        const std::string& context) {
+  for (size_t s = 0; s < result.source_trust.size(); ++s) {
+    EXPECT_TRUE(std::isfinite(result.source_trust[s]))
+        << context << ": source_trust[" << s << "]";
+  }
+  for (const auto& [key, conf] : result.confidence) {
+    EXPECT_TRUE(std::isfinite(conf)) << context << ": confidence[" << key
+                                     << "]";
+  }
+}
+
+/// A small but non-trivial clean dataset (4 attributes, correlated
+/// reliability) rendered as claim CSV — the substrate every corruption
+/// mode gnaws on.
+std::string CleanClaimCsv() {
+  auto config = PaperSyntheticConfig(1, /*seed=*/7);
+  EXPECT_TRUE(config.ok());
+  config->num_objects = 30;
+  auto data = GenerateSynthetic(*config);
+  EXPECT_TRUE(data.ok());
+  return DatasetToCsv(data->dataset);
+}
+
+TEST(RobustnessTest, EveryAlgorithmSurvivesEveryCorruptionMode) {
+  const std::string clean = CleanClaimCsv();
+  for (CorruptionMode mode : AllCorruptionModes()) {
+    CorruptionOptions options;
+    options.mode = mode;
+    const std::string context = std::string(CorruptionModeName(mode));
+    Result<Dataset> corrupted = DatasetFromCsv(CorruptClaimCsv(clean, options));
+    if (!corrupted.ok()) {
+      // Refused at ingestion: that *is* graceful degradation, as long as
+      // the error is a real Status (no crash) — nothing more to check.
+      continue;
+    }
+    for (const std::string& name : RegisteredAlgorithms()) {
+      auto algorithm = MakeAlgorithm(name);
+      ASSERT_TRUE(algorithm.ok()) << name;
+      Result<TruthDiscoveryResult> run = (*algorithm)->Discover(*corrupted);
+      if (!run.ok()) continue;  // a labeled refusal is acceptable
+      ExpectFiniteResult(*run, context + " / " + name);
+    }
+  }
+}
+
+TEST(RobustnessTest, PartitionSearchesSurviveEveryCorruptionMode) {
+  const std::string clean = CleanClaimCsv();
+  auto base = MakeAlgorithm("Accu");
+  ASSERT_TRUE(base.ok());
+  for (CorruptionMode mode : AllCorruptionModes()) {
+    CorruptionOptions options;
+    options.mode = mode;
+    const std::string context = std::string(CorruptionModeName(mode));
+    Result<Dataset> corrupted = DatasetFromCsv(CorruptClaimCsv(clean, options));
+    if (!corrupted.ok()) continue;
+
+    TdacOptions tdac_options;
+    tdac_options.base = base->get();
+    tdac_options.threads = 1;
+    Tdac tdac_algo(tdac_options);
+    Result<TruthDiscoveryResult> tdac_run = tdac_algo.Discover(*corrupted);
+    if (tdac_run.ok()) ExpectFiniteResult(*tdac_run, context + " / TD-AC");
+
+    TdocOptions tdoc_options;
+    tdoc_options.base = base->get();
+    Tdoc tdoc_algo(tdoc_options);
+    Result<TruthDiscoveryResult> tdoc_run = tdoc_algo.Discover(*corrupted);
+    if (tdoc_run.ok()) ExpectFiniteResult(*tdoc_run, context + " / TD-OC");
+
+    GenPartitionOptions greedy_options;
+    greedy_options.base = base->get();
+    greedy_options.threads = 1;
+    GreedyPartitionAlgorithm greedy(greedy_options);
+    Result<TruthDiscoveryResult> greedy_run = greedy.Discover(*corrupted);
+    if (greedy_run.ok()) ExpectFiniteResult(*greedy_run, context + " / greedy");
+  }
+}
+
+/// A Sums run that cannot converge on its own: threshold 0 with a huge
+/// iteration cap — the only way out is the guard.
+SumsOptions EndlessSums() {
+  SumsOptions options;
+  options.base.convergence_threshold = 0.0;
+  options.base.max_iterations = 1'000'000;
+  return options;
+}
+
+TEST(RobustnessTest, DeadlineIsHonoredWithinTolerance) {
+  GroundTruth truth;
+  Dataset data = testutil::TwoGoodOneBad(12, &truth);
+  Sums sums(EndlessSums());
+
+  RunBudget budget;
+  budget.deadline_ms = 150.0;
+  RunGuard guard(budget);
+  const auto start = std::chrono::steady_clock::now();
+  auto run = sums.Discover(data, guard);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->stop_reason, StopReason::kDeadline);
+  EXPECT_TRUE(run->degraded());
+  EXPECT_FALSE(run->converged);
+  // Tolerance: the spec asks for deadline + 10%; the assertion adds fixed
+  // slack for loaded CI machines (a guard check happens every iteration,
+  // each far below a millisecond on this 12-item dataset).
+  EXPECT_LT(elapsed_ms, 150.0 * 1.1 + 500.0);
+  // The result is still a usable best-so-far answer.
+  EXPECT_EQ(run->predicted.size(), 12u);
+  ExpectFiniteResult(*run, "deadline");
+}
+
+TEST(RobustnessTest, PreCancelledTokenStopsAfterOneIteration) {
+  GroundTruth truth;
+  Dataset data = testutil::TwoGoodOneBad(12, &truth);
+  Sums sums(EndlessSums());
+
+  CancellationToken token;
+  token.Cancel();
+  RunGuard guard(&token);
+  auto run = sums.Discover(data, guard);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->stop_reason, StopReason::kCancelled);
+  EXPECT_TRUE(run->degraded());
+  // First iteration is exempt by contract, so the result is never empty.
+  EXPECT_EQ(run->iterations, 1);
+  EXPECT_EQ(run->predicted.size(), 12u);
+  ExpectFiniteResult(*run, "cancelled");
+}
+
+TEST(RobustnessTest, IterationBudgetCapsTotalWork) {
+  GroundTruth truth;
+  Dataset data = testutil::TwoGoodOneBad(12, &truth);
+  Sums sums(EndlessSums());
+
+  RunBudget budget;
+  budget.max_total_iterations = 3;
+  RunGuard guard(budget);
+  auto run = sums.Discover(data, guard);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->stop_reason, StopReason::kMaxIterations);
+  EXPECT_FALSE(run->degraded());  // budget exhaustion is a clean outcome
+  EXPECT_LE(run->iterations, 5);
+  EXPECT_EQ(run->predicted.size(), 12u);
+}
+
+TEST(RobustnessTest, DeadlineCutsShortTheTdacSweep) {
+  auto config = PaperSyntheticConfig(1, /*seed=*/11);
+  ASSERT_TRUE(config.ok());
+  config->num_objects = 40;
+  auto data = GenerateSynthetic(*config);
+  ASSERT_TRUE(data.ok());
+
+  Sums base(EndlessSums());
+  TdacOptions options;
+  options.base = &base;
+  options.threads = 1;
+  Tdac algo(options);
+
+  RunBudget budget;
+  budget.deadline_ms = 120.0;
+  RunGuard guard(budget);
+  const auto start = std::chrono::steady_clock::now();
+  auto run = algo.Discover(data->dataset, guard);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->stop_reason, StopReason::kDeadline);
+  EXPECT_LT(elapsed_ms, 120.0 * 1.1 + 1000.0);
+  // Degraded TD-AC still answers every data item (missing groups are
+  // filled from the reference run).
+  EXPECT_GT(run->predicted.size(), 0u);
+  ExpectFiniteResult(*run, "tdac-deadline");
+}
+
+TEST(RobustnessTest, CancelledTokenUnwindsGenPartitionWithBestSoFar) {
+  GroundTruth truth;
+  Dataset data = testutil::TwoGoodOneBad(4, &truth);
+  auto base = MakeAlgorithm("Accu");
+  ASSERT_TRUE(base.ok());
+  GenPartitionOptions options;
+  options.base = base->get();
+  options.threads = 1;
+  GenPartitionAlgorithm algo(options);
+
+  CancellationToken token;
+  token.Cancel();
+  RunGuard guard(&token);
+  auto report = algo.DiscoverWithReport(data, guard);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->result.stop_reason, StopReason::kCancelled);
+  // Tripped before any candidate scored: the all-attributes singleton
+  // partition is the declared best-so-far, and it still answers items.
+  EXPECT_EQ(report->best_partition.num_groups(), 1u);
+  EXPECT_EQ(report->result.predicted.size(), 4u);
+}
+
+TEST(RobustnessTest, ExperimentRowCarriesTheStopReason) {
+  GroundTruth truth;
+  Dataset data = testutil::TwoGoodOneBad(8, &truth);
+  Sums sums(EndlessSums());
+  CancellationToken token;
+  token.Cancel();
+  RunGuard guard(&token);
+  auto row = RunExperiment(sums, data, truth, guard);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_EQ(row->stop_reason, StopReason::kCancelled);
+  EXPECT_TRUE(row->degraded());
+}
+
+TEST(RobustnessTest, UnguardedRunsReportCleanStopReasons) {
+  GroundTruth truth;
+  Dataset data = testutil::TwoGoodOneBad(8, &truth);
+  for (const std::string& name : RegisteredAlgorithms()) {
+    auto algorithm = MakeAlgorithm(name);
+    ASSERT_TRUE(algorithm.ok()) << name;
+    auto run = (*algorithm)->Discover(data);
+    ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+    EXPECT_FALSE(run->degraded()) << name;
+    EXPECT_TRUE(run->stop_reason == StopReason::kConverged ||
+                run->stop_reason == StopReason::kMaxIterations)
+        << name << ": " << StopReasonToString(run->stop_reason);
+  }
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,5 +1,6 @@
 #include "data/value.h"
 
+#include <limits>
 #include <sstream>
 #include <unordered_set>
 
@@ -82,6 +83,47 @@ TEST(ValueTest, FromTextParsesEachKind) {
 TEST(ValueTest, FromTextBadInputDefaultsToZero) {
   EXPECT_EQ(Value::FromText(Value::Kind::kInt, "xyz"), Value(int64_t{0}));
   EXPECT_EQ(Value::FromText(Value::Kind::kDouble, "zzz"), Value(0.0));
+}
+
+TEST(ValueTest, FromTextCheckedAcceptsCleanInput) {
+  auto s = Value::FromTextChecked(Value::Kind::kString, "abc");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, Value("abc"));
+  auto i = Value::FromTextChecked(Value::Kind::kInt, "-17");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, Value(int64_t{-17}));
+  auto d = Value::FromTextChecked(Value::Kind::kDouble, "2.5");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, Value(2.5));
+}
+
+TEST(ValueTest, FromTextCheckedRefusesGarbage) {
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kInt, "xyz").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kInt, "12x").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kInt, "").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kDouble, "zzz").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kDouble, "1.5ghost").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kDouble, "").ok());
+}
+
+TEST(ValueTest, FromTextCheckedRefusesNonFiniteDoubles) {
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kDouble, "nan").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kDouble, "inf").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kDouble, "-inf").ok());
+  EXPECT_FALSE(Value::FromTextChecked(Value::Kind::kDouble, "1e999").ok());
+}
+
+TEST(ValueTest, OrderingIsNanSafe) {
+  // NaN sorts after every number and never before itself, preserving the
+  // strict weak ordering sort/tie-breaking rely on even on corrupt data.
+  const Value nan_v(std::numeric_limits<double>::quiet_NaN());
+  const Value two(2.0);
+  EXPECT_TRUE(two < nan_v);
+  EXPECT_FALSE(nan_v < two);
+  EXPECT_FALSE(nan_v < nan_v);
+  const Value inf_v(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(inf_v < nan_v);
+  EXPECT_TRUE(two < inf_v);
 }
 
 TEST(ValueTest, HashConsistentWithEquality) {

@@ -11,12 +11,19 @@
 //   tdac_cli run --claims=c.csv --algorithm=Accu [--tdac] [--truth=t.csv]
 //       Resolve truths; with --truth also print the paper's metric columns.
 //       [--sparse --threads=N --serial --agglomerative --out=resolved.csv]
+//       [--deadline-ms=N --iteration-budget=N]
+//
+// Exit codes: 0 clean run, 1 error, 2 usage, 3 degraded (the run hit the
+// deadline / iteration budget or was interrupted with Ctrl-C; outputs hold
+// the best result found so far, labeled with the stop reason).
 
+#include <csignal>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/run_guard.h"
 #include "data/dataset_io.h"
 #include "data/profile.h"
 #include "eval/experiment.h"
@@ -32,6 +39,14 @@
 namespace {
 
 using tdac::Status;
+
+// Flipped by Ctrl-C. CancellationToken::Cancel() is a single lock-free
+// atomic store, so calling it from the signal handler is safe; every
+// iterative loop notices the token at its next guard check and unwinds
+// with its best-so-far result.
+tdac::CancellationToken g_interrupt;
+
+extern "C" void HandleSigint(int /*signum*/) { g_interrupt.Cancel(); }
 
 struct Flags {
   std::string command;
@@ -81,7 +96,10 @@ Flags ParseFlags(int argc, char** argv) {
          "  tdac_cli stats --claims=FILE\n"
          "  tdac_cli run --claims=FILE --algorithm=NAME [--tdac|--tdoc]\n"
          "           [--truth=FILE] [--out=FILE] [--sparse] [--threads=N] [--serial]\n"
-         "           [--agglomerative] [--max-k=K] [--refine=N] [--trust-out=FILE]\n";
+         "           [--agglomerative] [--max-k=K] [--refine=N] [--trust-out=FILE]\n"
+         "           [--deadline-ms=N] [--iteration-budget=N]\n"
+         "exit codes: 0 ok, 1 error, 2 usage, 3 degraded (deadline/budget/^C;\n"
+         "            outputs hold the labeled best-so-far result)\n";
   std::exit(2);
 }
 
@@ -196,16 +214,31 @@ int CmdRun(const Flags& flags) {
     algorithm = tdoc_algo.get();
   }
 
+  // One guard spans the whole command: the deadline is wall-clock from
+  // here, and Ctrl-C cancels whichever phase is running.
+  tdac::RunBudget budget;
+  if (flags.Has("deadline-ms")) {
+    budget.deadline_ms = std::stod(flags.Get("deadline-ms"));
+  }
+  if (flags.Has("iteration-budget")) {
+    budget.max_total_iterations = std::stoll(flags.Get("iteration-budget"));
+  }
+  std::signal(SIGINT, HandleSigint);
+  const tdac::RunGuard guard(budget, &g_interrupt);
+  tdac::StopReason worst = tdac::StopReason::kConverged;
+
   if (flags.Has("truth")) {
     auto truth = tdac::LoadGroundTruth(flags.Get("truth"), *dataset);
     if (!truth.ok()) Die(truth.status());
-    auto row = tdac::RunExperiment(*algorithm, *dataset, *truth);
+    auto row = tdac::RunExperiment(*algorithm, *dataset, *truth, guard);
     if (!row.ok()) Die(row.status());
+    worst = tdac::CombineStopReasons(worst, row->stop_reason);
     tdac::PrintPerformanceTable(dataset->Summary(), {*row}, std::cout);
   }
 
-  auto result = algorithm->Discover(*dataset);
+  auto result = algorithm->Discover(*dataset, guard);
   if (!result.ok()) Die(result.status());
+  worst = tdac::CombineStopReasons(worst, result->stop_reason);
   if (flags.Has("trust-out")) {
     Status s = tdac::SaveSourceTrust(result->source_trust, *dataset,
                                      flags.Get("trust-out"));
@@ -221,6 +254,12 @@ int CmdRun(const Flags& flags) {
   } else if (!flags.Has("truth")) {
     std::cout << "resolved " << result->predicted.size()
               << " data items (use --out=FILE to write them)\n";
+  }
+  if (tdac::IsDegraded(worst)) {
+    std::cerr << "run degraded: stopped early ("
+              << tdac::StopReasonToString(worst)
+              << "); outputs hold the best result found so far\n";
+    return 3;
   }
   return 0;
 }
