@@ -15,7 +15,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/checkpoint.h"
+#include "common/io.h"
 #include "common/parallel.h"
+#include "data/dataset_like.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "td/accu.h"
@@ -48,6 +51,14 @@ struct BenchArgs {
   /// When non-empty, benches that back a paper figure also write the
   /// figure's data series as CSV + gnuplot script into this directory.
   std::string export_dir;
+
+  /// Durable checkpoint/resume of completed row sets
+  /// (docs/checkpointing.md): with --checkpoint-dir a bench snapshots each
+  /// finished table, and --resume replays snapshotted tables instead of
+  /// recomputing them. Empty dir disables (the exact pre-checkpoint path).
+  std::string checkpoint_dir;
+  double checkpoint_interval_ms = 0.0;  // row sets are stored as completed
+  bool resume = false;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -67,9 +78,17 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.threads = std::stoi(value_of("--threads="));
     } else if (a.rfind("--export-dir=", 0) == 0) {
       args.export_dir = value_of("--export-dir=");
+    } else if (a.rfind("--checkpoint-dir=", 0) == 0) {
+      args.checkpoint_dir = value_of("--checkpoint-dir=");
+    } else if (a.rfind("--checkpoint-interval-ms=", 0) == 0) {
+      args.checkpoint_interval_ms =
+          std::stod(value_of("--checkpoint-interval-ms="));
+    } else if (a == "--resume") {
+      args.resume = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: [--objects=N] [--seed=S] [--threads=N] [--full] "
-                   "[--export-dir=DIR]\n";
+                   "[--export-dir=DIR] [--checkpoint-dir=DIR] "
+                   "[--checkpoint-interval-ms=N] [--resume]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << a << " (try --help)\n";
@@ -160,18 +179,19 @@ inline void WriteJsonArray(std::ostream& os,
 }
 
 /// Writes the records to `<export_dir>/<filename>` when an export dir was
-/// given, and always echoes them to stdout (so the JSON is in the bench
-/// log either way). Exits on IO failure.
+/// given (atomically — a crash mid-export never leaves a torn JSON file),
+/// and always echoes them to stdout (so the JSON is in the bench log
+/// either way). Exits on IO failure.
 inline void ExportJson(const BenchArgs& args, const std::string& filename,
                        const std::vector<JsonRecord>& records) {
   if (!args.export_dir.empty()) {
     const std::string path = args.export_dir + "/" + filename;
-    std::ofstream file(path);
-    if (!file) {
-      std::cerr << "cannot write " << path << "\n";
+    std::ostringstream buffer;
+    WriteJsonArray(buffer, records);
+    if (tdac::Status s = tdac::AtomicWriteFile(path, buffer.str()); !s.ok()) {
+      std::cerr << "cannot write " << path << ": " << s << "\n";
       std::exit(1);
     }
-    WriteJsonArray(file, records);
     std::cout << "json -> " << path << "\n";
   }
   WriteJsonArray(std::cout, records);
@@ -205,6 +225,142 @@ inline std::vector<tdac::ExperimentRow> RunAndPrint(
   tdac::PrintPerformanceTable(title, *rows, std::cout);
   return std::move(rows).value();
 }
+
+/// One checkpoint payload line per row:
+/// `<algo> <5 metric hexes> <6 counts> <seconds hex> <iters> <stop>`.
+/// Doubles are IEEE-754 hex so a replayed table is bit-identical to the
+/// run that stored it (including its — nondeterministic — Time column).
+inline std::string SerializeRows(const std::vector<tdac::ExperimentRow>& rows) {
+  std::ostringstream out;
+  out << rows.size() << '\n';
+  for (const auto& r : rows) {
+    const auto& m = r.metrics;
+    out << tdac::EncodeToken(r.algorithm) << ' ' << tdac::HexDouble(m.precision)
+        << ' ' << tdac::HexDouble(m.recall) << ' '
+        << tdac::HexDouble(m.accuracy) << ' ' << tdac::HexDouble(m.f1) << ' '
+        << tdac::HexDouble(m.item_accuracy) << ' ' << m.counts.tp << ' '
+        << m.counts.fp << ' ' << m.counts.tn << ' ' << m.counts.fn << ' '
+        << m.counts.skipped_claims << ' ' << m.items_evaluated << ' '
+        << tdac::HexDouble(r.seconds) << ' ' << r.iterations << ' '
+        << static_cast<int>(r.stop_reason) << '\n';
+  }
+  return out.str();
+}
+
+inline bool ParseRows(const std::string& payload,
+                      std::vector<tdac::ExperimentRow>* rows) {
+  std::istringstream in(payload);
+  size_t count = 0;
+  if (!(in >> count)) return false;
+  std::vector<tdac::ExperimentRow> parsed(count);
+  for (size_t i = 0; i < count; ++i) {
+    tdac::ExperimentRow& r = parsed[i];
+    std::string algo, hex[6];
+    int stop = 0;
+    auto& m = r.metrics;
+    if (!(in >> algo >> hex[0] >> hex[1] >> hex[2] >> hex[3] >> hex[4] >>
+          m.counts.tp >> m.counts.fp >> m.counts.tn >> m.counts.fn >>
+          m.counts.skipped_claims >> m.items_evaluated >> hex[5] >>
+          r.iterations >> stop)) {
+      return false;
+    }
+    auto name = tdac::DecodeToken(algo);
+    if (!name.ok()) return false;
+    r.algorithm = name.MoveValue();
+    double* slots[6] = {&m.precision, &m.recall,  &m.accuracy,
+                        &m.f1,        &m.item_accuracy, &r.seconds};
+    for (int h = 0; h < 6; ++h) {
+      auto value = tdac::ParseHexDouble(hex[h]);
+      if (!value.ok()) return false;
+      *slots[h] = value.value();
+    }
+    r.stop_reason = static_cast<tdac::StopReason>(stop);
+  }
+  *rows = std::move(parsed);
+  return true;
+}
+
+/// \brief Per-bench checkpoint/resume of completed table row sets.
+///
+/// Each finished table is stored under its own slot; resuming replays the
+/// stored rows (printing the table exactly as the original run did, timing
+/// column included) instead of recomputing them, so a bench killed between
+/// tables picks up where it stopped. `Finish()` removes every slot this run
+/// touched — a bench that ran to completion leaves no resume state behind.
+class BenchCheckpoint {
+ public:
+  static BenchCheckpoint FromArgs(const BenchArgs& args) {
+    BenchCheckpoint bc;
+    if (args.checkpoint_dir.empty()) return bc;
+    tdac::CheckpointOptions options;
+    options.dir = args.checkpoint_dir;
+    options.interval_ms = args.checkpoint_interval_ms;
+    options.resume = args.resume;
+    if (tdac::Status s = tdac::EnsureDirectory(options.dir); !s.ok()) {
+      std::cerr << "cannot create checkpoint dir: " << s << "\n";
+      std::exit(1);
+    }
+    bc.ckpt_ = std::make_unique<tdac::Checkpointer>(options);
+    return bc;
+  }
+
+  bool enabled() const { return ckpt_ != nullptr; }
+
+  /// RunAndPrint with resume: a stored row set whose context (title +
+  /// dataset fingerprint + algorithm list) matches is replayed instead of
+  /// recomputed; otherwise the table runs and its rows are snapshotted.
+  std::vector<tdac::ExperimentRow> RunAndPrintResumable(
+      const std::string& slot, const std::string& title,
+      const std::vector<const tdac::TruthDiscovery*>& algorithms,
+      const tdac::Dataset& data, const tdac::GroundTruth& truth) {
+    if (!enabled()) return RunAndPrint(title, algorithms, data, truth);
+    std::ostringstream ctx_out;
+    ctx_out << title << " fp=" << std::hex << tdac::DatasetFingerprint(data);
+    for (const auto* algo : algorithms) ctx_out << ' ' << algo->name();
+    const std::string ctx = ctx_out.str();
+    slots_.push_back(slot);
+
+    auto stored = ckpt_->LoadForResume(slot);
+    if (!stored.ok()) {
+      std::cerr << "checkpoint load failed: " << stored.status() << "\n";
+      std::exit(1);
+    }
+    if (stored.value()) {
+      if (auto payload = tdac::MatchCheckpointContext(ctx, **stored)) {
+        std::vector<tdac::ExperimentRow> rows;
+        if (ParseRows(*payload, &rows)) {
+          tdac::PrintPerformanceTable(title, rows, std::cout);
+          return rows;
+        }
+      }
+    }
+    std::vector<tdac::ExperimentRow> rows =
+        RunAndPrint(title, algorithms, data, truth);
+    if (tdac::Status s = ckpt_->StoreNow(
+            slot, tdac::BindCheckpointContext(ctx, SerializeRows(rows)));
+        !s.ok()) {
+      std::cerr << "checkpoint store failed: " << s << "\n";
+      std::exit(1);
+    }
+    return rows;
+  }
+
+  /// Clean completion: drop every slot used this run.
+  void Finish() {
+    if (!enabled()) return;
+    for (const std::string& slot : slots_) {
+      if (tdac::Status s = ckpt_->Remove(slot); !s.ok()) {
+        std::cerr << "checkpoint cleanup failed: " << s << "\n";
+        std::exit(1);
+      }
+    }
+    slots_.clear();
+  }
+
+ private:
+  std::unique_ptr<tdac::Checkpointer> ckpt_;
+  std::vector<std::string> slots_;
+};
 
 inline const tdac::ExperimentRow& RowOf(
     const std::vector<tdac::ExperimentRow>& rows, const std::string& name) {

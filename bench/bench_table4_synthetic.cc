@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
   tdac_bench::BenchArgs args = tdac_bench::ParseArgs(argc, argv);
   const int objects = args.objects > 0 ? args.objects : (args.full ? 1000 : 300);
 
+  // With --checkpoint-dir each finished per-dataset table is snapshotted,
+  // and --resume replays completed tables instead of recomputing them.
+  tdac_bench::BenchCheckpoint checkpoint =
+      tdac_bench::BenchCheckpoint::FromArgs(args);
+
   tdac::FigureSeries figure1("figure1", "dataset", "accuracy");
 
   for (int which = 1; which <= 3; ++which) {
@@ -67,7 +72,8 @@ int main(int argc, char** argv) {
 
     std::cout << "Dataset DS" << which << ": " << data->dataset.Summary()
               << "\n";
-    auto rows = tdac_bench::RunAndPrint(
+    auto rows = checkpoint.RunAndPrintResumable(
+        "table4.ds" + std::to_string(which),
         "Table 4" + std::string(1, static_cast<char>('a' + which - 1)) +
             " — DS" + std::to_string(which),
         algorithms, data->dataset, data->truth);
@@ -105,5 +111,6 @@ int main(int argc, char** argv) {
     std::cout << "Figure 1 series written to " << args.export_dir
               << "/figure1.{csv,gp}\n";
   }
+  checkpoint.Finish();
   return 0;
 }

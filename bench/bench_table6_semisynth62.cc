@@ -12,6 +12,8 @@
 
 int main(int argc, char** argv) {
   tdac_bench::BenchArgs args = tdac_bench::ParseArgs(argc, argv);
+  tdac_bench::BenchCheckpoint checkpoint =
+      tdac_bench::BenchCheckpoint::FromArgs(args);
   tdac::FigureSeries figure("figure2", "dataset", "accuracy");
 
   for (int range : {25, 50, 100, 1000}) {
@@ -40,7 +42,8 @@ int main(int argc, char** argv) {
 
     std::cout << "Range " << range << ": " << exam->dataset.Summary()
               << "\n";
-    auto rows = tdac_bench::RunAndPrint(
+    auto rows = checkpoint.RunAndPrintResumable(
+        "table6.range" + std::to_string(range),
         "Table 6 — semi-synthetic, 62 attributes, range " +
             std::to_string(range),
         {&accu, &tdac_accu, &truth_finder, &tdac_tf}, exam->dataset,
@@ -71,5 +74,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "figure2 series written to " << args.export_dir << "/figure2.{csv,gp}\n";
   }
+  checkpoint.Finish();
   return 0;
 }

@@ -11,6 +11,8 @@
 
 int main(int argc, char** argv) {
   tdac_bench::BenchArgs args = tdac_bench::ParseArgs(argc, argv);
+  tdac_bench::BenchCheckpoint checkpoint =
+      tdac_bench::BenchCheckpoint::FromArgs(args);
   tdac::FigureSeries figure("figure3", "dataset", "accuracy");
 
   for (int range : {25, 50, 100, 1000}) {
@@ -39,7 +41,8 @@ int main(int argc, char** argv) {
 
     std::cout << "Range " << range << ": " << exam->dataset.Summary()
               << "\n";
-    auto rows = tdac_bench::RunAndPrint(
+    auto rows = checkpoint.RunAndPrintResumable(
+        "table7.range" + std::to_string(range),
         "Table 7 — semi-synthetic, 124 attributes, range " +
             std::to_string(range),
         {&accu, &tdac_accu, &truth_finder, &tdac_tf}, exam->dataset,
@@ -70,5 +73,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "figure3 series written to " << args.export_dir << "/figure3.{csv,gp}\n";
   }
+  checkpoint.Finish();
   return 0;
 }

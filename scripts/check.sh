@@ -8,6 +8,9 @@
 #   scripts/check.sh lint     # tdac_lint + clang-tidy (if installed)
 #   scripts/check.sh robust   # robustness/corruption/edge-case suites
 #                             # under ASan+UBSan (fault-injection gate)
+#   scripts/check.sh crash    # checkpoint/resume + kill-the-process
+#                             # crash-recovery suites under ASan, 20
+#                             # SIGKILL/resume iterations per algorithm
 #
 # The sanitizer modes exist for the parallel execution layer
 # (src/common/thread_pool.*, parallel.*, and everything that fans out over
@@ -66,8 +69,31 @@ case "$mode" in
     echo "check.sh: robust OK"
     exit 0
     ;;
+  crash)
+    # The crash-recovery gate (docs/checkpointing.md): durable-I/O fault
+    # injection, checkpoint corruption handling, resume determinism, and
+    # the kill-the-process harness — all under ASan so a torn resume that
+    # also corrupts memory fails twice. TDAC_CRASH_ITERATIONS raises the
+    # SIGKILL/resume loop to 20 iterations per algorithm (the local ctest
+    # default stays low to keep plain runs fast), and crash_loop.sh adds
+    # a shell-level pass against the freshly built CLI.
+    build_dir=build-asan
+    cmake -B "$build_dir" -S . -DTDAC_SANITIZE=address
+    cmake --build "$build_dir" -j "$(nproc)"
+    echo "== ctest (crash) =="
+    TDAC_CRASH_ITERATIONS=20 \
+    ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
+    UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}" \
+      ctest --test-dir "$build_dir" --output-on-failure \
+        --timeout 1200 \
+        -R 'io_test|checkpoint_test|resume_determinism_test|crash_recovery_test'
+    echo "== crash_loop.sh =="
+    scripts/crash_loop.sh "$build_dir/tools/tdac_cli"
+    echo "check.sh: crash OK"
+    exit 0
+    ;;
   *)
-    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|robust]" >&2
+    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|robust|crash]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,127 @@
+#!/bin/sh
+# Kill-the-process crash-recovery loop against the real CLI binary.
+#
+#   scripts/crash_loop.sh [path/to/tdac_cli] [iterations] [seed]
+#
+# For TD-AC and the greedy partition search in turn: run once without
+# checkpointing to record the expected outputs, then repeatedly launch the
+# same run with --checkpoint-dir/--resume, SIGKILL it at a seeded
+# pseudo-random point, and relaunch until it exits 0. Every iteration must
+# end with the resolved-truth and source-trust CSVs byte-identical to the
+# uninterrupted run (cmp), an empty checkpoint directory, and no *.tmp
+# files anywhere in the work tree. Any deviation fails the script.
+#
+# This is the shell-level twin of tests/crash_recovery_test.cc: same
+# contract, but exercised the way an operator would drive it — through the
+# installed binary, kill(1), and exit codes only. check.sh crash runs it
+# against the ASan build after the ctest pass.
+#
+# The delay schedule is a deterministic LCG seeded from $3 (default 1), so
+# a failing run can be replayed exactly by passing the same seed.
+set -eu
+
+cli="${1:-build/tools/tdac_cli}"
+iterations="${2:-20}"
+seed="${3:-1}"
+
+if [ ! -x "$cli" ]; then
+  echo "crash_loop.sh: CLI binary not found: $cli" >&2
+  echo "usage: scripts/crash_loop.sh [path/to/tdac_cli] [iterations] [seed]" >&2
+  exit 2
+fi
+case "$cli" in
+  /*) ;;
+  *) cli="$(pwd)/$cli" ;;
+esac
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/tdac_crash_loop.XXXXXX")"
+trap 'rm -rf "$work"' EXIT INT TERM
+ckpt="$work/ckpt"
+mkdir -p "$ckpt"
+
+state=$seed
+# Next LCG value in [0, 2^31); callers take it modulo the window they need.
+next_random() {
+  state=$(( (state * 1103515245 + 12345) % 2147483648 ))
+  echo "$state"
+}
+
+echo "crash_loop.sh: generating dataset (ds2, 2000 objects)"
+"$cli" generate --dataset=ds2 --objects=2000 --seed=42 \
+  --out-claims="$work/claims.csv" --out-truth="$work/truth.csv" \
+  > /dev/null
+
+fail() {
+  echo "crash_loop.sh: FAIL: $1" >&2
+  exit 1
+}
+
+check_clean_tree() {
+  leftover="$(find "$work" -name '*.tmp' | head -n 1)"
+  [ -z "$leftover" ] || fail "torn temp file left behind: $leftover"
+  leftover="$(find "$ckpt" -type f | head -n 1)"
+  [ -z "$leftover" ] || fail "leftover checkpoint after clean run: $leftover"
+}
+
+# run_mode <label> <extra CLI flag>
+run_mode() {
+  label="$1"
+  mode_flag="$2"
+  echo "crash_loop.sh: [$label] recording uninterrupted baseline"
+  "$cli" run --claims="$work/claims.csv" --algorithm=Accu "$mode_flag" \
+    --out="$work/${label}_base_out.csv" \
+    --trust-out="$work/${label}_base_trust.csv" > /dev/null
+
+  kills=0
+  i=0
+  while [ "$i" -lt "$iterations" ]; do
+    i=$((i + 1))
+    rm -rf "$ckpt"
+    mkdir -p "$ckpt"
+    rm -f "$work/${label}_out.csv" "$work/${label}_trust.csv"
+
+    # Kill at a random depth; double the window every few attempts so a
+    # long run eventually gets room to finish. Early attempts test kills
+    # deep inside the run, late ones completion.
+    attempt=0
+    completed=0
+    while [ "$attempt" -lt 25 ] && [ "$completed" -eq 0 ]; do
+      window=$(( 250 << ( (attempt / 4) < 6 ? (attempt / 4) : 6 ) ))
+      attempt=$((attempt + 1))
+      delay_ms=$(( 5 + $(next_random) % window ))
+      "$cli" run --claims="$work/claims.csv" --algorithm=Accu "$mode_flag" \
+        --out="$work/${label}_out.csv" \
+        --trust-out="$work/${label}_trust.csv" \
+        --checkpoint-dir="$ckpt" --checkpoint-interval-ms=0 --resume \
+        > /dev/null 2>&1 &
+      pid=$!
+      # sleep(1) takes fractional seconds on every platform this runs on.
+      sleep "$(awk "BEGIN { printf \"%.3f\", $delay_ms / 1000 }")"
+      kill -KILL "$pid" 2>/dev/null || true
+      status=0
+      # 2>/dev/null mutes the shell's asynchronous "Killed" job notices.
+      wait "$pid" 2>/dev/null || status=$?
+      if [ "$status" -eq 137 ]; then
+        kills=$((kills + 1))
+      elif [ "$status" -eq 0 ]; then
+        completed=1
+      else
+        fail "[$label] unexpected exit code $status (iteration $i)"
+      fi
+    done
+    [ "$completed" -eq 1 ] || fail "[$label] run never survived the kill loop"
+
+    cmp -s "$work/${label}_out.csv" "$work/${label}_base_out.csv" \
+      || fail "[$label] resolved output differs after resume (iteration $i)"
+    cmp -s "$work/${label}_trust.csv" "$work/${label}_base_trust.csv" \
+      || fail "[$label] source trust differs after resume (iteration $i)"
+    check_clean_tree
+    echo "crash_loop.sh: [$label] iteration $i/$iterations OK (kills so far: $kills)"
+  done
+  [ "$kills" -gt 0 ] || fail "[$label] no launch was ever killed; widen the window"
+}
+
+run_mode tdac --tdac
+run_mode greedy --greedy
+
+echo "crash_loop.sh: OK ($iterations iterations per algorithm, outputs bit-identical)"

@@ -1,0 +1,245 @@
+#include "common/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/csv.h"
+#include "common/io.h"
+#include "common/logging.h"
+
+namespace tdac {
+
+namespace {
+
+constexpr std::string_view kMagic = "TDACCKPT";
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, std::string_view payload,
+                      uint32_t version) {
+  char header[64];
+  std::snprintf(header, sizeof(header), "TDACCKPT %u %08x %zu\n", version,
+                Crc32(payload), payload.size());
+  std::string contents = header;
+  contents.append(payload.data(), payload.size());
+  return AtomicWriteFile(path, contents);
+}
+
+Result<std::string> LoadCheckpoint(const std::string& path) {
+  TDAC_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+
+  const size_t newline = contents.find('\n');
+  if (newline == std::string::npos ||
+      contents.compare(0, kMagic.size(), kMagic) != 0 ||
+      (contents.size() > kMagic.size() && contents[kMagic.size()] != ' ')) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   ": bad magic — not a TD-AC checkpoint");
+  }
+  unsigned version = 0;
+  unsigned long crc = 0;
+  size_t declared = 0;
+  const std::string header = contents.substr(0, newline);
+  if (std::sscanf(header.c_str() + kMagic.size(), " %u %lx %zu", &version,
+                  &crc, &declared) != 3) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   ": bad magic — malformed header");
+  }
+  if (version > kCheckpointVersion) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + ": version " + std::to_string(version) +
+        " is newer than this build supports (" +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::string_view payload =
+      std::string_view(contents).substr(newline + 1);
+  if (payload.size() < declared) {
+    return Status::IoError("checkpoint " + path + ": truncated payload (" +
+                           std::to_string(payload.size()) + " of " +
+                           std::to_string(declared) + " bytes)");
+  }
+  if (payload.size() > declared) {
+    return Status::IoError("checkpoint " + path + ": trailing garbage (" +
+                           std::to_string(payload.size()) + " bytes, " +
+                           std::to_string(declared) + " declared)");
+  }
+  const uint32_t actual = Crc32(payload);
+  if (actual != static_cast<uint32_t>(crc)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%08lx vs computed %08x", crc, actual);
+    return Status::IoError("checkpoint " + path +
+                           ": CRC mismatch (stored " + buf + ")");
+  }
+  return std::string(payload);
+}
+
+Checkpointer::Checkpointer(CheckpointOptions options)
+    : options_(std::move(options)) {}
+
+std::string Checkpointer::SlotPath(const std::string& slot) const {
+  return options_.dir + "/" + slot + ".ckpt";
+}
+
+Result<std::optional<std::string>> Checkpointer::LoadForResume(
+    const std::string& slot) const {
+  if (!enabled() || !options_.resume) return std::optional<std::string>();
+  const std::string path = SlotPath(slot);
+  const std::string prev = path + ".prev";
+  const bool have_current = FileExists(path);
+  const bool have_prev = FileExists(prev);
+  if (!have_current && !have_prev) return std::optional<std::string>();
+
+  Status current_status = Status::OK();
+  if (have_current) {
+    Result<std::string> loaded = LoadCheckpoint(path);
+    if (loaded.ok()) return std::optional<std::string>(loaded.MoveValue());
+    current_status = loaded.status();
+    TDAC_LOG_WARNING << "checkpoint slot '" << slot
+                     << "': current snapshot rejected ("
+                     << current_status.message()
+                     << "); falling back to last-good";
+  }
+  if (have_prev) {
+    Result<std::string> loaded = LoadCheckpoint(prev);
+    if (loaded.ok()) return std::optional<std::string>(loaded.MoveValue());
+    TDAC_LOG_WARNING << "checkpoint slot '" << slot
+                     << "': last-good snapshot also rejected ("
+                     << loaded.status().message() << "); starting fresh";
+    return std::optional<std::string>();
+  }
+  TDAC_LOG_WARNING << "checkpoint slot '" << slot
+                   << "': no last-good snapshot to fall back to; "
+                   << "starting fresh";
+  return std::optional<std::string>();
+}
+
+Status Checkpointer::MaybeStore(
+    const std::string& slot,
+    const std::function<std::string()>& payload_fn) {
+  if (!enabled()) return Status::OK();
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = last_store_.find(slot);
+    if (it != last_store_.end() && options_.interval_ms > 0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(now - it->second).count();
+      if (elapsed_ms < options_.interval_ms) return Status::OK();
+    }
+  }
+  return StoreNow(slot, payload_fn());
+}
+
+Status Checkpointer::StoreNow(const std::string& slot,
+                              std::string_view payload) {
+  if (!enabled()) return Status::OK();
+  const std::string path = SlotPath(slot);
+  // Rotate the current snapshot to last-good before the atomic swap: a
+  // crash between the two renames leaves only `.prev`, which LoadForResume
+  // falls back to.
+  if (FileExists(path)) {
+    TDAC_RETURN_NOT_OK(RenameFile(path, path + ".prev"));
+  }
+  TDAC_RETURN_NOT_OK(SaveCheckpoint(path, payload));
+  std::lock_guard<std::mutex> lock(mu_);
+  last_store_[slot] = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+Status Checkpointer::Remove(const std::string& slot) {
+  if (!enabled()) return Status::OK();
+  const std::string path = SlotPath(slot);
+  TDAC_RETURN_NOT_OK(RemoveFile(path));
+  TDAC_RETURN_NOT_OK(RemoveFile(path + ".prev"));
+  TDAC_RETURN_NOT_OK(RemoveFile(AtomicWriteTempPath(path)));
+  std::lock_guard<std::mutex> lock(mu_);
+  last_store_.erase(slot);
+  return Status::OK();
+}
+
+std::string BindCheckpointContext(std::string_view context,
+                                  std::string_view payload) {
+  std::string out = "CTX " + EncodeToken(context) + "\n";
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::optional<std::string> MatchCheckpointContext(std::string_view context,
+                                                  std::string_view stored) {
+  const size_t newline = stored.find('\n');
+  const std::string expected = "CTX " + EncodeToken(context);
+  if (newline == std::string_view::npos ||
+      stored.substr(0, newline) != expected) {
+    TDAC_LOG_WARNING << "checkpoint context mismatch (stored snapshot is "
+                     << "from a different run); ignoring it";
+    return std::nullopt;
+  }
+  return std::string(stored.substr(newline + 1));
+}
+
+std::string EncodeToken(std::string_view raw) {
+  if (raw.empty()) return "%";
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (c == '%' || c <= 0x20 || c == 0x7f) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> DecodeToken(std::string_view token) {
+  if (token == "%") return std::string();
+  std::string out;
+  out.reserve(token.size());
+  for (size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out += token[i];
+      continue;
+    }
+    if (i + 2 >= token.size()) {
+      return Status::InvalidArgument("malformed token escape in '" +
+                                     std::string(token) + "'");
+    }
+    unsigned value = 0;
+    if (std::sscanf(std::string(token.substr(i + 1, 2)).c_str(), "%02x",
+                    &value) != 1) {
+      return Status::InvalidArgument("malformed token escape in '" +
+                                     std::string(token) + "'");
+    }
+    out += static_cast<char>(value);
+    i += 2;
+  }
+  return out;
+}
+
+std::string HexDouble(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+Result<double> ParseHexDouble(std::string_view hex) {
+  if (hex.size() != 16) {
+    return Status::InvalidArgument("bad hex double '" + std::string(hex) +
+                                   "'");
+  }
+  unsigned long long bits = 0;
+  if (std::sscanf(std::string(hex).c_str(), "%llx", &bits) != 1) {
+    return Status::InvalidArgument("bad hex double '" + std::string(hex) +
+                                   "'");
+  }
+  double value = 0.0;
+  const uint64_t b = bits;
+  std::memcpy(&value, &b, sizeof(value));
+  return value;
+}
+
+}  // namespace tdac

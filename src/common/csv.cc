@@ -128,6 +128,11 @@ Status WriteFile(const std::string& path, std::string_view text) {
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out.write(text.data(), static_cast<std::streamsize>(text.size()));
   if (!out) return Status::IoError("write failed: " + path);
+  // flush + close before the final stream-state check: buffered bytes only
+  // reach the OS here, and a full disk surfaces as a failbit on close.
+  out.flush();
+  out.close();
+  if (out.fail()) return Status::IoError("write failed on close: " + path);
   return Status::OK();
 }
 

@@ -54,7 +54,11 @@ Result<CsvDocument> ParseCsvWithLines(std::string_view text,
 [[nodiscard]] Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char delimiter = ',');
 
-/// Writes `text` to `path`, overwriting.
+/// Writes `text` to `path`, overwriting. Flush and close are checked, so
+/// short writes and full disks surface as a Status — but the write is NOT
+/// atomic: a crash mid-write leaves a torn file. Production output paths
+/// use AtomicWriteFile (common/io.h) instead; this stays for scratch files
+/// in tests.
 [[nodiscard]] Status WriteFile(const std::string& path, std::string_view text);
 
 /// Reads an entire file into a string.

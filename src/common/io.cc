@@ -1,0 +1,237 @@
+#include "common/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tdac {
+
+namespace {
+
+IoFaultInjector* g_fault_injector = nullptr;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Directory part of `path` ("." when there is no slash).
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("cannot open directory", dir);
+  Status status = Status::OK();
+  if (::fsync(fd) != 0) status = Errno("fsync failed on directory", dir);
+  ::close(fd);
+  return status;
+}
+
+/// write(2) the whole buffer in bounded chunks, applying the injector's
+/// write-level fault modes per chunk.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  constexpr size_t kChunk = 1 << 16;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const size_t len = std::min(kChunk, data.size() - offset);
+    if (g_fault_injector != nullptr) {
+      IoFaultInjector* inj = g_fault_injector;
+      switch (inj->mode()) {
+        case IoFaultInjector::Mode::kFailWrite:
+          if (inj->ShouldTrigger()) {
+            inj->RecordTriggered();
+            return Status::IoError("write failed " + path +
+                                   ": injected I/O error");
+          }
+          break;
+        case IoFaultInjector::Mode::kShortWrite:
+          if (inj->ShouldTrigger()) {
+            inj->RecordTriggered();
+            // Persist half the chunk, then fail: the file is left torn.
+            const size_t half = len / 2;
+            if (half > 0) {
+              (void)::write(fd, data.data() + offset,
+                            static_cast<size_t>(half));
+            }
+            return Status::IoError("write failed " + path +
+                                   ": injected short write (" +
+                                   std::to_string(half) + " of " +
+                                   std::to_string(len) + " bytes persisted)");
+          }
+          break;
+        case IoFaultInjector::Mode::kEnospc:
+          if (inj->ShouldTrigger()) {
+            inj->RecordTriggered();
+            return Status::IoError("write failed " + path + ": " +
+                                   std::strerror(ENOSPC));
+          }
+          break;
+        case IoFaultInjector::Mode::kCrashBeforeRename:
+        case IoFaultInjector::Mode::kCrashAfterRename:
+          break;  // handled at the AtomicWriteFile level
+      }
+    }
+    const ssize_t n = ::write(fd, data.data() + offset, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed", path);
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string AtomicWriteTempPath(const std::string& path) {
+  return path + ".tmp";
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string temp = AtomicWriteTempPath(path);
+
+  bool crash_before_rename = false;
+  bool crash_after_rename = false;
+  if (g_fault_injector != nullptr) {
+    IoFaultInjector* inj = g_fault_injector;
+    if (inj->mode() == IoFaultInjector::Mode::kCrashBeforeRename &&
+        inj->ShouldTrigger()) {
+      crash_before_rename = true;
+    } else if (inj->mode() == IoFaultInjector::Mode::kCrashAfterRename &&
+               inj->ShouldTrigger()) {
+      crash_after_rename = true;
+    }
+  }
+
+  const int fd = ::open(temp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot open for writing", temp);
+
+  Status status = WriteAll(fd, contents, temp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Errno("fsync failed", temp);
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Errno("close failed", temp);
+  }
+  if (!status.ok()) {
+    // The target was never touched; drop the torn temp so no reader can
+    // mistake it for real output.
+    (void)::unlink(temp.c_str());
+    return status;
+  }
+
+  if (crash_before_rename) {
+    // Simulated crash: fully-written temp left behind, target untouched.
+    g_fault_injector->RecordTriggered();
+    return Status::IoError("write failed " + path +
+                           ": injected crash before rename");
+  }
+
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    Status rename_status = Errno("rename failed", temp + " -> " + path);
+    (void)::unlink(temp.c_str());
+    return rename_status;
+  }
+
+  if (crash_after_rename) {
+    // Simulated crash after the atomic swap: the new contents are visible
+    // but the caller never learns the write succeeded.
+    g_fault_injector->RecordTriggered();
+    return Status::IoError("write failed " + path +
+                           ": injected crash after rename");
+  }
+
+  return FsyncDir(ParentDir(path));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename failed", from + " -> " + to);
+  }
+  return FsyncDir(ParentDir(to));
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink failed", path);
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    // EEXIST alone is not enough: a plain file of the same name would make
+    // every subsequent write into the "directory" fail confusingly.
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IoError("not a directory: " + path);
+  }
+  return Errno("mkdir failed", path);
+}
+
+Result<std::vector<std::string>> ListDirFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("cannot open directory", dir);
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+uint32_t Crc32(std::string_view data) {
+  // Table-driven CRC-32 (reflected 0xEDB88320, init/final 0xFFFFFFFF —
+  // the zlib convention), table built once on first use.
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+ScopedIoFaultInjector::ScopedIoFaultInjector(IoFaultInjector* injector) {
+  g_fault_injector = injector;
+}
+
+ScopedIoFaultInjector::~ScopedIoFaultInjector() { g_fault_injector = nullptr; }
+
+}  // namespace tdac

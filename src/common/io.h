@@ -1,0 +1,128 @@
+#ifndef TDAC_COMMON_IO_H_
+#define TDAC_COMMON_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tdac {
+
+/// \brief Durable file I/O: atomic whole-file writes plus the small set of
+/// POSIX helpers the checkpoint layer needs.
+///
+/// `AtomicWriteFile` is the single write primitive every output path of the
+/// library routes through. It guarantees that a reader of `path` observes
+/// either the complete previous contents or the complete new contents —
+/// never a torn mixture — regardless of crashes, SIGKILL, or ENOSPC during
+/// the write:
+///
+///   1. the contents are written to `path + ".tmp"` in the same directory,
+///   2. the temp file is flushed and fsync'ed,
+///   3. the temp file is rename(2)'d over `path` (atomic within a POSIX
+///      filesystem),
+///   4. the parent directory is fsync'ed so the rename itself is durable.
+///
+/// On any failure before the rename the temp file is unlinked and `path`
+/// is untouched. The temp name is deterministic (`<path>.tmp`), so a
+/// half-written temp left behind by a killed process is simply overwritten
+/// by the next attempt — no stale-temp accumulation. The corollary is that
+/// concurrent writers to the *same* path are not supported (last rename
+/// wins; a loser can corrupt the winner's temp mid-write).
+[[nodiscard]] Status AtomicWriteFile(const std::string& path,
+                                     std::string_view contents);
+
+/// The deterministic temp-file name AtomicWriteFile uses for `path`.
+std::string AtomicWriteTempPath(const std::string& path);
+
+/// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// rename(2) + parent-directory fsync. Fails if `from` does not exist.
+[[nodiscard]] Status RenameFile(const std::string& from, const std::string& to);
+
+/// unlink(2); missing files are OK (idempotent delete).
+[[nodiscard]] Status RemoveFile(const std::string& path);
+
+/// Creates `path` as a directory if it does not exist (single level).
+[[nodiscard]] Status EnsureDirectory(const std::string& path);
+
+/// Names of regular files directly inside `dir` (no subdirectories, no
+/// "."/".."), sorted ascending for deterministic iteration.
+[[nodiscard]] Result<std::vector<std::string>> ListDirFiles(
+    const std::string& dir);
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of `data` — the
+/// checkpoint format's corruption detector.
+uint32_t Crc32(std::string_view data);
+
+/// \brief Test-only fault injection for AtomicWriteFile.
+///
+/// Installed via ScopedIoFaultInjector, the injector intercepts the write
+/// path so torn-write and crash-window behaviour is unit-testable without
+/// an actual SIGKILL:
+///
+///   - kFailWrite: the Nth write(2) call fails cleanly (EIO-style) having
+///     persisted nothing.
+///   - kShortWrite: the Nth write(2) call persists only half its bytes and
+///     then fails — the temp file is left torn at the syscall level.
+///   - kEnospc: the Nth write(2) call fails with ENOSPC semantics.
+///   - kCrashBeforeRename: the contents are fully written and synced, but
+///     the injector "crashes" before the rename — AtomicWriteFile returns
+///     an error, the target is untouched, and the temp file is left on
+///     disk exactly as a real crash would leave it.
+///   - kCrashAfterRename: the rename happens but the injector "crashes"
+///     before the parent-directory fsync — the new contents are visible,
+///     and the caller never learns the write succeeded (the post-crash
+///     reality a resume path must tolerate).
+///
+/// `trigger_on_call` counts write(2) calls (for the write modes) or
+/// AtomicWriteFile invocations (for the crash modes), 1-based, since the
+/// injector was installed. Not thread-safe: tests install it around
+/// single-threaded write sequences only.
+class IoFaultInjector {
+ public:
+  enum class Mode {
+    kFailWrite,
+    kShortWrite,
+    kEnospc,
+    kCrashBeforeRename,
+    kCrashAfterRename,
+  };
+
+  IoFaultInjector(Mode mode, int trigger_on_call)
+      : mode_(mode), trigger_on_call_(trigger_on_call) {}
+
+  Mode mode() const { return mode_; }
+
+  /// Advances the relevant counter; true when this call must fault.
+  bool ShouldTrigger() { return ++calls_ == trigger_on_call_; }
+
+  /// How often the injector actually fired (for test assertions).
+  int triggered_count() const { return triggered_; }
+  void RecordTriggered() { ++triggered_; }
+
+ private:
+  Mode mode_;
+  int trigger_on_call_;
+  int calls_ = 0;
+  int triggered_ = 0;
+};
+
+/// RAII installer: the injector is active for AtomicWriteFile calls made
+/// while the scope is alive. Nesting is not supported.
+class ScopedIoFaultInjector {
+ public:
+  explicit ScopedIoFaultInjector(IoFaultInjector* injector);
+  ~ScopedIoFaultInjector();
+
+  ScopedIoFaultInjector(const ScopedIoFaultInjector&) = delete;
+  ScopedIoFaultInjector& operator=(const ScopedIoFaultInjector&) = delete;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_COMMON_IO_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/csv.h"
+#include "common/io.h"
 #include "common/string_util.h"
 #include "data/dataset_builder.h"
 
@@ -87,7 +88,7 @@ Result<Dataset> DatasetFromCsv(const std::string& text) {
 }
 
 Status SaveDataset(const Dataset& dataset, const std::string& path) {
-  return WriteFile(path, DatasetToCsv(dataset));
+  return AtomicWriteFile(path, DatasetToCsv(dataset));
 }
 
 Result<Dataset> LoadDataset(const std::string& path) {
@@ -150,7 +151,7 @@ Result<GroundTruth> GroundTruthFromCsv(const std::string& text,
 
 Status SaveGroundTruth(const GroundTruth& truth, const Dataset& dataset,
                        const std::string& path) {
-  return WriteFile(path, GroundTruthToCsv(truth, dataset));
+  return AtomicWriteFile(path, GroundTruthToCsv(truth, dataset));
 }
 
 std::string SourceTrustToCsv(const std::vector<double>& trust,
@@ -202,7 +203,7 @@ Result<std::vector<double>> SourceTrustFromCsv(const std::string& text,
 
 Status SaveSourceTrust(const std::vector<double>& trust,
                        const Dataset& dataset, const std::string& path) {
-  return WriteFile(path, SourceTrustToCsv(trust, dataset));
+  return AtomicWriteFile(path, SourceTrustToCsv(trust, dataset));
 }
 
 Result<std::vector<double>> LoadSourceTrust(const std::string& path,

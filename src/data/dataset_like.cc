@@ -35,4 +35,24 @@ const Value* DatasetLike::ValueOf(SourceId source, ObjectId object,
   return nullptr;
 }
 
+uint64_t DatasetFingerprint(const DatasetLike& data) {
+  // FNV-1a-style fold; Value::Hash is stable, so the fingerprint is too.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(data.num_sources()));
+  mix(static_cast<uint64_t>(data.num_objects()));
+  mix(static_cast<uint64_t>(data.num_attributes()));
+  mix(data.num_claims());
+  for (int32_t id : data.claim_ids()) {
+    const Claim& c = data.claim(static_cast<size_t>(id));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(c.source)));
+    mix(ObjectAttrKey(c.object, c.attribute));
+    mix(c.value.Hash());
+  }
+  return h;
+}
+
 }  // namespace tdac

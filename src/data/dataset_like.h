@@ -76,6 +76,13 @@ class DatasetLike {
                        AttributeId attribute) const;
 };
 
+/// Order-sensitive 64-bit fingerprint of a dataset/view: the id-space
+/// counts plus every claim (source, object, attribute, value) in claim-id
+/// order. Checkpoint slots embed it so a resume against different data (or
+/// a different restriction of the same storage) is detected and ignored
+/// instead of blending two runs.
+uint64_t DatasetFingerprint(const DatasetLike& data);
+
 }  // namespace tdac
 
 #endif  // TDAC_DATA_DATASET_LIKE_H_

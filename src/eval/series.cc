@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/csv.h"
+#include "common/io.h"
 #include "common/string_util.h"
 
 namespace tdac {
@@ -84,8 +85,8 @@ std::string FigureSeries::ToGnuplot(const std::string& csv_filename) const {
 
 Status FigureSeries::WriteTo(const std::string& dir) const {
   const std::string csv_name = name_ + ".csv";
-  TDAC_RETURN_NOT_OK(WriteFile(dir + "/" + csv_name, ToCsv()));
-  return WriteFile(dir + "/" + name_ + ".gp", ToGnuplot(csv_name));
+  TDAC_RETURN_NOT_OK(AtomicWriteFile(dir + "/" + csv_name, ToCsv()));
+  return AtomicWriteFile(dir + "/" + name_ + ".gp", ToGnuplot(csv_name));
 }
 
 }  // namespace tdac

@@ -1,11 +1,54 @@
 #include "partition/gen_partition.h"
 
+#include <sstream>
+
+#include "common/checkpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "partition/group_runner.h"
 #include "partition/set_partition_enumerator.h"
 
 namespace tdac {
+
+namespace {
+
+/// Serialized search frontier: how many partitions the enumerator has
+/// yielded, plus the best-so-far (score + partition). The enumerator is
+/// deterministic, so the consumed count alone replays its position.
+std::string SerializeGenSearch(size_t explored, bool have_best,
+                               double best_score,
+                               const AttributePartition& best) {
+  std::ostringstream out;
+  out << explored << ' ' << (have_best ? 1 : 0) << ' ' << HexDouble(best_score)
+      << ' ' << EncodeToken(best.ToString()) << '\n';
+  return out.str();
+}
+
+bool ParseGenSearch(const std::string& payload, size_t* explored,
+                    bool* have_best, double* best_score,
+                    AttributePartition* best) {
+  std::istringstream in(payload);
+  size_t n = 0;
+  int have = 0;
+  std::string hex;
+  std::string token;
+  if (!(in >> n >> have >> hex >> token)) return false;
+  Result<double> score = ParseHexDouble(hex);
+  if (!score.ok()) return false;
+  if (have != 0) {
+    Result<std::string> text = DecodeToken(token);
+    if (!text.ok()) return false;
+    Result<AttributePartition> parsed = AttributePartition::Parse(text.value());
+    if (!parsed.ok()) return false;
+    *best = parsed.MoveValue();
+  }
+  *explored = n;
+  *have_best = have != 0;
+  *best_score = score.value();
+  return true;
+}
+
+}  // namespace
 
 GenPartitionAlgorithm::GenPartitionAlgorithm(GenPartitionOptions options)
     : options_(options) {
@@ -63,7 +106,53 @@ Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
   ParallelForOptions par;
   par.max_parallelism = runner.threads();
 
+  // Search-frontier checkpoint: the enumerator is deterministic, so the
+  // number of partitions consumed fully encodes its position; resume
+  // fast-forwards past them and re-scores nothing already reduced.
+  Checkpointer* ckpt = options_.checkpointer;
+  const bool ckpt_on = ckpt != nullptr && ckpt->enabled();
+  const std::string slot = (options_.checkpoint_prefix.empty()
+                                ? std::string("gen")
+                                : options_.checkpoint_prefix) +
+                           ".search";
+  std::string ctx;
+  if (ckpt_on) {
+    std::ostringstream ctx_out;
+    ctx_out << name_ << " fp=" << std::hex << DatasetFingerprint(data)
+            << std::dec << " n=" << n;
+    ctx = ctx_out.str();
+  }
+
   SetPartitionEnumerator enumerator(n);
+  if (ckpt_on) {
+    TDAC_ASSIGN_OR_RETURN(std::optional<std::string> stored,
+                          ckpt->LoadForResume(slot));
+    if (stored) {
+      if (auto payload = MatchCheckpointContext(ctx, *stored)) {
+        size_t explored = 0;
+        if (ParseGenSearch(*payload, &explored, &have_best, &report.best_score,
+                           &report.best_partition)) {
+          for (size_t i = 0; i < explored; ++i) {
+            if (!enumerator.Next()) break;
+            ++report.partitions_explored;
+          }
+        } else {
+          TDAC_LOG_WARNING << name_ << ": search checkpoint payload "
+                           << "unusable; restarting the search";
+          have_best = false;
+          report.best_score = 0.0;
+          report.best_partition = AttributePartition();
+        }
+      }
+    }
+  }
+
+  // Only state computed with the guard untripped may be persisted: a batch
+  // scored while the deadline was expiring holds degraded (early-stopped)
+  // base runs, and resuming from it would replay their scores as truth.
+  std::string last_clean;
+  bool have_last_clean = false;
+
   bool exhausted = false;
   while (!exhausted) {
     trip = guard.ShouldStop();
@@ -103,6 +192,25 @@ Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
         report.best_partition = std::move(batch[i]);
       }
     }
+    if (ckpt_on) {
+      // A trip during this batch's scoring means some of the scores just
+      // reduced are degraded: keep them for this run's best-so-far output,
+      // but never let them reach a checkpoint.
+      trip = guard.ShouldStop();
+      if (trip) break;
+      last_clean = BindCheckpointContext(
+          ctx, SerializeGenSearch(report.partitions_explored, have_best,
+                                  report.best_score, report.best_partition));
+      have_last_clean = true;
+      TDAC_RETURN_NOT_OK(
+          ckpt->MaybeStore(slot, [&] { return last_clean; }));
+    }
+  }
+  if (ckpt_on && trip && have_last_clean) {
+    // Final checkpoint on a Deadline/Cancelled stop: the frontier as of the
+    // last batch scored entirely under an untripped guard. (With no new
+    // clean state the file on disk already holds the right frontier.)
+    TDAC_RETURN_NOT_OK(ckpt->StoreNow(slot, last_clean));
   }
   if (!have_best) {
     // Tripped before any batch was scored: the single all-attributes group
@@ -116,6 +224,9 @@ Result<GenPartitionReport> GenPartitionAlgorithm::DiscoverWithReport(
     report.result.stop_reason =
         CombineStopReasons(report.result.stop_reason, *trip);
     report.result.converged = false;
+  }
+  if (ckpt_on && !report.result.degraded()) {
+    TDAC_RETURN_NOT_OK(ckpt->Remove(slot));
   }
   return report;
 }

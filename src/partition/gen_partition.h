@@ -10,6 +10,8 @@
 
 namespace tdac {
 
+class Checkpointer;
+
 /// \brief Options for the brute-force partitioning baseline.
 struct GenPartitionOptions {
   /// The base truth-discovery algorithm F run on each group. Required;
@@ -33,6 +35,15 @@ struct GenPartitionOptions {
   /// serial path. Scores and the chosen partition are bit-identical at
   /// every thread count.
   int threads = 0;
+
+  /// Durable checkpoint/resume of the search frontier
+  /// (docs/checkpointing.md). Not owned; null disables. The slot is
+  /// `<checkpoint_prefix>.search` (prefix defaults to "gen" for the
+  /// exhaustive search and "greedy" for the greedy one). Note the memo of
+  /// per-group base runs is *not* persisted — a resumed search re-runs the
+  /// groups it still needs, which costs time but never changes results.
+  Checkpointer* checkpointer = nullptr;
+  std::string checkpoint_prefix;
 };
 
 /// \brief Diagnostics of a brute-force run.

@@ -1,13 +1,53 @@
 #include "partition/greedy_partition.h"
 
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "partition/group_runner.h"
 
 namespace tdac {
+
+namespace {
+
+/// Serialized wave frontier: the current partition, its score, the
+/// explored counter, and whether the search had already converged (so a
+/// resume after the final wave does not re-run — and re-count — it). Each
+/// greedy wave is a pure function of the current partition, so this is all
+/// a resume needs.
+std::string SerializeGreedySearch(const AttributePartition& current,
+                                  double score, size_t explored, bool done) {
+  std::ostringstream out;
+  out << EncodeToken(current.ToString()) << ' ' << HexDouble(score) << ' '
+      << explored << ' ' << (done ? 1 : 0) << '\n';
+  return out.str();
+}
+
+bool ParseGreedySearch(const std::string& payload, AttributePartition* current,
+                       double* score, size_t* explored, bool* done) {
+  std::istringstream in(payload);
+  std::string token;
+  std::string hex;
+  size_t n = 0;
+  int done_flag = 0;
+  if (!(in >> token >> hex >> n >> done_flag)) return false;
+  Result<std::string> text = DecodeToken(token);
+  if (!text.ok()) return false;
+  Result<AttributePartition> parsed = AttributePartition::Parse(text.value());
+  if (!parsed.ok()) return false;
+  Result<double> s = ParseHexDouble(hex);
+  if (!s.ok()) return false;
+  *current = parsed.MoveValue();
+  *score = s.value();
+  *explored = n;
+  *done = done_flag != 0;
+  return true;
+}
+
+}  // namespace
 
 GreedyPartitionAlgorithm::GreedyPartitionAlgorithm(GenPartitionOptions options)
     : options_(options) {
@@ -48,16 +88,59 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
   ParallelForOptions par;
   par.max_parallelism = runner.threads();
 
-  // Start from all singletons.
-  std::vector<std::vector<AttributeId>> groups;
-  groups.reserve(static_cast<size_t>(n));
-  for (AttributeId a : attributes) groups.push_back({a});
-  TDAC_ASSIGN_OR_RETURN(AttributePartition current,
-                        AttributePartition::FromGroups(groups));
-  TDAC_ASSIGN_OR_RETURN(
-      double current_score,
-      runner.Score(current, options_.weighting, options_.oracle_truth));
-  ++report.partitions_explored;
+  Checkpointer* ckpt = options_.checkpointer;
+  const bool ckpt_on = ckpt != nullptr && ckpt->enabled();
+  const std::string slot = (options_.checkpoint_prefix.empty()
+                                ? std::string("greedy")
+                                : options_.checkpoint_prefix) +
+                           ".search";
+  std::string ctx;
+  if (ckpt_on) {
+    std::ostringstream ctx_out;
+    ctx_out << name_ << " fp=" << std::hex << DatasetFingerprint(data)
+            << std::dec << " n=" << n;
+    ctx = ctx_out.str();
+  }
+
+  // Start from all singletons — or from the checkpointed wave frontier.
+  // Resuming one wave further than strictly reached only re-runs a wave
+  // that finds no improvement, so the outcome is unchanged.
+  AttributePartition current;
+  double current_score = 0.0;
+  bool restored = false;
+  bool search_done = false;
+  if (ckpt_on) {
+    TDAC_ASSIGN_OR_RETURN(std::optional<std::string> stored,
+                          ckpt->LoadForResume(slot));
+    if (stored) {
+      if (auto payload = MatchCheckpointContext(ctx, *stored)) {
+        if (ParseGreedySearch(*payload, &current, &current_score,
+                              &report.partitions_explored, &search_done)) {
+          restored = true;
+        } else {
+          TDAC_LOG_WARNING << name_ << ": search checkpoint payload "
+                           << "unusable; restarting the search";
+        }
+      }
+    }
+  }
+  if (!restored) {
+    std::vector<std::vector<AttributeId>> groups;
+    groups.reserve(static_cast<size_t>(n));
+    for (AttributeId a : attributes) groups.push_back({a});
+    TDAC_ASSIGN_OR_RETURN(current, AttributePartition::FromGroups(groups));
+    TDAC_ASSIGN_OR_RETURN(
+        current_score,
+        runner.Score(current, options_.weighting, options_.oracle_truth));
+    ++report.partitions_explored;
+    if (ckpt_on && !guard.ShouldStop()) {
+      TDAC_RETURN_NOT_OK(ckpt->MaybeStore(slot, [&] {
+        return BindCheckpointContext(
+            ctx, SerializeGreedySearch(current, current_score,
+                                       report.partitions_explored, false));
+      }));
+    }
+  }
 
   // Merge the best-improving pair until no merge improves. Each wave's
   // candidates (one per unordered pair of current groups) are independent
@@ -65,7 +148,16 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
   // drives distinct base runs through the shared memo — and the argmax is
   // taken serially in (i, j) order, which is exactly the serial loop's
   // tie-breaking (first-enumerated candidate wins a tied score).
-  bool improved = true;
+  //
+  // The wave frontier as of the last boundary the guard was still clean at
+  // — a wave whose candidate scores may have been cut short mid-run is
+  // never checkpointed, so a resume re-runs it cleanly.
+  std::string last_clean_state;
+  if (ckpt_on) {
+    last_clean_state = SerializeGreedySearch(
+        current, current_score, report.partitions_explored, search_done);
+  }
+  bool improved = !search_done;
   std::optional<StopReason> trip;
   while (improved && current.num_groups() > 1) {
     trip = guard.ShouldStop();
@@ -118,6 +210,27 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
       current = std::move(best_candidate);
       current_score = best_score;
     }
+    if (ckpt_on && !guard.ShouldStop()) {
+      last_clean_state =
+          SerializeGreedySearch(current, current_score,
+                                report.partitions_explored, !improved);
+      if (improved) {
+        TDAC_RETURN_NOT_OK(ckpt->MaybeStore(slot, [&] {
+          return BindCheckpointContext(ctx, last_clean_state);
+        }));
+      } else {
+        // The search just converged: store unconditionally so a crash
+        // during the final aggregation resumes without re-running (and
+        // re-counting) the last wave.
+        TDAC_RETURN_NOT_OK(ckpt->StoreNow(
+            slot, BindCheckpointContext(ctx, last_clean_state)));
+      }
+    }
+  }
+  if (ckpt_on && trip) {
+    // Final checkpoint on a Deadline/Cancelled stop.
+    TDAC_RETURN_NOT_OK(ckpt->StoreNow(
+        slot, BindCheckpointContext(ctx, last_clean_state)));
   }
 
   report.best_partition = current;
@@ -128,6 +241,9 @@ Result<GenPartitionReport> GreedyPartitionAlgorithm::DiscoverWithReport(
     report.result.stop_reason =
         CombineStopReasons(report.result.stop_reason, *trip);
     report.result.converged = false;
+  }
+  if (ckpt_on && !report.result.degraded()) {
+    TDAC_RETURN_NOT_OK(ckpt->Remove(slot));
   }
   return report;
 }

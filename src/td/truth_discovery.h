@@ -56,6 +56,17 @@ struct TruthDiscoveryResult {
   bool degraded() const { return IsDegraded(stop_reason); }
 };
 
+/// Serializes a result into a checkpoint payload: predictions in sorted key
+/// order, Value payloads token-escaped, and every double as its IEEE-754
+/// bits, so Serialize → Deserialize is a bit-exact round trip.
+std::string SerializeTruthDiscoveryResult(const TruthDiscoveryResult& result);
+
+/// Inverse of SerializeTruthDiscoveryResult; fails with InvalidArgument on
+/// any malformed field (a checkpoint payload that passed its CRC but was
+/// written by something else entirely).
+[[nodiscard]] Result<TruthDiscoveryResult> DeserializeTruthDiscoveryResult(
+    std::string_view payload);
+
 /// \brief Abstract interface implemented by every algorithm (the paper's
 /// "base truth discovery algorithm" F).
 class TruthDiscovery {

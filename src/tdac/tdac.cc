@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 
+#include "common/checkpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -23,6 +25,92 @@ int CompactLabels(std::vector<int>* assignment, int k) {
     a = remap[static_cast<size_t>(a)];
   }
   return next;
+}
+
+/// Per-k outcome slot of the sweep (filled by the parallel sweep, reduced
+/// serially in ascending-k order — and round-tripped verbatim through the
+/// sweep checkpoint, which is what makes a resumed sweep bit-identical).
+struct SweepOutcome {
+  std::vector<int> assignment;
+  int effective_k = 0;
+  double score = 0.0;
+  bool ok = false;
+  bool kmeans_converged = true;
+};
+
+std::string SerializeSweepState(const std::vector<SweepOutcome>& outcomes,
+                                size_t done) {
+  std::ostringstream out;
+  out << done << '\n';
+  for (size_t i = 0; i < done; ++i) {
+    const SweepOutcome& o = outcomes[i];
+    out << (o.ok ? 1 : 0) << ' ' << (o.kmeans_converged ? 1 : 0) << ' '
+        << o.effective_k << ' ' << HexDouble(o.score) << ' '
+        << o.assignment.size();
+    for (int a : o.assignment) out << ' ' << a;
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool ParseSweepState(const std::string& payload,
+                     std::vector<SweepOutcome>* outcomes, size_t* done) {
+  std::istringstream in(payload);
+  size_t n = 0;
+  if (!(in >> n) || n > outcomes->size()) return false;
+  for (size_t i = 0; i < n; ++i) {
+    SweepOutcome o;
+    int ok = 0;
+    int converged = 0;
+    std::string hex;
+    size_t assign_size = 0;
+    if (!(in >> ok >> converged >> o.effective_k >> hex >> assign_size)) {
+      return false;
+    }
+    Result<double> score = ParseHexDouble(hex);
+    if (!score.ok()) return false;
+    o.ok = ok != 0;
+    o.kmeans_converged = converged != 0;
+    o.score = score.value();
+    o.assignment.resize(assign_size);
+    for (size_t j = 0; j < assign_size; ++j) {
+      if (!(in >> o.assignment[j])) return false;
+    }
+    (*outcomes)[i] = std::move(o);
+  }
+  *done = n;
+  return true;
+}
+
+std::string SerializeGroupsState(
+    const std::vector<Result<TruthDiscoveryResult>>& partials, size_t done) {
+  std::ostringstream out;
+  out << done << '\n';
+  for (size_t g = 0; g < done; ++g) {
+    out << EncodeToken(SerializeTruthDiscoveryResult(partials[g].value()))
+        << '\n';
+  }
+  return out.str();
+}
+
+bool ParseGroupsState(const std::string& payload, size_t num_groups,
+                      std::vector<Result<TruthDiscoveryResult>>* partials,
+                      size_t* done) {
+  std::istringstream in(payload);
+  size_t n = 0;
+  if (!(in >> n) || n > num_groups) return false;
+  for (size_t g = 0; g < n; ++g) {
+    std::string token;
+    if (!(in >> token)) return false;
+    Result<std::string> serialized = DecodeToken(token);
+    if (!serialized.ok()) return false;
+    Result<TruthDiscoveryResult> parsed =
+        DeserializeTruthDiscoveryResult(serialized.value());
+    if (!parsed.ok()) return false;
+    (*partials)[g] = parsed.MoveValue();
+  }
+  *done = n;
+  return true;
 }
 
 }  // namespace
@@ -48,7 +136,7 @@ Result<TdacReport> Tdac::DiscoverWithReport(const DatasetLike& data,
   // re-derive most groups, and each re-derived group reuses its view.
   RestrictionCache cache(&data);
   TDAC_ASSIGN_OR_RETURN(TdacReport report,
-                        RunPass(data, &cache, nullptr, guard));
+                        RunPass(data, &cache, nullptr, guard, 0));
   // Refinement extension: rebuild the truth vectors against our own merged
   // predictions and re-run, until the partition stabilizes.
   for (int round = 0; round < options_.refinement_rounds; ++round) {
@@ -64,7 +152,7 @@ Result<TdacReport> Tdac::DiscoverWithReport(const DatasetLike& data,
     }
     GroundTruth reference = report.result.predicted;
     TDAC_ASSIGN_OR_RETURN(TdacReport next,
-                          RunPass(data, &cache, &reference, guard));
+                          RunPass(data, &cache, &reference, guard, round + 1));
     if (next.result.degraded()) {
       // Keep the previous round's complete result over a partial round,
       // labeled with the reason the new round was cut short.
@@ -83,19 +171,51 @@ Result<TdacReport> Tdac::DiscoverWithReport(const DatasetLike& data,
     report = std::move(next);
     if (stable) break;
   }
+  // Clean completion leaves no resume state behind; a degraded run keeps
+  // its slots so --resume can finish the remaining work.
+  if (options_.checkpointer != nullptr && options_.checkpointer->enabled() &&
+      !report.result.degraded()) {
+    for (int round = 0; round <= options_.refinement_rounds; ++round) {
+      const std::string prefix =
+          options_.checkpoint_prefix + ".r" + std::to_string(round);
+      TDAC_RETURN_NOT_OK(options_.checkpointer->Remove(prefix + ".reference"));
+      TDAC_RETURN_NOT_OK(options_.checkpointer->Remove(prefix + ".sweep"));
+      TDAC_RETURN_NOT_OK(options_.checkpointer->Remove(prefix + ".groups"));
+    }
+  }
   return report;
 }
 
 Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
                                  RestrictionCache* cache,
                                  const GroundTruth* reference,
-                                 const RunGuard& guard) const {
+                                 const RunGuard& guard, int round) const {
   if (data.num_claims() == 0) {
     return Status::InvalidArgument("TD-AC: empty dataset");
   }
   TdacReport report;
   const std::vector<AttributeId> attributes = data.ActiveAttributes();
   const int num_attrs = static_cast<int>(attributes.size());
+
+  // Checkpoint identity: slot names carry the refinement round; the context
+  // line binds every snapshot to this exact run (algorithm + dataset
+  // fingerprint + the options that shape results), so stale slots from a
+  // different run are ignored rather than resumed.
+  Checkpointer* ckpt = options_.checkpointer;
+  const bool ckpt_on = ckpt != nullptr && ckpt->enabled();
+  const std::string slot_prefix =
+      options_.checkpoint_prefix + ".r" + std::to_string(round);
+  std::string ctx;
+  if (ckpt_on) {
+    std::ostringstream ctx_out;
+    ctx_out << name_ << " fp=" << std::hex << DatasetFingerprint(data)
+            << std::dec << " round=" << round
+            << " backend=" << static_cast<int>(options_.backend)
+            << " sparse=" << (options_.sparse_aware ? 1 : 0)
+            << " min_k=" << options_.min_k << " max_k=" << options_.max_k
+            << " seed=" << options_.kmeans.seed;
+    ctx = ctx_out.str();
+  }
 
   // The paper's sweep k in [2, |A| - 1] is empty for |A| < 3: degrade to
   // the base algorithm on the unpartitioned dataset.
@@ -122,9 +242,38 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
   if (reference != nullptr) {
     TDAC_ASSIGN_OR_RETURN(matrix, BuildTruthVectors(data, *reference));
   } else {
-    TDAC_ASSIGN_OR_RETURN(reference_result,
-                          options_.base->Discover(data, guard));
-    have_reference_result = true;
+    const std::string ref_slot = slot_prefix + ".reference";
+    if (ckpt_on) {
+      TDAC_ASSIGN_OR_RETURN(std::optional<std::string> stored,
+                            ckpt->LoadForResume(ref_slot));
+      if (stored) {
+        if (auto payload = MatchCheckpointContext(ctx, *stored)) {
+          Result<TruthDiscoveryResult> parsed =
+              DeserializeTruthDiscoveryResult(*payload);
+          if (parsed.ok()) {
+            reference_result = parsed.MoveValue();
+            have_reference_result = true;
+          } else {
+            TDAC_LOG_WARNING << name_ << ": reference checkpoint payload "
+                             << "unusable (" << parsed.status().message()
+                             << "); recomputing";
+          }
+        }
+      }
+    }
+    if (!have_reference_result) {
+      TDAC_ASSIGN_OR_RETURN(reference_result,
+                            options_.base->Discover(data, guard));
+      have_reference_result = true;
+      // Persist clean state only: a reference cut short by the guard is
+      // recomputed on resume, never resumed from.
+      if (ckpt_on && !reference_result.degraded()) {
+        TDAC_RETURN_NOT_OK(ckpt->StoreNow(
+            ref_slot,
+            BindCheckpointContext(
+                ctx, SerializeTruthDiscoveryResult(reference_result))));
+      }
+    }
     TDAC_ASSIGN_OR_RETURN(matrix,
                           BuildTruthVectors(data, reference_result.predicted));
   }
@@ -221,51 +370,93 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
   // read-only), so the sweep fans out over the pool. Per-k outcomes land
   // in a slot vector indexed by k and are reduced serially in ascending-k
   // order below — the exact tie-breaking of the serial loop, bit for bit.
-  struct SweepOutcome {
-    std::vector<int> assignment;
-    int effective_k = 0;
-    double score = 0.0;
-    bool ok = false;
-    bool kmeans_converged = true;
-  };
   const size_t sweep_size =
       hi >= lo && !(options_.backend == ClusteringBackend::kAgglomerative &&
                     dendrogram == nullptr)
           ? static_cast<size_t>(hi - lo + 1)
           : 0;
   std::vector<SweepOutcome> outcomes(sweep_size);
-  ParallelFor(
-      sweep_size,
-      [&](size_t idx) {
-        const int k = lo + static_cast<int>(idx);
-        SweepOutcome& out = outcomes[idx];
-        std::vector<int> assignment;
-        if (options_.backend == ClusteringBackend::kAgglomerative) {
-          auto cut = dendrogram->CutToK(k);
-          if (!cut.ok()) return;
-          assignment = std::move(cut).value();
-        } else {
-          KMeansOptions kopts = options_.kmeans;
-          kopts.k = k;
-          auto kmeans_result = KMeans(matrix.vectors, kopts);
-          if (!kmeans_result.ok()) return;
-          out.kmeans_converged = kmeans_result.value().converged;
-          assignment = std::move(kmeans_result.value().assignment);
+  auto run_sweep_k = [&](size_t idx) {
+    const int k = lo + static_cast<int>(idx);
+    SweepOutcome& out = outcomes[idx];
+    std::vector<int> assignment;
+    if (options_.backend == ClusteringBackend::kAgglomerative) {
+      auto cut = dendrogram->CutToK(k);
+      if (!cut.ok()) return;
+      assignment = std::move(cut).value();
+    } else {
+      KMeansOptions kopts = options_.kmeans;
+      kopts.k = k;
+      auto kmeans_result = KMeans(matrix.vectors, kopts);
+      if (!kmeans_result.ok()) return;
+      out.kmeans_converged = kmeans_result.value().converged;
+      assignment = std::move(kmeans_result.value().assignment);
+    }
+    int effective_k = CompactLabels(&assignment, k);
+    if (effective_k < 2) return;
+    Result<SilhouetteResult> sil =
+        options_.sparse_aware
+            ? SilhouetteFromDistances(sparse_dist, assignment, effective_k)
+            : Silhouette(matrix.vectors, assignment, effective_k,
+                         options_.silhouette_metric);
+    if (!sil.ok()) return;
+    out.assignment = std::move(assignment);
+    out.effective_k = effective_k;
+    out.score = sil.value().partition_score;
+    out.ok = true;
+  };
+
+  // Checkpointing splits the sweep into batches so there are serial points
+  // to snapshot at; without it the whole sweep is one batch — exactly the
+  // pre-checkpoint execution. Only batches whose guard was still clean at
+  // the batch boundary are persisted; a batch the guard tripped inside is
+  // recomputed on resume, so resumed and uninterrupted runs agree bit for
+  // bit no matter where the kill landed.
+  const std::string sweep_slot = slot_prefix + ".sweep";
+  const std::string sweep_ctx = ctx + " phase=sweep lo=" + std::to_string(lo) +
+                                " hi=" + std::to_string(hi);
+  size_t sweep_done = 0;
+  if (ckpt_on) {
+    TDAC_ASSIGN_OR_RETURN(std::optional<std::string> stored,
+                          ckpt->LoadForResume(sweep_slot));
+    if (stored) {
+      if (auto payload = MatchCheckpointContext(sweep_ctx, *stored)) {
+        if (!ParseSweepState(*payload, &outcomes, &sweep_done)) {
+          TDAC_LOG_WARNING << name_
+                           << ": sweep checkpoint payload unusable; "
+                           << "restarting the sweep";
+          sweep_done = 0;
+          outcomes.assign(sweep_size, SweepOutcome{});
         }
-        int effective_k = CompactLabels(&assignment, k);
-        if (effective_k < 2) return;
-        Result<SilhouetteResult> sil =
-            options_.sparse_aware
-                ? SilhouetteFromDistances(sparse_dist, assignment, effective_k)
-                : Silhouette(matrix.vectors, assignment, effective_k,
-                             options_.silhouette_metric);
-        if (!sil.ok()) return;
-        out.assignment = std::move(assignment);
-        out.effective_k = effective_k;
-        out.score = sil.value().partition_score;
-        out.ok = true;
-      },
-      par);
+      }
+    }
+  }
+  const size_t sweep_batch =
+      ckpt_on ? std::max<size_t>(1, 4 * static_cast<size_t>(
+                                          std::max(1, par.max_parallelism)))
+              : std::max<size_t>(1, sweep_size);
+  std::optional<StopReason> sweep_trip;
+  while (sweep_done < sweep_size && !sweep_trip) {
+    const size_t begin = sweep_done;
+    const size_t count = std::min(sweep_batch, sweep_size - begin);
+    ParallelFor(count, [&](size_t i) { run_sweep_k(begin + i); }, par);
+    sweep_trip = guard.ShouldStop();
+    if (sweep_trip) break;
+    sweep_done = begin + count;
+    if (ckpt_on) {
+      TDAC_RETURN_NOT_OK(ckpt->MaybeStore(sweep_slot, [&] {
+        return BindCheckpointContext(
+            sweep_ctx, SerializeSweepState(outcomes, sweep_done));
+      }));
+    }
+  }
+  if (ckpt_on && sweep_trip) {
+    // Final checkpoint on a Deadline/Cancelled stop: the clean prefix of
+    // the sweep, so --resume picks up right here.
+    TDAC_RETURN_NOT_OK(ckpt->StoreNow(
+        sweep_slot, BindCheckpointContext(
+                        sweep_ctx, SerializeSweepState(outcomes, sweep_done))));
+  }
 
   bool have_best = false;
   std::vector<int> best_assignment;
@@ -332,8 +523,68 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
   for (size_t g = 0; g < groups.size(); ++g) {
     partials.emplace_back(TruthDiscoveryResult{});
   }
-  ParallelFor(
-      groups.size(), [&](size_t g) { partials[g] = run_group(g); }, par);
+
+  // The groups checkpoint is bound to the chosen partition: if a resume
+  // lands on a different partition (e.g. after an option change) the slot
+  // is ignored and every group recomputes.
+  const std::string groups_slot = slot_prefix + ".groups";
+  const std::string groups_ctx =
+      ctx + " phase=groups partition=" + report.partition.ToString();
+  size_t groups_done = 0;
+  if (ckpt_on) {
+    TDAC_ASSIGN_OR_RETURN(std::optional<std::string> stored,
+                          ckpt->LoadForResume(groups_slot));
+    if (stored) {
+      if (auto payload = MatchCheckpointContext(groups_ctx, *stored)) {
+        if (ParseGroupsState(*payload, groups.size(), &partials,
+                             &groups_done)) {
+          // Restored groups still serve the trust merge below from their
+          // (cached, zero-copy) views.
+          for (size_t g = 0; g < groups_done; ++g) {
+            views[g] = &cache->Attributes(groups[g]);
+          }
+        } else {
+          TDAC_LOG_WARNING << name_
+                           << ": groups checkpoint payload unusable; "
+                           << "recomputing every group";
+          groups_done = 0;
+          for (size_t g = 0; g < groups.size(); ++g) {
+            partials[g] = TruthDiscoveryResult{};
+          }
+        }
+      }
+    }
+  }
+  const size_t groups_batch =
+      ckpt_on ? std::max<size_t>(1, 4 * static_cast<size_t>(
+                                          std::max(1, par.max_parallelism)))
+              : std::max<size_t>(1, groups.size());
+  std::optional<StopReason> groups_trip;
+  while (groups_done < groups.size() && !groups_trip) {
+    const size_t begin = groups_done;
+    const size_t count = std::min(groups_batch, groups.size() - begin);
+    ParallelFor(
+        count, [&](size_t i) { partials[begin + i] = run_group(begin + i); },
+        par);
+    groups_trip = guard.ShouldStop();
+    if (groups_trip) break;
+    for (size_t i = 0; i < count; ++i) {
+      TDAC_RETURN_NOT_OK(partials[begin + i].status());
+    }
+    groups_done = begin + count;
+    if (ckpt_on) {
+      TDAC_RETURN_NOT_OK(ckpt->MaybeStore(groups_slot, [&] {
+        return BindCheckpointContext(
+            groups_ctx, SerializeGroupsState(partials, groups_done));
+      }));
+    }
+  }
+  if (ckpt_on && groups_trip) {
+    TDAC_RETURN_NOT_OK(ckpt->StoreNow(
+        groups_slot,
+        BindCheckpointContext(groups_ctx,
+                              SerializeGroupsState(partials, groups_done))));
+  }
 
   TruthDiscoveryResult& merged = report.result;
   merged.iterations = 1;  // TD-AC runs a single outer pass (paper Table 4)

@@ -15,6 +15,8 @@
 
 namespace tdac {
 
+class Checkpointer;
+
 /// \brief How TD-AC clusters the attribute truth vectors during the k
 /// sweep.
 enum class ClusteringBackend {
@@ -70,6 +72,14 @@ struct TdacOptions {
   /// stopping early once the partition stabilizes. 0 reproduces the
   /// paper's single-pass Algorithm 1.
   int refinement_rounds = 0;
+
+  /// Durable checkpoint/resume (docs/checkpointing.md). Not owned; null
+  /// (or a disabled Checkpointer) runs exactly as before this layer
+  /// existed. Slots are namespaced `<checkpoint_prefix>.r<round>.{reference,
+  /// sweep,groups}`; only clean (un-tripped) state is ever persisted, so a
+  /// resumed run is bit-identical to an uninterrupted one.
+  Checkpointer* checkpointer = nullptr;
+  std::string checkpoint_prefix = "tdac";
 };
 
 /// \brief Extended output of a TD-AC run.
@@ -148,11 +158,12 @@ class Tdac : public TruthDiscovery {
   /// paper's buildTruthVectors); otherwise the supplied predictions are
   /// used (refinement rounds). Group restrictions are zero-copy views
   /// served by `cache`, which is shared across refinement rounds so a
-  /// re-derived group never rebuilds its view.
+  /// re-derived group never rebuilds its view. `round` namespaces the
+  /// checkpoint slots (refinement round number; 0 for the first pass).
   [[nodiscard]]
   Result<TdacReport> RunPass(const DatasetLike& data, RestrictionCache* cache,
                              const GroundTruth* reference,
-                             const RunGuard& guard) const;
+                             const RunGuard& guard, int round) const;
 
   TdacOptions options_;
   std::string name_;

@@ -11,6 +11,8 @@
 
 namespace tdac {
 
+class Checkpointer;
+
 /// \brief Options for TD-OC.
 struct TdocOptions {
   /// The base truth-discovery algorithm F. Required; not owned.
@@ -27,6 +29,13 @@ struct TdocOptions {
   /// upper bound is capped rather than |O| - 1.
   int min_k = 2;
   int max_k = 8;
+
+  /// Durable checkpoint/resume (docs/checkpointing.md). Not owned; null
+  /// disables. Slots: `<checkpoint_prefix>.{reference,sweep,groups}`. Only
+  /// clean (un-tripped) state is persisted, so a resumed run is
+  /// bit-identical to an uninterrupted one.
+  Checkpointer* checkpointer = nullptr;
+  std::string checkpoint_prefix = "tdoc";
 };
 
 /// \brief Extended output of a TD-OC run.

@@ -12,10 +12,13 @@
 //       Resolve truths; with --truth also print the paper's metric columns.
 //       [--sparse --threads=N --serial --agglomerative --out=resolved.csv]
 //       [--deadline-ms=N --iteration-budget=N]
+//       [--checkpoint-dir=DIR --checkpoint-interval-ms=N --resume]
 //
 // Exit codes: 0 clean run, 1 error, 2 usage, 3 degraded (the run hit the
 // deadline / iteration budget or was interrupted with Ctrl-C; outputs hold
-// the best result found so far, labeled with the stop reason).
+// the best result found so far, labeled with the stop reason). A degraded
+// run with --checkpoint-dir leaves a final checkpoint behind, so rerunning
+// the same command with --resume continues from where it stopped.
 
 #include <csignal>
 #include <iostream>
@@ -23,6 +26,8 @@
 #include <memory>
 #include <string>
 
+#include "common/checkpoint.h"
+#include "common/io.h"
 #include "common/run_guard.h"
 #include "data/dataset_io.h"
 #include "data/profile.h"
@@ -32,6 +37,8 @@
 #include "gen/flights.h"
 #include "gen/stocks.h"
 #include "gen/synthetic.h"
+#include "partition/gen_partition.h"
+#include "partition/greedy_partition.h"
 #include "td/registry.h"
 #include "tdac/tdac.h"
 #include "tdac/tdoc.h"
@@ -94,12 +101,16 @@ Flags ParseFlags(int argc, char** argv) {
          "           --out-claims=FILE --out-truth=FILE\n"
          "           [--objects=N] [--seed=S] [--fill-missing] [--range=R]\n"
          "  tdac_cli stats --claims=FILE\n"
-         "  tdac_cli run --claims=FILE --algorithm=NAME [--tdac|--tdoc]\n"
+         "  tdac_cli run --claims=FILE --algorithm=NAME "
+         "[--tdac|--tdoc|--greedy|--gen-partition]\n"
          "           [--truth=FILE] [--out=FILE] [--sparse] [--threads=N] [--serial]\n"
          "           [--agglomerative] [--max-k=K] [--refine=N] [--trust-out=FILE]\n"
          "           [--deadline-ms=N] [--iteration-budget=N]\n"
+         "           [--checkpoint-dir=DIR] [--checkpoint-interval-ms=N] "
+         "[--resume]\n"
          "exit codes: 0 ok, 1 error, 2 usage, 3 degraded (deadline/budget/^C;\n"
-         "            outputs hold the labeled best-so-far result)\n";
+         "            outputs hold the labeled best-so-far result, and with\n"
+         "            --checkpoint-dir a final checkpoint for --resume)\n";
   std::exit(2);
 }
 
@@ -183,8 +194,29 @@ int CmdRun(const Flags& flags) {
   auto base = tdac::MakeAlgorithm(algorithm_name);
   if (!base.ok()) Die(base.status());
 
+  // Durable checkpoint/resume (docs/checkpointing.md): snapshots land in
+  // --checkpoint-dir, and --resume continues a run that was killed or hit
+  // its deadline. The Checkpointer outlives the algorithm objects below.
+  std::unique_ptr<tdac::Checkpointer> checkpointer;
+  if (flags.Has("checkpoint-dir")) {
+    tdac::CheckpointOptions ckpt_options;
+    ckpt_options.dir = flags.Get("checkpoint-dir");
+    if (flags.Has("checkpoint-interval-ms")) {
+      ckpt_options.interval_ms = std::stod(flags.Get("checkpoint-interval-ms"));
+    }
+    ckpt_options.resume = flags.Has("resume");
+    Status s = tdac::EnsureDirectory(ckpt_options.dir);
+    if (!s.ok()) Die(s);
+    checkpointer = std::make_unique<tdac::Checkpointer>(ckpt_options);
+  } else if (flags.Has("resume")) {
+    std::cerr << "--resume requires --checkpoint-dir\n";
+    return 2;
+  }
+
   std::unique_ptr<tdac::Tdac> tdac_algo;
   std::unique_ptr<tdac::Tdoc> tdoc_algo;
+  std::unique_ptr<tdac::GenPartitionAlgorithm> gen_algo;
+  std::unique_ptr<tdac::GreedyPartitionAlgorithm> greedy_algo;
   const tdac::TruthDiscovery* algorithm = base->get();
   if (flags.Has("tdac")) {
     tdac::TdacOptions options;
@@ -204,14 +236,32 @@ int CmdRun(const Flags& flags) {
     if (flags.Has("refine")) {
       options.refinement_rounds = std::stoi(flags.Get("refine"));
     }
+    options.checkpointer = checkpointer.get();
     tdac_algo = std::make_unique<tdac::Tdac>(options);
     algorithm = tdac_algo.get();
   } else if (flags.Has("tdoc")) {
     tdac::TdocOptions options;
     options.base = base->get();
     if (flags.Has("max-k")) options.max_k = std::stoi(flags.Get("max-k"));
+    options.checkpointer = checkpointer.get();
     tdoc_algo = std::make_unique<tdac::Tdoc>(options);
     algorithm = tdoc_algo.get();
+  } else if (flags.Has("greedy") || flags.Has("gen-partition")) {
+    tdac::GenPartitionOptions options;
+    options.base = base->get();
+    if (flags.Has("serial")) {
+      options.threads = 1;
+    } else if (flags.Has("threads")) {
+      options.threads = std::stoi(flags.Get("threads"));
+    }
+    options.checkpointer = checkpointer.get();
+    if (flags.Has("greedy")) {
+      greedy_algo = std::make_unique<tdac::GreedyPartitionAlgorithm>(options);
+      algorithm = greedy_algo.get();
+    } else {
+      gen_algo = std::make_unique<tdac::GenPartitionAlgorithm>(options);
+      algorithm = gen_algo.get();
+    }
   }
 
   // One guard spans the whole command: the deadline is wall-clock from
