@@ -43,6 +43,12 @@ struct BenchArgs {
   /// Run at full paper scale / full sweep ranges (slower).
   bool full = false;
 
+  /// Print 0.000 in every Time(s) column. Wall-clock time is the one
+  /// nondeterministic field in the reproduction tables; zeroing it makes
+  /// the whole bench output byte-comparable, which is what the golden-file
+  /// regression test (tests/bench_golden_test.cc) keys on.
+  bool zero_time = false;
+
   /// The thread count actually in effect for this run (resolves the 0
   /// default); recorded in every bench table/JSON that times parallel
   /// code so perf numbers are attributable to a configuration.
@@ -61,6 +67,13 @@ struct BenchArgs {
   bool resume = false;
 };
 
+/// Process-wide mirror of BenchArgs::zero_time, so the printing helpers
+/// below honour the flag without every call site threading args through.
+inline bool& ZeroTimeFlag() {
+  static bool flag = false;
+  return flag;
+}
+
 inline BenchArgs ParseArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +87,8 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.seed = std::stoull(value_of("--seed="));
     } else if (a == "--full") {
       args.full = true;
+    } else if (a == "--zero-time") {
+      args.zero_time = true;
     } else if (a.rfind("--threads=", 0) == 0) {
       args.threads = std::stoi(value_of("--threads="));
     } else if (a.rfind("--export-dir=", 0) == 0) {
@@ -87,7 +102,7 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.resume = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: [--objects=N] [--seed=S] [--threads=N] [--full] "
-                   "[--export-dir=DIR] [--checkpoint-dir=DIR] "
+                   "[--zero-time] [--export-dir=DIR] [--checkpoint-dir=DIR] "
                    "[--checkpoint-interval-ms=N] [--resume]\n";
       std::exit(0);
     } else {
@@ -95,7 +110,15 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       std::exit(2);
     }
   }
+  ZeroTimeFlag() = args.zero_time;
   return args;
+}
+
+/// Applies --zero-time: blanks the nondeterministic wall-clock field so
+/// printed tables are byte-stable run to run.
+inline void MaybeZeroTimes(std::vector<tdac::ExperimentRow>* rows) {
+  if (!ZeroTimeFlag()) return;
+  for (auto& r : *rows) r.seconds = 0.0;
 }
 
 /// \brief A flat JSON object with insertion-ordered fields, for
@@ -222,6 +245,7 @@ inline std::vector<tdac::ExperimentRow> RunAndPrint(
     std::cerr << "bench failed: " << rows.status() << "\n";
     std::exit(1);
   }
+  MaybeZeroTimes(&rows.value());
   tdac::PrintPerformanceTable(title, *rows, std::cout);
   return std::move(rows).value();
 }
@@ -329,6 +353,7 @@ class BenchCheckpoint {
       if (auto payload = tdac::MatchCheckpointContext(ctx, **stored)) {
         std::vector<tdac::ExperimentRow> rows;
         if (ParseRows(*payload, &rows)) {
+          MaybeZeroTimes(&rows);
           tdac::PrintPerformanceTable(title, rows, std::cout);
           return rows;
         }

@@ -9,9 +9,12 @@
 #include "clustering/silhouette.h"
 #include "common/random.h"
 #include "data/dataset_view.h"
+#include "data/soa_mode.h"
 #include "gen/synthetic.h"
 #include "td/accu.h"
+#include "td/copy_detection.h"
 #include "td/majority_vote.h"
+#include "td/truth_discovery.h"
 #include "td/truth_finder.h"
 #include "tdac/truth_vectors.h"
 
@@ -164,6 +167,137 @@ void BM_RestrictViewCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RestrictViewCached)->Arg(400)->Arg(2000);
+
+// --- Columnar (SoA) kernels vs. the legacy row path ---------------------
+//
+// The data-layout comparison the docs quote: the same kernel run over the
+// same dataset with the columnar store disabled (range(1) == 0, legacy
+// Claim-row loops) and enabled (range(1) == 1). Shapes are the scales the
+// layout work targets: ~1.2M claims tall (20k objects x 6 attributes x 10
+// sources), ~1.2M claims wide (10^4 sources), and a 100-source shape for
+// the S x S copy-detection tally (pair matrices grow quadratically in S,
+// so the wide shape stays off this one).
+//
+// CI runs `--benchmark_filter=Soa --benchmark_format=json` and publishes
+// the result as the kernel-comparison artifact.
+
+const tdac::GeneratedData& TallMillion() {
+  static const tdac::GeneratedData data = SyntheticData(20000, 7);
+  return data;
+}
+
+const tdac::GeneratedData& WideTenThousandSources() {
+  static const tdac::GeneratedData data = [] {
+    tdac::SyntheticConfig config;
+    config.num_objects = 20;
+    config.num_sources = 10000;
+    config.planted_groups = {{0, 1}, {2, 3}, {4, 5}};
+    config.reliability_levels = {1.0, 0.2, 0.8};
+    config.seed = 8;
+    auto d = tdac::GenerateSynthetic(config);
+    if (!d.ok()) std::abort();
+    return d.MoveValue();
+  }();
+  return data;
+}
+
+const tdac::GeneratedData& HundredSources() {
+  static const tdac::GeneratedData data = [] {
+    tdac::SyntheticConfig config;
+    config.num_objects = 2000;
+    config.num_sources = 100;
+    config.planted_groups = {{0, 1}, {2, 3}, {4, 5}};
+    config.reliability_levels = {1.0, 0.2, 0.8};
+    config.seed = 9;
+    auto d = tdac::GenerateSynthetic(config);
+    if (!d.ok()) std::abort();
+    return d.MoveValue();
+  }();
+  return data;
+}
+
+// Pins the kernel path for one benchmark run and restores the default
+// (environment-driven) setting afterwards.
+class KernelPathGuard {
+ public:
+  explicit KernelPathGuard(bool soa) : was_(tdac::SoaKernelsEnabled()) {
+    tdac::SetSoaKernelsEnabled(soa);
+  }
+  ~KernelPathGuard() { tdac::SetSoaKernelsEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+void BM_SoaGroupClaims(benchmark::State& state,
+                       const tdac::GeneratedData& data) {
+  KernelPathGuard guard(state.range(0) == 1);
+  for (auto _ : state) {
+    auto items = tdac::td_internal::GroupClaimsByItem(data.dataset);
+    benchmark::DoNotOptimize(items);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_claims()));
+}
+void BM_SoaGroupClaimsTall(benchmark::State& state) {
+  BM_SoaGroupClaims(state, TallMillion());
+}
+void BM_SoaGroupClaimsWide(benchmark::State& state) {
+  BM_SoaGroupClaims(state, WideTenThousandSources());
+}
+BENCHMARK(BM_SoaGroupClaimsTall)->Arg(0)->Arg(1);
+BENCHMARK(BM_SoaGroupClaimsWide)->Arg(0)->Arg(1);
+
+void BM_SoaTruthVectorsTall(benchmark::State& state) {
+  const tdac::GeneratedData& data = TallMillion();
+  KernelPathGuard guard(state.range(0) == 1);
+  for (auto _ : state) {
+    auto m = tdac::BuildTruthVectors(data.dataset, data.truth);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_claims()));
+}
+BENCHMARK(BM_SoaTruthVectorsTall)->Arg(0)->Arg(1);
+
+void BM_SoaMajorityVote(benchmark::State& state,
+                        const tdac::GeneratedData& data) {
+  KernelPathGuard guard(state.range(0) == 1);
+  tdac::MajorityVote algo;
+  for (auto _ : state) {
+    auto r = algo.Discover(data.dataset);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_claims()));
+}
+void BM_SoaMajorityVoteTall(benchmark::State& state) {
+  BM_SoaMajorityVote(state, TallMillion());
+}
+void BM_SoaMajorityVoteWide(benchmark::State& state) {
+  BM_SoaMajorityVote(state, WideTenThousandSources());
+}
+BENCHMARK(BM_SoaMajorityVoteTall)->Arg(0)->Arg(1);
+BENCHMARK(BM_SoaMajorityVoteWide)->Arg(0)->Arg(1);
+
+// The flat S x S tally rewrite in DetectCopying is unconditional (integer
+// pair counts are layout-independent), so this one tracks absolute
+// throughput rather than a legacy/columnar pair.
+void BM_SoaDetectCopying(benchmark::State& state) {
+  const tdac::GeneratedData& data = HundredSources();
+  auto items = tdac::td_internal::GroupClaimsByItem(data.dataset);
+  std::vector<size_t> selected(items.size(), 0);
+  std::vector<double> accuracy(
+      static_cast<size_t>(data.dataset.num_sources()), 0.8);
+  tdac::CopyDetectionParams params;
+  for (auto _ : state) {
+    auto m = tdac::DetectCopying(items, selected, accuracy, params);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.dataset.num_claims()));
+}
+BENCHMARK(BM_SoaDetectCopying);
 
 }  // namespace
 

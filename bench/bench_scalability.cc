@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
   }
   for (int sources : {20, 40}) points.push_back({200, sources, 6});
   for (int attributes : {10, 16}) points.push_back({200, 10, attributes});
+  // Columnar-store headline point: ~1.2M claims (the scale the SoA kernels
+  // target). --full only — the fast benches clear on tens of seconds.
+  if (args.full) points.push_back({20000, 10, 6});
 
   tdac::TablePrinter table({"objects", "sources", "attrs", "claims", "threads",
                             "MV(s)", "Accu(s)", "TD-AC(s)", "BruteForce(s)",

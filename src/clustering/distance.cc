@@ -34,13 +34,18 @@ double MaskedHammingDistance(const FeatureVector& a, const FeatureVector& b,
   TDAC_CHECK(a.size() == b.size() && a.size() == mask_a.size() &&
              a.size() == mask_b.size())
       << "MaskedHammingDistance: size mismatch";
+  // Branchless: whether both sources observe a cell is data-dependent and
+  // close to incompressible for the predictor, so the masked accumulation
+  // multiplies by the 0/1 joint mask instead of branching and the loop
+  // body is straight-line code. Adding `0.0 * |a-b|` for an unobserved cell is
+  // bit-identical to skipping it (the accumulator is a non-negative sum of
+  // finite terms; truth vectors are 0/1, so |a-b| is never NaN).
   double acc = 0.0;
   size_t observed = 0;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (mask_a[i] && mask_b[i]) {
-      acc += std::fabs(a[i] - b[i]);
-      ++observed;
-    }
+    const uint8_t m = mask_a[i] & mask_b[i];
+    acc += static_cast<double>(m) * std::fabs(a[i] - b[i]);
+    observed += m;
   }
   if (observed == 0) return 0.5 * static_cast<double>(a.size());
   return acc * static_cast<double>(a.size()) / static_cast<double>(observed);

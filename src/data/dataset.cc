@@ -95,17 +95,42 @@ std::string Dataset::Summary() const {
   return os.str();
 }
 
+void Dataset::AppendClaim(Claim claim) {
+  TDAC_CHECK(!frozen_)
+      << "Dataset: AddClaim after Build — the store is frozen";
+  claims_.push_back(std::move(claim));
+}
+
+void Dataset::CheckMutable(const char* op) const {
+  TDAC_CHECK(!frozen_) << "Dataset: " << op
+                       << " after Build — the store is frozen";
+}
+
 void Dataset::BuildIndexes() {
+  // Each Dataset instance is indexed exactly once; the columnar mirror
+  // (value dictionary included) is derived here and then frozen together
+  // with the claim list.
+  TDAC_CHECK(!frozen_) << "Dataset::BuildIndexes on a frozen store";
   by_item_.clear();
   by_source_.assign(source_names_.size(), {});
   items_.clear();
   claim_ids_.resize(claims_.size());
   claim_objects_.resize(claims_.size());
   claim_attributes_.resize(claims_.size());
+  claim_sources_.resize(claims_.size());
+  claim_value_ids_.resize(claims_.size());
+  claim_items_.resize(claims_.size());
   for (size_t i = 0; i < claims_.size(); ++i) {
     claim_ids_[i] = static_cast<int32_t>(i);
     claim_objects_[i] = claims_[i].object;
     claim_attributes_[i] = claims_[i].attribute;
+    claim_sources_[i] = claims_[i].source;
+    claim_value_ids_[i] = value_dict_.Intern(claims_[i].value);
+  }
+  value_dict_.Freeze();
+  claim_value_ranks_.resize(claims_.size());
+  for (size_t i = 0; i < claims_.size(); ++i) {
+    claim_value_ranks_[i] = value_dict_.rank(claim_value_ids_[i]);
   }
   for (size_t i = 0; i < claims_.size(); ++i) {
     const Claim& c = claims_[i];
@@ -118,6 +143,12 @@ void Dataset::BuildIndexes() {
   // lint: unordered-ok (keys are sorted below)
   for (const auto& [key, indices] : by_item_) items_.push_back(key);
   std::sort(items_.begin(), items_.end());
+  for (size_t r = 0; r < items_.size(); ++r) {
+    for (int32_t idx : by_item_.find(items_[r])->second) {
+      claim_items_[static_cast<size_t>(idx)] = static_cast<int32_t>(r);
+    }
+  }
+  frozen_ = true;
 }
 
 }  // namespace tdac

@@ -8,6 +8,7 @@
 #include "data/claim.h"
 #include "data/dataset_like.h"
 #include "data/ids.h"
+#include "data/value_dict.h"
 
 namespace tdac {
 
@@ -21,6 +22,14 @@ namespace tdac {
 /// with a zero-copy `DatasetView` (preferred; see data/dataset_view.h) or by
 /// materializing a copy (`RestrictToAttributes` / `RestrictToObjects`); both
 /// preserve the original id space.
+///
+/// Alongside the row-oriented claim list the store keeps a full columnar
+/// (structure-of-arrays) mirror — dense int32 source/object/attribute/item
+/// columns plus a dictionary-encoded value column backed by a string arena
+/// (docs/data_layout.md) — which is what the hot kernels stream instead of
+/// striding through `Claim` structs. `BuildIndexes` derives the columns and
+/// freezes the store: a built Dataset is immutable, and the builder's
+/// append hooks reject further mutation (`frozen()`).
 class Dataset : public DatasetLike {
  public:
   Dataset() = default;
@@ -77,6 +86,40 @@ class Dataset : public DatasetLike {
     return claim_attributes_;
   }
 
+  /// Per-claim source-id column (claim_sources()[i] == claims()[i].source).
+  const std::vector<int32_t>& claim_sources() const { return claim_sources_; }
+
+  /// Dictionary-encoded value column: claim_value_ids()[i] is the
+  /// `value_dict()` id of claims()[i].value. Two claims carry equal Values
+  /// exactly when their ids are equal (see ValueDict), so vote tallies
+  /// compare int32s here instead of Values.
+  const std::vector<int32_t>& claim_value_ids() const {
+    return claim_value_ids_;
+  }
+
+  /// Per-claim row index into DataItems(): claim i is about the item
+  /// DataItems()[claim_items()[i]]. Gives kernels a dense 0..#items-1 item
+  /// axis without hashing ObjectAttrKeys.
+  const std::vector<int32_t>& claim_items() const { return claim_items_; }
+
+  /// Per-claim dictionary rank, claim_value_ranks()[i] ==
+  /// value_dict().rank(claim_value_ids()[i]), precomputed sequentially at
+  /// freeze time. Grouping kernels sort by this column; folding the
+  /// id-to-rank hop in here turns two dependent random loads per claim
+  /// (value id, then its rank in a dictionary-sized table) into one.
+  const std::vector<int32_t>& claim_value_ranks() const {
+    return claim_value_ranks_;
+  }
+
+  /// The value dictionary behind claim_value_ids() (frozen, with ranks).
+  const ValueDict& value_dict() const { return value_dict_; }
+
+  /// True once BuildIndexes has run (DatasetBuilder::Build, restriction,
+  /// DatasetView::Materialize all finish with it). A frozen store rejects
+  /// further appends: the columnar mirror and the claim list must never
+  /// diverge, and handed-out references into the columns must stay valid.
+  bool frozen() const { return frozen_; }
+
   /// Indices (into claims()) of all claims about the data item
   /// (object, attribute); empty when no source covers it.
   const std::vector<int32_t>& ClaimsOn(ObjectId object,
@@ -113,9 +156,16 @@ class Dataset : public DatasetLike {
 
  private:
   friend class DatasetBuilder;
-  friend class DatasetView;  // Materialize() assembles a Dataset directly
+  friend class DatasetView;   // Materialize() assembles a Dataset directly
+  friend class DatasetTestPeer;  // freeze-enforcement tests poke the guards
 
   void BuildIndexes();
+
+  /// The builder's only way to add a claim; aborts on a frozen store.
+  void AppendClaim(Claim claim);
+
+  /// Guard for the builder's name-table writes; aborts on a frozen store.
+  void CheckMutable(const char* op) const;
 
   std::vector<std::string> source_names_;
   std::vector<std::string> object_names_;
@@ -128,6 +178,12 @@ class Dataset : public DatasetLike {
   std::vector<int32_t> claim_ids_;
   std::vector<int32_t> claim_objects_;
   std::vector<int32_t> claim_attributes_;
+  std::vector<int32_t> claim_sources_;
+  std::vector<int32_t> claim_value_ids_;
+  std::vector<int32_t> claim_items_;
+  std::vector<int32_t> claim_value_ranks_;
+  ValueDict value_dict_;
+  bool frozen_ = false;
 };
 
 }  // namespace tdac

@@ -21,14 +21,17 @@ int32_t LookupName(const Map& map, const std::string& name) {
 }  // namespace
 
 SourceId DatasetBuilder::AddSource(const std::string& name) {
+  dataset_.CheckMutable("AddSource");
   return InternName(&source_ids_, &dataset_.source_names_, name);
 }
 
 ObjectId DatasetBuilder::AddObject(const std::string& name) {
+  dataset_.CheckMutable("AddObject");
   return InternName(&object_ids_, &dataset_.object_names_, name);
 }
 
 AttributeId DatasetBuilder::AddAttribute(const std::string& name) {
+  dataset_.CheckMutable("AddAttribute");
   return InternName(&attribute_ids_, &dataset_.attribute_names_, name);
 }
 
@@ -63,8 +66,7 @@ Status DatasetBuilder::AddClaim(SourceId source, ObjectId object,
         ", object=" + dataset_.object_name(object) +
         ", attribute=" + dataset_.attribute_name(attribute) + ")");
   }
-  dataset_.claims_.push_back(
-      Claim{source, object, attribute, std::move(value)});
+  dataset_.AppendClaim(Claim{source, object, attribute, std::move(value)});
   return Status::OK();
 }
 

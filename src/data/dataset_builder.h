@@ -42,7 +42,9 @@ class DatasetBuilder {
 
   size_t num_claims() const { return dataset_.claims_.size(); }
 
-  /// Finalizes the dataset and resets the builder. Fails when empty.
+  /// Finalizes the dataset and resets the builder. Fails when empty. The
+  /// returned store is frozen (`Dataset::frozen()`): its indexes and
+  /// columnar mirror are built once here, and any later append aborts.
   [[nodiscard]] Result<Dataset> Build();
 
  private:

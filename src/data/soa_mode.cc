@@ -1,0 +1,34 @@
+#include "data/soa_mode.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace tdac {
+namespace {
+
+// -1 = not resolved yet, 0 = legacy, 1 = SoA. Atomic because pool workers
+// read the mode while running kernels; the first reader may also resolve
+// it (both racers compute the same value from the same environment).
+std::atomic<int>& Mode() {
+  static std::atomic<int> mode{-1};
+  return mode;
+}
+
+}  // namespace
+
+bool SoaKernelsEnabled() {
+  int m = Mode().load(std::memory_order_relaxed);
+  if (m < 0) {
+    const char* env = std::getenv("TDAC_SOA");
+    m = (env != nullptr && std::string_view(env) == "0") ? 0 : 1;
+    Mode().store(m, std::memory_order_relaxed);
+  }
+  return m == 1;
+}
+
+void SetSoaKernelsEnabled(bool enabled) {
+  Mode().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace tdac

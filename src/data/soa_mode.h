@@ -1,0 +1,23 @@
+#ifndef TDAC_DATA_SOA_MODE_H_
+#define TDAC_DATA_SOA_MODE_H_
+
+namespace tdac {
+
+/// True when the hot kernels (grouping, vote tallies, truth vectors) take
+/// their columnar structure-of-arrays fast paths; false forces the legacy
+/// per-claim paths. Defaults to on; the `TDAC_SOA` environment variable
+/// ("0" disables) and `SetSoaKernelsEnabled` override it.
+///
+/// Both paths are bit-identical by contract — the toggle exists so the
+/// differential equivalence suite (tests/soa_equivalence_test.cc) can run
+/// every algorithm down both and prove it, and so a regression can be
+/// bisected to a layout change by flipping one env var.
+bool SoaKernelsEnabled();
+
+/// Test hook: pins the kernel path for this process, overriding the
+/// environment. Call between runs, not while discovery is in flight.
+void SetSoaKernelsEnabled(bool enabled);
+
+}  // namespace tdac
+
+#endif  // TDAC_DATA_SOA_MODE_H_

@@ -61,9 +61,13 @@ Result<const GroupRunner::GroupRun*> GroupRunner::Run(
       run.trust = std::move(result.source_trust);
       run.stop_reason = result.stop_reason;
       run.converged = result.converged;
+      // Stream the storage's source column instead of dereferencing whole
+      // Claim structs — the source id is the only field this tally needs.
+      const std::vector<int32_t>& sources =
+          restricted.storage().claim_sources();
       for (int32_t id : restricted.claim_ids()) {
         ++run.claim_counts[static_cast<size_t>(
-            restricted.claim(static_cast<size_t>(id)).source)];
+            sources[static_cast<size_t>(id)])];
       }
     } else {
       run.trust.assign(static_cast<size_t>(data_->num_sources()), 0.0);

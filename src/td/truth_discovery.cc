@@ -6,6 +6,8 @@
 
 #include "common/checkpoint.h"
 #include "common/logging.h"
+#include "data/dataset.h"
+#include "data/soa_mode.h"
 
 namespace tdac {
 
@@ -119,8 +121,12 @@ Result<TruthDiscoveryResult> DeserializeTruthDiscoveryResult(
 }
 
 namespace td_internal {
+namespace {
 
-std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data) {
+/// Legacy grouping: per item, copy out (Value, SourceId) pairs and sort
+/// them with full Value comparisons. Kept verbatim as the differential
+/// reference the columnar path is tested against.
+std::vector<ItemConflict> GroupClaimsByItemLegacy(const DatasetLike& data) {
   std::vector<ItemConflict> out;
   out.reserve(data.DataItems().size());
   for (uint64_t key : data.DataItems()) {
@@ -132,6 +138,7 @@ std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data) {
     std::vector<std::pair<Value, SourceId>> pairs;
     pairs.reserve(claim_indices.size());
     for (int32_t idx : claim_indices) {
+      // lint: claim-value-ok (this IS the legacy reference path)
       const Claim& c = data.claim(static_cast<size_t>(idx));
       pairs.emplace_back(c.value, c.source);
     }
@@ -151,6 +158,77 @@ std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data) {
     out.push_back(std::move(item));
   }
   return out;
+}
+
+/// Columnar grouping: each claim of an item becomes one packed uint64,
+/// `(value rank << 32) | source`, read straight from the storage columns.
+/// Sorting the packed keys is exactly the legacy (value, source) sort —
+/// ranks are assigned in ascending Value order and equal Values share one
+/// dictionary id — and each distinct rank run becomes one conflict entry,
+/// its Value materialized once from the dictionary instead of copied per
+/// claim. Sources within a run come out ascending for free.
+///
+/// Known divergence (unreachable through checked ingestion): two claims
+/// with *distinct NaN* payloads on one item order by interning order here
+/// vs. source order on the legacy path. FromTextChecked rejects non-finite
+/// doubles, so no built dataset carries NaN values.
+std::vector<ItemConflict> GroupClaimsByItemSoa(const DatasetLike& data) {
+  const Dataset& storage = data.storage();
+  const std::vector<int32_t>& ranks = storage.claim_value_ranks();
+  const std::vector<int32_t>& sources = storage.claim_sources();
+  const ValueDict& dict = storage.value_dict();
+  std::vector<ItemConflict> out;
+  out.reserve(data.DataItems().size());
+  std::vector<uint64_t> packed;
+  for (uint64_t key : data.DataItems()) {
+    const auto& claim_indices =
+        data.ClaimsOn(ObjectFromKey(key), AttributeFromKey(key));
+    ItemConflict item;
+    item.key = key;
+    packed.clear();
+    packed.reserve(claim_indices.size());
+    for (int32_t idx : claim_indices) {
+      const auto i = static_cast<size_t>(idx);
+      packed.push_back(
+          (static_cast<uint64_t>(static_cast<uint32_t>(ranks[i])) << 32) |
+          static_cast<uint32_t>(sources[i]));
+    }
+    std::sort(packed.begin(), packed.end());
+    // Count distinct ranks first (the packed keys are sorted and in cache)
+    // so the per-item vectors are sized exactly once instead of growing.
+    size_t groups = 0;
+    uint64_t prev_hi = ~uint64_t{0};
+    for (uint64_t p : packed) {
+      const uint64_t hi = p >> 32;
+      groups += hi != prev_hi;
+      prev_hi = hi;
+    }
+    item.values.reserve(groups);
+    item.value_ids.reserve(groups);
+    item.supporters.reserve(groups);
+    int64_t prev_rank = -1;
+    for (uint64_t p : packed) {
+      const auto rank = static_cast<int32_t>(p >> 32);
+      if (rank != prev_rank) {
+        const ValueId id = dict.id_at_rank(rank);
+        item.values.push_back(dict.ValueAt(id));
+        item.value_ids.push_back(id);
+        item.supporters.emplace_back();
+        prev_rank = rank;
+      }
+      item.supporters.back().push_back(
+          static_cast<SourceId>(p & 0xffffffffULL));
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data) {
+  if (SoaKernelsEnabled()) return GroupClaimsByItemSoa(data);
+  return GroupClaimsByItemLegacy(data);
 }
 
 size_t ArgMax(const std::vector<double>& scores) {

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "data/dataset_like.h"
 #include "data/ground_truth.h"
+#include "data/value_dict.h"
 
 namespace tdac {
 
@@ -102,15 +103,29 @@ class TruthDiscovery {
 namespace td_internal {
 
 /// One data item's conflict set: the distinct claimed values and, aligned
-/// with them, the sources supporting each value.
+/// with them, the sources supporting each value (ascending SourceId).
 struct ItemConflict {
   uint64_t key = 0;
   std::vector<Value> values;
   std::vector<std::vector<SourceId>> supporters;
+
+  /// Storage-dictionary id of each value, aligned with `values`. Filled by
+  /// the columnar grouping path only (empty on the legacy path) — kernels
+  /// that want integer value compares must fall back to `values` when this
+  /// is empty.
+  std::vector<ValueId> value_ids;
 };
 
 /// Groups the dataset's claims by data item, with values sorted (total order
 /// on Value) so that downstream tie-breaking is deterministic.
+///
+/// Two implementations behind one contract (data/soa_mode.h): the legacy
+/// path sorts (Value, SourceId) pairs per item; the columnar path packs
+/// each claim's (value rank << 32 | source) into one uint64 from the
+/// storage columns and sorts those — same order, no Value copies or string
+/// comparisons. Outputs are bit-identical for any dataset that passed
+/// checked ingestion (distinct non-NaN values have distinct ranks in value
+/// order; equal values share one dictionary id).
 std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data);
 
 /// Index of the value with maximal score; ties resolved to the smallest

@@ -608,9 +608,10 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
       // Weight each group's trust estimate by the source's claim volume in
       // that group, read off the view the group already ran on.
       std::vector<double> counts(trust_claims.size(), 0.0);
+      const std::vector<int32_t>& sources =
+          views[g]->storage().claim_sources();
       for (int32_t id : views[g]->claim_ids()) {
-        const Claim& c = views[g]->claim(static_cast<size_t>(id));
-        counts[static_cast<size_t>(c.source)] += 1.0;
+        counts[static_cast<size_t>(sources[static_cast<size_t>(id)])] += 1.0;
       }
       for (size_t s = 0; s < trust_weighted.size(); ++s) {
         trust_weighted[s] += partial.source_trust[s] * counts[s];

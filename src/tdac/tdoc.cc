@@ -6,6 +6,7 @@
 #include "common/checkpoint.h"
 #include "common/logging.h"
 #include "data/dataset_view.h"
+#include "data/soa_mode.h"
 
 namespace tdac {
 
@@ -212,15 +213,44 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data,
   for (size_t r = 0; r < objects.size(); ++r) {
     row_of[static_cast<size_t>(objects[r])] = static_cast<int>(r);
   }
-  for (int32_t id : data.claim_ids()) {
-    const Claim& c = data.claim(static_cast<size_t>(id));
-    const int r = row_of[static_cast<size_t>(c.object)];
-    if (r < 0) continue;
-    const Value* truth = reference.predicted.Get(c.object, c.attribute);
-    if (truth != nullptr && *truth == c.value) {
-      const size_t col = static_cast<size_t>(c.attribute) * num_sources +
-                         static_cast<size_t>(c.source);
-      vectors[static_cast<size_t>(r)][col] = 1.0;
+  if (SoaKernelsEnabled()) {
+    // Columnar fill (the object-axis transpose of BuildTruthVectors):
+    // resolve the reference value to a dictionary id once per item, then
+    // compare int32 ids per claim. kInvalidId (absent/NaN reference)
+    // matches no claim, exactly like the legacy truth-pointer miss.
+    const Dataset& storage = data.storage();
+    const std::vector<int32_t>& sources = storage.claim_sources();
+    const std::vector<int32_t>& value_ids = storage.claim_value_ids();
+    const ValueDict& dict = storage.value_dict();
+    for (uint64_t key : data.DataItems()) {
+      const ObjectId o = ObjectFromKey(key);
+      const AttributeId a = AttributeFromKey(key);
+      const int r = row_of[static_cast<size_t>(o)];
+      if (r < 0) continue;
+      const Value* truth = reference.predicted.Get(o, a);
+      const ValueId truth_id =
+          truth != nullptr ? dict.Find(*truth) : kInvalidId;
+      const size_t col_base = static_cast<size_t>(a) * num_sources;
+      FeatureVector& row = vectors[static_cast<size_t>(r)];
+      for (int32_t idx : data.ClaimsOn(o, a)) {
+        const auto i = static_cast<size_t>(idx);
+        if (value_ids[i] == truth_id) {
+          row[col_base + static_cast<size_t>(sources[i])] = 1.0;
+        }
+      }
+    }
+  } else {
+    for (int32_t id : data.claim_ids()) {
+      // lint: claim-value-ok (legacy reference path for the SoA fill above)
+      const Claim& c = data.claim(static_cast<size_t>(id));
+      const int r = row_of[static_cast<size_t>(c.object)];
+      if (r < 0) continue;
+      const Value* truth = reference.predicted.Get(c.object, c.attribute);
+      if (truth != nullptr && *truth == c.value) {
+        const size_t col = static_cast<size_t>(c.attribute) * num_sources +
+                           static_cast<size_t>(c.source);
+        vectors[static_cast<size_t>(r)][col] = 1.0;
+      }
     }
   }
 
@@ -400,9 +430,11 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data,
       merged.stop_reason =
           CombineStopReasons(merged.stop_reason, partial.stop_reason);
       std::vector<double> counts(num_sources, 0.0);
+      // Only the source id is needed: stream the storage column.
+      const std::vector<int32_t>& sources =
+          restricted.storage().claim_sources();
       for (int32_t id : restricted.claim_ids()) {
-        const Claim& c = restricted.claim(static_cast<size_t>(id));
-        counts[static_cast<size_t>(c.source)] += 1.0;
+        counts[static_cast<size_t>(sources[static_cast<size_t>(id)])] += 1.0;
       }
       for (size_t s = 0; s < num_sources; ++s) {
         trust_weighted[s] += partial.source_trust.empty()

@@ -1,6 +1,67 @@
 #include "tdac/truth_vectors.h"
 
+#include "data/dataset.h"
+#include "data/soa_mode.h"
+
 namespace tdac {
+namespace {
+
+/// Legacy build: one GroundTruth hash lookup and one Value comparison per
+/// claim. Kept as the differential reference for the columnar path.
+void FillTruthVectorsLegacy(const DatasetLike& data,
+                            const GroundTruth& reference,
+                            const std::vector<int>& row_of,
+                            size_t num_sources, TruthVectorMatrix* matrix) {
+  for (int32_t id : data.claim_ids()) {
+    // lint: claim-value-ok (legacy reference path for the SoA fill below)
+    const Claim& c = data.claim(static_cast<size_t>(id));
+    const int r = row_of[static_cast<size_t>(c.attribute)];
+    if (r < 0) continue;
+    const size_t col = static_cast<size_t>(c.object) * num_sources +
+                       static_cast<size_t>(c.source);
+    matrix->masks[static_cast<size_t>(r)][col] = 1;
+    const Value* truth = reference.Get(c.object, c.attribute);
+    if (truth != nullptr && *truth == c.value) {
+      matrix->vectors[static_cast<size_t>(r)][col] = 1.0;
+    }
+  }
+}
+
+/// Columnar build: resolve the reference value to a dictionary id once per
+/// data item (`ValueDict::Find`), then stream that item's claims comparing
+/// int32 ids against it — no per-claim hashing, no Value comparisons. A
+/// reference value absent from the dictionary (or NaN, which nothing
+/// compares equal to) yields kInvalidId, which no claim id matches —
+/// exactly the legacy "no truth hit" outcome. The cells written are the
+/// same idempotent 1-writes as the legacy fill, so the matrix is
+/// bit-identical.
+void FillTruthVectorsSoa(const DatasetLike& data, const GroundTruth& reference,
+                         const std::vector<int>& row_of, size_t num_sources,
+                         TruthVectorMatrix* matrix) {
+  const Dataset& storage = data.storage();
+  const std::vector<int32_t>& sources = storage.claim_sources();
+  const std::vector<int32_t>& value_ids = storage.claim_value_ids();
+  const ValueDict& dict = storage.value_dict();
+  for (uint64_t key : data.DataItems()) {
+    const ObjectId o = ObjectFromKey(key);
+    const AttributeId a = AttributeFromKey(key);
+    const int r = row_of[static_cast<size_t>(a)];
+    if (r < 0) continue;
+    const Value* truth = reference.Get(o, a);
+    const ValueId truth_id = truth != nullptr ? dict.Find(*truth) : kInvalidId;
+    const size_t row_base = static_cast<size_t>(o) * num_sources;
+    std::vector<uint8_t>& mask_row = matrix->masks[static_cast<size_t>(r)];
+    FeatureVector& vec_row = matrix->vectors[static_cast<size_t>(r)];
+    for (int32_t idx : data.ClaimsOn(o, a)) {
+      const auto i = static_cast<size_t>(idx);
+      const size_t col = row_base + static_cast<size_t>(sources[i]);
+      mask_row[col] = 1;
+      if (value_ids[i] == truth_id) vec_row[col] = 1.0;
+    }
+  }
+}
+
+}  // namespace
 
 Result<TruthVectorMatrix> BuildTruthVectors(const DatasetLike& data,
                                             const GroundTruth& reference) {
@@ -21,17 +82,10 @@ Result<TruthVectorMatrix> BuildTruthVectors(const DatasetLike& data,
     row_of[static_cast<size_t>(matrix.attributes[r])] = static_cast<int>(r);
   }
 
-  for (int32_t id : data.claim_ids()) {
-    const Claim& c = data.claim(static_cast<size_t>(id));
-    const int r = row_of[static_cast<size_t>(c.attribute)];
-    if (r < 0) continue;
-    const size_t col =
-        static_cast<size_t>(c.object) * num_sources + static_cast<size_t>(c.source);
-    matrix.masks[static_cast<size_t>(r)][col] = 1;
-    const Value* truth = reference.Get(c.object, c.attribute);
-    if (truth != nullptr && *truth == c.value) {
-      matrix.vectors[static_cast<size_t>(r)][col] = 1.0;
-    }
+  if (SoaKernelsEnabled()) {
+    FillTruthVectorsSoa(data, reference, row_of, num_sources, &matrix);
+  } else {
+    FillTruthVectorsLegacy(data, reference, row_of, num_sources, &matrix);
   }
   return matrix;
 }

@@ -1,0 +1,108 @@
+// Golden-file regression gate for the paper-table benchmarks.
+//
+// Runs the real bench_table4_synthetic / bench_table5_partitions binaries
+// (paths baked in via TDAC_BENCH_TABLE4_BIN / TDAC_BENCH_TABLE5_BIN) at a
+// pinned size and seed and byte-compares stdout against the checked-in
+// goldens in tests/golden/. Table 4 passes --zero-time so the only
+// non-deterministic column renders as 0.000; every other byte — precision,
+// recall, iteration counts, partitions — must match exactly. This is what
+// makes kernel rewrites safe: a layout or vectorization change that shifts
+// any reported number by even one ulp fails here.
+//
+// To regenerate after an *intentional* behavior change, run with
+// TDAC_UPDATE_GOLDEN=1 in the environment and commit the diff.
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tdac {
+namespace {
+
+std::string RunAndCapture(const std::string& command) {
+  std::string out;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << command;
+    return out;
+  }
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = ::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  EXPECT_EQ(status, 0) << "bench exited non-zero for: " << command;
+  return out;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool UpdateRequested() {
+  const char* env = std::getenv("TDAC_UPDATE_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+void CheckAgainstGolden(const std::string& command,
+                        const std::string& golden_name) {
+  const std::string golden_path =
+      std::string(TDAC_GOLDEN_DIR) + "/" + golden_name;
+  const std::string actual = RunAndCapture(command);
+  ASSERT_FALSE(actual.empty()) << "bench produced no output: " << command;
+  if (UpdateRequested()) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated: " << golden_path;
+  }
+  const std::string expected = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << golden_path;
+  // Byte equality, reported as a unified first-difference so a failure
+  // points at the exact line rather than dumping two full tables.
+  if (actual != expected) {
+    size_t i = 0;
+    while (i < actual.size() && i < expected.size() &&
+           actual[i] == expected[i]) {
+      ++i;
+    }
+    const size_t line =
+        1 + static_cast<size_t>(
+                std::count(expected.begin(),
+                           expected.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   std::min(i, expected.size())),
+                           '\n'));
+    FAIL() << "bench output diverges from " << golden_name
+           << " at byte " << i << " (golden line " << line << ")\n"
+           << "command: " << command << "\n"
+           << "rerun with TDAC_UPDATE_GOLDEN=1 only if the change is "
+              "intentional";
+  }
+}
+
+TEST(BenchGoldenTest, Table4SyntheticMatchesGolden) {
+  CheckAgainstGolden(std::string(TDAC_BENCH_TABLE4_BIN) +
+                         " --objects=80 --seed=42 --zero-time 2>/dev/null",
+                     "bench_table4_objects80_seed42.txt");
+}
+
+TEST(BenchGoldenTest, Table5PartitionsMatchesGolden) {
+  CheckAgainstGolden(std::string(TDAC_BENCH_TABLE5_BIN) +
+                         " --objects=60 --seed=42 2>/dev/null",
+                     "bench_table5_objects60_seed42.txt");
+}
+
+}  // namespace
+}  // namespace tdac

@@ -1,0 +1,49 @@
+// Fixture: deliberate claim-value violations — per-claim Claim-struct access
+// inside kernel code under src/td/. tdac_lint must flag both accessor
+// spellings and must NOT flag the columnar reads below them.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct Value {
+  int kind = 0;
+};
+
+struct Claim {
+  int32_t source = 0;
+  Value value;
+};
+
+struct Store {
+  const Claim& claim(size_t i) const { return claims_[i]; }
+  const std::vector<int32_t>& claim_sources() const { return sources_; }
+  size_t num_claims() const { return claims_.size(); }
+  std::vector<Claim> claims_;
+  std::vector<int32_t> sources_;
+};
+
+int TallyViaRows(const Store& store) {
+  int acc = 0;
+  for (size_t i = 0; i < store.num_claims(); ++i) {
+    const Claim& c = store.claim(i);  // violation: row-struct access
+    acc += c.source;
+  }
+  return acc;
+}
+
+int TallyViaPointer(const Store* store) {
+  int acc = 0;
+  for (size_t i = 0; i < store->num_claims(); ++i) {
+    acc += store->claim(i).source;  // violation: row-struct access
+  }
+  return acc;
+}
+
+int TallyViaColumns(const Store& store) {
+  int acc = 0;
+  // Clean: streams the dense source column; num_claims()/claim_sources()
+  // must not trip the rule.
+  for (int32_t s : store.claim_sources()) acc += s;
+  return acc;
+}

@@ -1,0 +1,40 @@
+// Fixture: claim-value accesses carrying reasoned waivers — the legacy
+// reference-path pattern. tdac_lint must report zero findings here, for
+// both the same-line and line-above waiver placements.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct Value {
+  int kind = 0;
+};
+
+struct Claim {
+  int32_t source = 0;
+  Value value;
+};
+
+struct Store {
+  const Claim& claim(size_t i) const { return claims_[i]; }
+  size_t num_claims() const { return claims_.size(); }
+  std::vector<Claim> claims_;
+};
+
+int LegacyTallySameLine(const Store& store) {
+  int acc = 0;
+  for (size_t i = 0; i < store.num_claims(); ++i) {
+    acc += store.claim(i).source;  // lint: claim-value-ok (reference path)
+  }
+  return acc;
+}
+
+int LegacyTallyLineAbove(const Store& store) {
+  int acc = 0;
+  for (size_t i = 0; i < store.num_claims(); ++i) {
+    // lint: claim-value-ok (legacy reference path diffed by the suite)
+    const Claim& c = store.claim(i);
+    acc += c.source;
+  }
+  return acc;
+}

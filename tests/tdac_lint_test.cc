@@ -168,6 +168,25 @@ TEST_F(TdacLintTest, ThrowRule) {
       << run.output;
 }
 
+TEST_F(TdacLintTest, ClaimValueRule) {
+  const LintRun& run = CorpusRun();
+  // `store.claim(i)` via reference and `store->claim(i)` via pointer; the
+  // columnar tally (num_claims/claim_sources) in the same file is clean.
+  EXPECT_EQ(
+      CountFindings(run, "src/td/claim_value_violation.cc", "claim-value"), 2)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/claim_value_violation.cc", 29,
+                           "claim-value"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/claim_value_violation.cc", 38,
+                           "claim-value"))
+      << run.output;
+  // Same-line and line-above reasoned waivers: clean.
+  EXPECT_EQ(CountFindings(run, "src/td/claim_value_waived.cc", "claim-value"),
+            0)
+      << run.output;
+}
+
 TEST_F(TdacLintTest, ExplicitFileListScansOnlyThoseFiles) {
   LintRun run =
       RunLint(TDAC_LINT_FIXTURES, {"src/td/throw_violation.h"});

@@ -24,11 +24,20 @@
 //               seeded tdac::Rng.
 //   throw       `throw` must not appear in the public API surface
 //               (headers under src/td/ and src/partition/).
+//   claim-value In kernel code (.cc files under src/td/ and src/tdac/),
+//               per-claim access through the row-struct accessor
+//               (`x.claim(i)` / `x->claim(i)`) is forbidden: it drags the
+//               whole Claim — variant Value included — through the cache
+//               for loops that typically need one integer column. Hot
+//               loops must read the columnar store (claim_sources(),
+//               claim_value_ids(), claim_items(), value_dict()); the
+//               legacy reference paths that the differential equivalence
+//               suite diffs against carry reasoned waivers.
 //
 // Waiver syntax (on the offending line or the line directly above it,
 // reason encouraged):
 //   // lint: unordered-ok (order-independent reduction)
-//   // lint: nodiscard-ok | random-ok | throw-ok
+//   // lint: nodiscard-ok | random-ok | throw-ok | claim-value-ok
 //
 // Usage:
 //   tdac_lint [--root DIR] [relative-files...]
@@ -55,7 +64,7 @@ namespace fs = std::filesystem;
 // Findings and waivers
 // ---------------------------------------------------------------------------
 
-enum class Rule { kNodiscard, kUnordered, kRandom, kThrow };
+enum class Rule { kNodiscard, kUnordered, kRandom, kThrow, kClaimValue };
 
 const char* RuleName(Rule r) {
   switch (r) {
@@ -67,6 +76,8 @@ const char* RuleName(Rule r) {
       return "random";
     case Rule::kThrow:
       return "throw";
+    case Rule::kClaimValue:
+      return "claim-value";
   }
   return "?";
 }
@@ -584,6 +595,34 @@ void CheckThrow(const FileScan& scan, std::vector<Finding>* findings) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: claim-value — kernel loops read the columnar store, not Claim rows
+// ---------------------------------------------------------------------------
+
+void CheckClaimValue(const FileScan& scan, std::vector<Finding>* findings) {
+  if (!EndsWith(scan.rel_path, ".cc")) return;
+  if (!StartsWith(scan.rel_path, "src/td/") &&
+      !StartsWith(scan.rel_path, "src/tdac/")) {
+    return;
+  }
+  const std::vector<Token>& t = scan.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    // `<expr> . claim (` or `<expr> -> claim (` — the row-struct accessor.
+    // num_claims()/claims()/claim_sources() tokenize differently, so the
+    // exact-token match cannot false-positive on them.
+    if (t[i].text != "." && t[i].text != "->") continue;
+    if (t[i + 1].text != "claim" || t[i + 2].text != "(") continue;
+    const int line = t[i + 1].line;
+    if (Waived(scan, line, "claim-value-ok")) continue;
+    findings->push_back(
+        {scan.rel_path, line, Rule::kClaimValue,
+         "'claim(i)' materializes a whole Claim (Value included) inside "
+         "kernel code; read the columnar store (claim_sources(), "
+         "claim_value_ids(), claim_items()) instead, or waive a reference "
+         "path with // lint: claim-value-ok (reason)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -680,6 +719,7 @@ int main(int argc, char** argv) {
     CheckUnordered(s, names, &findings);
     CheckRandom(s, &findings);
     CheckThrow(s, &findings);
+    CheckClaimValue(s, &findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
