@@ -11,6 +11,9 @@
 #   scripts/check.sh crash    # checkpoint/resume + kill-the-process
 #                             # crash-recovery suites under ASan, 20
 #                             # SIGKILL/resume iterations per algorithm
+#   scripts/check.sh scenarios # scenario-generator contract + the edge-case
+#                             # regression suites under ASan+UBSan, plus a
+#                             # bench_scenario_matrix --smoke sweep
 #
 # The sanitizer modes exist for the parallel execution layer
 # (src/common/thread_pool.*, parallel.*, and everything that fans out over
@@ -92,8 +95,30 @@ case "$mode" in
     echo "check.sh: crash OK"
     exit 0
     ;;
+  scenarios)
+    # The adversarial-scenario gate (docs/scenarios.md): the spec -> report
+    # round-trip property suite and the edge-case regression tests it rode
+    # in with (packed grouping-key width guard, generator pool validation,
+    # silhouette/reliability degenerate inputs), all under ASan+UBSan, then
+    # a smoke sweep of the full 12-algorithm x 16-cell bench matrix.
+    build_dir=build-asan
+    cmake -B "$build_dir" -S . -DTDAC_SANITIZE=address
+    cmake --build "$build_dir" -j "$(nproc)"
+    echo "== ctest (scenarios) =="
+    ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
+    UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}" \
+      ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+        --timeout 300 \
+        -R 'scenario_test|synthetic_test|silhouette_test|truth_discovery_internal_test'
+    echo "== bench_scenario_matrix --smoke =="
+    ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
+    UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}" \
+      "$build_dir/bench/bench_scenario_matrix" --smoke --zero-time > /dev/null
+    echo "check.sh: scenarios OK"
+    exit 0
+    ;;
   *)
-    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|robust|crash]" >&2
+    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|robust|crash|scenarios]" >&2
     exit 2
     ;;
 esac

@@ -1,6 +1,7 @@
 #include "clustering/silhouette.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -16,6 +17,25 @@ Result<SilhouetteResult> SilhouetteFromDistances(
   for (const auto& row : distances) {
     if (row.size() != n) {
       return Status::InvalidArgument("Silhouette: distance matrix not square");
+    }
+  }
+  // A single NaN/inf/negative cell would otherwise propagate silently into
+  // every downstream score (and ArgMax comparisons over NaN are
+  // order-dependent), so a malformed matrix is refused outright. Symmetry
+  // is part of the same contract: a(i) and b(i) read row i only, so an
+  // asymmetric matrix would score the same partition differently depending
+  // on which point of a pair asks.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double d = distances[i][j];
+      if (!std::isfinite(d) || d < 0.0) {
+        return Status::InvalidArgument(
+            "Silhouette: distances must be finite and non-negative");
+      }
+      if (distances[j][i] != d) {
+        return Status::InvalidArgument(
+            "Silhouette: distance matrix must be symmetric");
+      }
     }
   }
   if (assignment.size() != n) {

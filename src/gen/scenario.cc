@@ -1,0 +1,588 @@
+#include "gen/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "data/dataset_builder.h"
+
+namespace tdac {
+
+const char* ToString(SkewProfile profile) {
+  switch (profile) {
+    case SkewProfile::kRandom:
+      return "random";
+    case SkewProfile::kEven:
+      return "even";
+    case SkewProfile::kStacked:
+      return "stacked";
+  }
+  return "unknown";
+}
+
+const char* ToString(AdversaryMode mode) {
+  switch (mode) {
+    case AdversaryMode::kNone:
+      return "none";
+    case AdversaryMode::kCopyRing:
+      return "copy-ring";
+    case AdversaryMode::kMajorityWrong:
+      return "majority-wrong";
+    case AdversaryMode::kNearDuplicate:
+      return "near-duplicate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Integer value pool shared with gen/synthetic.cc: large enough that
+// rejection sampling of a small distinct set terminates after a handful of
+// retries.
+constexpr int64_t kScenarioValuePool = 1000000000;
+constexpr int kMaxFalseValues = 100000;
+
+// Near-duplicate tokens: fixed length over a 36-char alphabet. Decoy j
+// edits a contiguous run of `edits` positions starting at j % L, all with
+// the per-decoy shift 1 + j / L, which makes every decoy distinct from the
+// truth and from every other decoy (distinct runs differ somewhere the
+// other decoy matches the truth; equal runs imply distinct shifts).
+constexpr int kNearDupTokenLength = 12;
+constexpr char kNearDupAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+constexpr int kNearDupAlphabetSize = 36;
+constexpr int kMaxNearDupFalseValues = 100;
+
+bool FilenameSafeName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool IsRate(double x) { return std::isfinite(x) && x >= 0.0 && x <= 1.0; }
+
+Status ValidateSpec(const ScenarioSpec& spec) {
+  if (!FilenameSafeName(spec.name)) {
+    return Status::InvalidArgument(
+        "ScenarioSpec: name must be non-empty and filename-safe "
+        "([A-Za-z0-9._-]): \"" +
+        spec.name + "\"");
+  }
+  if (spec.num_objects < 1 || spec.num_attributes < 1 ||
+      spec.num_sources < 1) {
+    return Status::InvalidArgument(
+        "ScenarioSpec " + spec.name +
+        ": objects, attributes, and sources must all be >= 1");
+  }
+  if (!std::isfinite(spec.dcr) || spec.dcr <= 0.0 || spec.dcr > 1.0) {
+    return Status::InvalidArgument("ScenarioSpec " + spec.name +
+                                   ": dcr must be in (0, 1]");
+  }
+  if (!IsRate(spec.reliable_share) || !IsRate(spec.reliable_accuracy) ||
+      !IsRate(spec.unreliable_accuracy) || !IsRate(spec.distractor_rate) ||
+      !IsRate(spec.ring_copy_rate) || !IsRate(spec.majority_wrong_share)) {
+    return Status::InvalidArgument(
+        "ScenarioSpec " + spec.name +
+        ": shares, accuracies, and rates must be finite and in [0, 1]");
+  }
+  const int max_false = spec.adversary == AdversaryMode::kNearDuplicate
+                            ? kMaxNearDupFalseValues
+                            : kMaxFalseValues;
+  if (spec.num_false_values < 1 || spec.num_false_values > max_false) {
+    return Status::InvalidArgument(
+        "ScenarioSpec " + spec.name + ": num_false_values must be in [1, " +
+        std::to_string(max_false) + "] for adversary " +
+        ToString(spec.adversary));
+  }
+  if (spec.adversary == AdversaryMode::kCopyRing &&
+      (spec.ring_size < 2 || spec.ring_size > spec.num_sources)) {
+    return Status::InvalidArgument(
+        "ScenarioSpec " + spec.name +
+        ": ring_size must be in [2, num_sources] for copy-ring scenarios");
+  }
+  if (spec.near_duplicate_edits < 1 ||
+      spec.near_duplicate_edits >= kNearDupTokenLength ||
+      spec.near_duplicate_edits > 3) {
+    return Status::InvalidArgument(
+        "ScenarioSpec " + spec.name + ": near_duplicate_edits must be in "
+        "[1, 3]");
+  }
+  return Status::OK();
+}
+
+// Per-source inclusion probabilities for the stacked profile: p_s =
+// min(1, lambda / (s + 1)), with lambda calibrated by bisection so the
+// mean of p_s equals `dcr`. min(1, .) makes the mean continuous and
+// nondecreasing in lambda, with range (0, 1], so the bisection always
+// converges onto the target.
+std::vector<double> StackedInclusionProbs(int num_sources, double dcr) {
+  const auto mean_at = [num_sources](double lambda) {
+    double sum = 0.0;
+    for (int s = 0; s < num_sources; ++s) {
+      sum += std::min(1.0, lambda / static_cast<double>(s + 1));
+    }
+    return sum / static_cast<double>(num_sources);
+  };
+  double lo = 0.0;
+  double hi = static_cast<double>(num_sources);  // mean_at(S) == 1 >= dcr
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (mean_at(mid) < dcr ? lo : hi) = mid;
+  }
+  const double lambda = 0.5 * (lo + hi);
+  std::vector<double> probs(static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    probs[static_cast<size_t>(s)] =
+        std::min(1.0, lambda / static_cast<double>(s + 1));
+  }
+  return probs;
+}
+
+// Distinct int64 values via rejection sampling; the pool (10^9) dwarfs any
+// valid request (<= kMaxFalseValues + 1), so retries are vanishingly rare.
+std::vector<int64_t> DrawDistinctInts(Rng* rng, int count) {
+  std::vector<int64_t> values;
+  values.reserve(static_cast<size_t>(count));
+  std::unordered_set<int64_t> seen;
+  while (values.size() < static_cast<size_t>(count)) {
+    const int64_t v = rng->NextInt(0, kScenarioValuePool - 1);
+    if (seen.insert(v).second) values.push_back(v);
+  }
+  return values;
+}
+
+// Pool of one true token plus `num_false` near-duplicate decoys, each a
+// distinct `edits`-substitution variant of the truth.
+std::vector<Value> DrawNearDuplicatePool(Rng* rng, int num_false, int edits) {
+  std::string truth(kNearDupTokenLength, 'a');
+  for (char& c : truth) {
+    c = kNearDupAlphabet[rng->NextBounded(kNearDupAlphabetSize)];
+  }
+  std::vector<Value> pool;
+  pool.reserve(static_cast<size_t>(num_false) + 1);
+  pool.emplace_back(truth);
+  for (int j = 0; j < num_false; ++j) {
+    std::string decoy = truth;
+    const int shift = 1 + j / kNearDupTokenLength;  // in [1, 35]
+    for (int e = 0; e < edits; ++e) {
+      const int pos = (j + e) % kNearDupTokenLength;
+      const char* found = std::char_traits<char>::find(
+          kNearDupAlphabet, kNearDupAlphabetSize, decoy[pos]);
+      const int idx = static_cast<int>(found - kNearDupAlphabet);
+      decoy[static_cast<size_t>(pos)] =
+          kNearDupAlphabet[(idx + shift) % kNearDupAlphabetSize];
+    }
+    pool.emplace_back(std::move(decoy));
+  }
+  return pool;
+}
+
+std::vector<Value> IntPool(Rng* rng, int num_false) {
+  const std::vector<int64_t> ints = DrawDistinctInts(rng, num_false + 1);
+  std::vector<Value> pool;
+  pool.reserve(ints.size());
+  for (int64_t v : ints) pool.emplace_back(v);
+  return pool;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void AppendNumber(std::ostringstream* os, double value) {
+  const auto old = os->precision(17);
+  *os << value;
+  os->precision(old);
+}
+
+}  // namespace
+
+std::string ScenarioReport::ToJson() const {
+  std::ostringstream os;
+  os << "{" << JsonQuote("name") << ": " << JsonQuote(name) << ", "
+     << JsonQuote("skew") << ": " << JsonQuote(skew) << ", "
+     << JsonQuote("adversary") << ": " << JsonQuote(adversary) << ", "
+     << JsonQuote("num_objects") << ": " << num_objects << ", "
+     << JsonQuote("num_attributes") << ": " << num_attributes << ", "
+     << JsonQuote("num_sources") << ": " << num_sources << ", "
+     << JsonQuote("num_claims") << ": " << num_claims << ", "
+     << JsonQuote("target_dcr") << ": ";
+  AppendNumber(&os, target_dcr);
+  os << ", " << JsonQuote("realized_dcr") << ": ";
+  AppendNumber(&os, realized_dcr);
+  os << ", " << JsonQuote("claims_per_source") << ": [";
+  for (size_t i = 0; i < claims_per_source.size(); ++i) {
+    os << (i ? ", " : "") << claims_per_source[i];
+  }
+  os << "], " << JsonQuote("source_accuracy") << ": [";
+  for (size_t i = 0; i < source_accuracy.size(); ++i) {
+    if (i) os << ", ";
+    AppendNumber(&os, source_accuracy[i]);
+  }
+  os << "], " << JsonQuote("ring_members") << ": [";
+  for (size_t i = 0; i < ring_members.size(); ++i) {
+    os << (i ? ", " : "") << ring_members[i];
+  }
+  os << "], " << JsonQuote("ring_agreement") << ": ";
+  AppendNumber(&os, ring_agreement);
+  os << ", " << JsonQuote("majority_wrong_attributes") << ": [";
+  for (size_t i = 0; i < majority_wrong_attributes.size(); ++i) {
+    os << (i ? ", " : "") << majority_wrong_attributes[i];
+  }
+  os << "], " << JsonQuote("majority_wrong_items") << ": "
+     << majority_wrong_items << ", " << JsonQuote("near_duplicate_items")
+     << ": " << near_duplicate_items << "}";
+  return os.str();
+}
+
+Result<ScenarioData> GenerateScenario(const ScenarioSpec& spec) {
+  TDAC_RETURN_NOT_OK(ValidateSpec(spec));
+  const int num_objects = spec.num_objects;
+  const int num_attributes = spec.num_attributes;
+  const int num_sources = spec.num_sources;
+  const int num_false = spec.num_false_values;
+  Rng rng(spec.seed);
+
+  // Source reliability: a stratified split into reliable / unreliable,
+  // with the assignment shuffled so reliability is independent of the skew
+  // ordering (which favours low source ids in the stacked profile).
+  const int reliable_count = std::clamp(
+      static_cast<int>(std::llround(spec.reliable_share * num_sources)), 0,
+      num_sources);
+  std::vector<int> reliability_perm(static_cast<size_t>(num_sources));
+  std::iota(reliability_perm.begin(), reliability_perm.end(), 0);
+  rng.Shuffle(&reliability_perm);
+  std::vector<double> accuracy(static_cast<size_t>(num_sources),
+                               spec.unreliable_accuracy);
+  for (int i = 0; i < reliable_count; ++i) {
+    accuracy[static_cast<size_t>(reliability_perm[static_cast<size_t>(i)])] =
+        spec.reliable_accuracy;
+  }
+
+  // The copying ring: a random subset of sources, leader first.
+  std::vector<int32_t> ring;
+  std::vector<char> in_ring(static_cast<size_t>(num_sources), 0);
+  int32_t leader = -1;
+  if (spec.adversary == AdversaryMode::kCopyRing) {
+    std::vector<int> ring_perm(static_cast<size_t>(num_sources));
+    std::iota(ring_perm.begin(), ring_perm.end(), 0);
+    rng.Shuffle(&ring_perm);
+    for (int i = 0; i < spec.ring_size; ++i) {
+      const int32_t s = static_cast<int32_t>(ring_perm[static_cast<size_t>(i)]);
+      ring.push_back(s);
+      in_ring[static_cast<size_t>(s)] = 1;
+    }
+    leader = ring[0];
+  }
+
+  // Majority-wrong attributes: a random `majority_wrong_share` subset.
+  std::vector<char> wrong_attr(static_cast<size_t>(num_attributes), 0);
+  std::vector<int32_t> wrong_attr_ids;
+  if (spec.adversary == AdversaryMode::kMajorityWrong) {
+    const int wrong_count = std::clamp(
+        static_cast<int>(
+            std::llround(spec.majority_wrong_share * num_attributes)),
+        0, num_attributes);
+    std::vector<int> attr_perm(static_cast<size_t>(num_attributes));
+    std::iota(attr_perm.begin(), attr_perm.end(), 0);
+    rng.Shuffle(&attr_perm);
+    for (int i = 0; i < wrong_count; ++i) {
+      wrong_attr[static_cast<size_t>(attr_perm[static_cast<size_t>(i)])] = 1;
+    }
+    for (int a = 0; a < num_attributes; ++a) {
+      if (wrong_attr[static_cast<size_t>(a)]) {
+        wrong_attr_ids.push_back(static_cast<int32_t>(a));
+      }
+    }
+  }
+
+  // Skew machinery: per-source inclusion probabilities (random/stacked) or
+  // the exact per-item source count (even).
+  std::vector<double> include_prob;
+  int even_k = 0;
+  switch (spec.skew) {
+    case SkewProfile::kRandom:
+      include_prob.assign(static_cast<size_t>(num_sources), spec.dcr);
+      break;
+    case SkewProfile::kStacked:
+      include_prob = StackedInclusionProbs(num_sources, spec.dcr);
+      break;
+    case SkewProfile::kEven:
+      even_k = std::clamp(
+          static_cast<int>(std::llround(spec.dcr * num_sources)), 1,
+          num_sources);
+      break;
+  }
+
+  DatasetBuilder builder;
+  for (int s = 0; s < num_sources; ++s) builder.AddSource("s" + std::to_string(s));
+  for (int o = 0; o < num_objects; ++o) builder.AddObject("o" + std::to_string(o));
+  for (int a = 0; a < num_attributes; ++a) {
+    builder.AddAttribute("a" + std::to_string(a));
+  }
+
+  GroundTruth truth;
+  std::vector<int64_t> claims_per_source(static_cast<size_t>(num_sources), 0);
+  std::vector<int64_t> truthful_per_source(static_cast<size_t>(num_sources),
+                                           0);
+  int64_t ring_pairs = 0;
+  int64_t ring_agree = 0;
+  int64_t majority_wrong_items = 0;
+  int64_t near_duplicate_items = 0;
+  std::vector<Value> first_pool;  // pool of item (0, 0), for forced claims
+
+  // One independent claim: truthful with the (possibly flipped) source
+  // accuracy; false claims coalesce on the distractor (pool slot 1) with
+  // the distractor rate — always, on majority-wrong attributes.
+  const auto draw_claim = [&](int s, bool flipped,
+                              const std::vector<Value>& pool) -> const Value& {
+    double p_true = accuracy[static_cast<size_t>(s)];
+    if (flipped) p_true = 1.0 - p_true;
+    if (rng.NextBernoulli(p_true)) return pool[0];
+    if (flipped || rng.NextBernoulli(spec.distractor_rate)) return pool[1];
+    return pool[1 + rng.NextBounded(static_cast<uint64_t>(num_false))];
+  };
+
+  std::vector<int> covered;
+  std::vector<int64_t> votes;
+  for (int o = 0; o < num_objects; ++o) {
+    for (int a = 0; a < num_attributes; ++a) {
+      const int64_t item_index =
+          static_cast<int64_t>(o) * num_attributes + a;
+      // 1. Which sources claim this item.
+      covered.clear();
+      if (spec.skew == SkewProfile::kEven) {
+        const int start = static_cast<int>(item_index % num_sources);
+        for (int i = 0; i < even_k; ++i) {
+          covered.push_back((start + i) % num_sources);
+        }
+        std::sort(covered.begin(), covered.end());
+      } else {
+        for (int s = 0; s < num_sources; ++s) {
+          if (rng.NextBernoulli(include_prob[static_cast<size_t>(s)])) {
+            covered.push_back(s);
+          }
+        }
+      }
+      // Every item keeps at least one claim so no algorithm sees an
+      // unclaimable item (the report's realized DCR records the resulting
+      // inflation in ultra-sparse regimes).
+      if (covered.empty()) {
+        covered.push_back(static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(num_sources))));
+      }
+
+      // 2. Per-item value pool; slot 0 is the planted truth.
+      const std::vector<Value> pool =
+          spec.adversary == AdversaryMode::kNearDuplicate
+              ? DrawNearDuplicatePool(&rng, num_false,
+                                      spec.near_duplicate_edits)
+              : IntPool(&rng, num_false);
+      if (o == 0 && a == 0) first_pool = pool;
+      truth.Set(static_cast<ObjectId>(o), static_cast<AttributeId>(a),
+                pool[0]);
+
+      const bool flipped = wrong_attr[static_cast<size_t>(a)] != 0;
+
+      // 3. The ring leader draws first so members can copy regardless of
+      // their position in the source order.
+      const bool leader_covered =
+          leader >= 0 &&
+          std::find(covered.begin(), covered.end(), leader) != covered.end();
+      Value leader_value;
+      if (leader_covered) leader_value = draw_claim(leader, flipped, pool);
+
+      votes.assign(pool.size(), 0);
+      for (int s : covered) {
+        Value value;
+        if (s == leader && leader_covered) {
+          value = leader_value;
+        } else if (in_ring[static_cast<size_t>(s)] && leader_covered &&
+                   rng.NextBernoulli(spec.ring_copy_rate)) {
+          value = leader_value;
+        } else {
+          value = draw_claim(s, flipped, pool);
+        }
+        if (in_ring[static_cast<size_t>(s)] && s != leader &&
+            leader_covered) {
+          ++ring_pairs;
+          if (value == leader_value) ++ring_agree;
+        }
+        for (size_t p = 0; p < pool.size(); ++p) {
+          if (pool[p] == value) {
+            ++votes[p];
+            break;
+          }
+        }
+        ++claims_per_source[static_cast<size_t>(s)];
+        if (value == pool[0]) ++truthful_per_source[static_cast<size_t>(s)];
+        TDAC_RETURN_NOT_OK(builder.AddClaim(
+            static_cast<SourceId>(s), static_cast<ObjectId>(o),
+            static_cast<AttributeId>(a), std::move(value)));
+      }
+
+      if (flipped) {
+        const int64_t max_false_votes =
+            *std::max_element(votes.begin() + 1, votes.end());
+        if (max_false_votes > votes[0]) ++majority_wrong_items;
+      }
+      if (spec.adversary == AdversaryMode::kNearDuplicate) {
+        int distinct = 0;
+        for (int64_t v : votes) distinct += v > 0;
+        if (distinct >= 2) ++near_duplicate_items;
+      }
+    }
+  }
+
+  // Every source keeps at least one claim (a claimless source would make
+  // per-source statistics — here and in several algorithms — 0/0). Forced
+  // claims land on item (0, 0), whose per-item diagnostics above are
+  // already final; only the per-source counters track them.
+  for (int s = 0; s < num_sources; ++s) {
+    if (claims_per_source[static_cast<size_t>(s)] > 0) continue;
+    const bool flipped = wrong_attr[0] != 0;
+    Value value = draw_claim(s, flipped, first_pool);
+    ++claims_per_source[static_cast<size_t>(s)];
+    if (value == first_pool[0]) {
+      ++truthful_per_source[static_cast<size_t>(s)];
+    }
+    TDAC_RETURN_NOT_OK(builder.AddClaim(static_cast<SourceId>(s),
+                                        static_cast<ObjectId>(0),
+                                        static_cast<AttributeId>(0),
+                                        std::move(value)));
+  }
+
+  ScenarioData out;
+  TDAC_ASSIGN_OR_RETURN(out.dataset, builder.Build());
+  out.truth = std::move(truth);
+
+  ScenarioReport& report = out.report;
+  report.name = spec.name;
+  report.skew = ToString(spec.skew);
+  report.adversary = ToString(spec.adversary);
+  report.num_objects = num_objects;
+  report.num_attributes = num_attributes;
+  report.num_sources = num_sources;
+  report.num_claims = out.dataset.num_claims();
+  report.target_dcr = spec.dcr;
+  report.realized_dcr =
+      static_cast<double>(report.num_claims) /
+      (static_cast<double>(num_sources) * num_objects * num_attributes);
+  report.claims_per_source = std::move(claims_per_source);
+  report.source_accuracy.resize(static_cast<size_t>(num_sources), 0.0);
+  for (int s = 0; s < num_sources; ++s) {
+    const int64_t total = report.claims_per_source[static_cast<size_t>(s)];
+    report.source_accuracy[static_cast<size_t>(s)] =
+        total > 0 ? static_cast<double>(
+                        truthful_per_source[static_cast<size_t>(s)]) /
+                        static_cast<double>(total)
+                  : 0.0;
+  }
+  report.ring_members = std::move(ring);
+  report.ring_agreement =
+      ring_pairs > 0
+          ? static_cast<double>(ring_agree) / static_cast<double>(ring_pairs)
+          : 0.0;
+  report.majority_wrong_attributes = std::move(wrong_attr_ids);
+  report.majority_wrong_items = majority_wrong_items;
+  report.near_duplicate_items = near_duplicate_items;
+  return out;
+}
+
+namespace {
+
+std::string DcrTag(double dcr) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "d%03d",
+                static_cast<int>(std::llround(dcr * 100)));
+  return buf;
+}
+
+const char* AdversaryTag(AdversaryMode mode) {
+  switch (mode) {
+    case AdversaryMode::kNone:
+      return "none";
+    case AdversaryMode::kCopyRing:
+      return "ring";
+    case AdversaryMode::kMajorityWrong:
+      return "majwrong";
+    case AdversaryMode::kNearDuplicate:
+      return "neardup";
+  }
+  return "unknown";
+}
+
+ScenarioSpec MatrixCell(SkewProfile skew, double dcr, AdversaryMode adversary,
+                        int num_objects, uint64_t seed, size_t index) {
+  ScenarioSpec spec;
+  spec.name = std::string(ToString(skew)) + "-" + DcrTag(dcr) + "-" +
+              AdversaryTag(adversary);
+  if (num_objects > 0) spec.num_objects = num_objects;
+  spec.skew = skew;
+  spec.dcr = dcr;
+  spec.adversary = adversary;
+  // Distinct deterministic stream per cell, stable under matrix reordering
+  // only through (seed, index) — cells are appended, never reordered.
+  spec.seed = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return spec;
+}
+
+constexpr SkewProfile kAllSkews[] = {SkewProfile::kRandom, SkewProfile::kEven,
+                                     SkewProfile::kStacked};
+
+}  // namespace
+
+std::vector<ScenarioSpec> DefaultScenarioMatrix(int num_objects,
+                                                uint64_t seed) {
+  std::vector<ScenarioSpec> matrix;
+  for (SkewProfile skew : kAllSkews) {
+    for (double dcr : {0.3, 1.0}) {
+      for (AdversaryMode adversary :
+           {AdversaryMode::kNone, AdversaryMode::kCopyRing}) {
+        matrix.push_back(MatrixCell(skew, dcr, adversary, num_objects, seed,
+                                    matrix.size()));
+      }
+    }
+  }
+  // The two remaining adversarial structures, at both DCR regimes, on the
+  // baseline skew.
+  for (double dcr : {0.3, 1.0}) {
+    for (AdversaryMode adversary :
+         {AdversaryMode::kMajorityWrong, AdversaryMode::kNearDuplicate}) {
+      matrix.push_back(MatrixCell(SkewProfile::kRandom, dcr, adversary,
+                                  num_objects, seed, matrix.size()));
+    }
+  }
+  return matrix;
+}
+
+std::vector<ScenarioSpec> FullScenarioMatrix(int num_objects, uint64_t seed) {
+  std::vector<ScenarioSpec> matrix;
+  for (SkewProfile skew : kAllSkews) {
+    for (double dcr : {0.05, 0.3, 1.0}) {
+      for (AdversaryMode adversary :
+           {AdversaryMode::kNone, AdversaryMode::kCopyRing,
+            AdversaryMode::kMajorityWrong, AdversaryMode::kNearDuplicate}) {
+        matrix.push_back(MatrixCell(skew, dcr, adversary, num_objects, seed,
+                                    matrix.size()));
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace tdac

@@ -1,0 +1,183 @@
+#ifndef TDAC_GEN_SCENARIO_H_
+#define TDAC_GEN_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace tdac {
+
+/// How claims are distributed over sources.
+enum class SkewProfile {
+  /// Every (source, item) cell is claimed independently with probability
+  /// `dcr` — the homogeneous baseline.
+  kRandom = 0,
+
+  /// Exactly k = round(dcr * S) sources per item, rotated round-robin over
+  /// the source list so every source ends up with the same claim count.
+  kEven = 1,
+
+  /// Heavy-head skew: source s is included with probability proportional
+  /// to min(1, lambda / (s + 1)) where lambda is calibrated (bisection) so
+  /// the expected coverage still equals `dcr`. Low source ids carry most
+  /// of the mass — the "few dominant aggregators" shape.
+  kStacked = 2,
+};
+
+/// The planted adversarial structure, layered on top of the skew profile.
+enum class AdversaryMode {
+  kNone = 0,
+
+  /// A copying ring: `ring_size` sources share a leader whose claim the
+  /// members replicate with probability `ring_copy_rate`. Stresses
+  /// dependence detection (DetectCopying / Accu's source-dependence
+  /// discount) — the ring manufactures agreement that is not evidence.
+  kCopyRing = 1,
+
+  /// A `majority_wrong_share` fraction of attributes where every source's
+  /// truth probability is *flipped* (truthful with probability 1 - acc)
+  /// and all false claims coalesce on the canonical distractor. Reliable
+  /// majorities turn into coherent lying majorities on those attributes.
+  kMajorityWrong = 2,
+
+  /// String values where every false value is a `near_duplicate_edits`-
+  /// character edit of the true token. Exact-equality voting still works;
+  /// similarity-weighted algorithms (AccuSim, TruthFinder's implication)
+  /// and the masked-Hamming kernels see near-identical competitors.
+  kNearDuplicate = 3,
+};
+
+const char* ToString(SkewProfile profile);
+const char* ToString(AdversaryMode mode);
+
+/// \brief Declarative description of one adversarial/skewed scenario.
+///
+/// `GenerateScenario` turns a spec into a dataset with exact-by-construction
+/// ground truth plus a `ScenarioReport` of the realized statistics, so a
+/// bench cell is fully described by (spec, seed) and fully audited by its
+/// report. Specs are value types: a scenario matrix is just a vector.
+struct ScenarioSpec {
+  /// Cell identifier; must be non-empty and filename-safe ([A-Za-z0-9._-])
+  /// because benches use it as a checkpoint slot and JSON key.
+  std::string name = "scenario";
+
+  int num_objects = 50;
+  int num_attributes = 4;
+  int num_sources = 12;
+
+  SkewProfile skew = SkewProfile::kRandom;
+
+  /// Target data coverage rate: the expected fraction of the S x (O * A)
+  /// (source, item) cells that carry a claim, in (0, 1]. Every item and
+  /// every source is still guaranteed at least one claim, which inflates
+  /// very sparse regimes slightly (the report records the realized rate).
+  double dcr = 0.5;
+
+  /// Fraction of sources drawn at `reliable_accuracy`; the rest claim the
+  /// truth with `unreliable_accuracy`.
+  double reliable_share = 0.6;
+  double reliable_accuracy = 0.9;
+  double unreliable_accuracy = 0.2;
+
+  /// Size of the per-item false-value pool (>= 1; the pool's first false
+  /// value is the canonical distractor).
+  int num_false_values = 8;
+
+  /// Probability a false claim lands on the distractor instead of a
+  /// uniform pool draw (coalescing errors, as in gen/synthetic.h).
+  double distractor_rate = 0.8;
+
+  AdversaryMode adversary = AdversaryMode::kNone;
+
+  /// kCopyRing knobs: ring size in [2, num_sources]; member copy rate.
+  int ring_size = 4;
+  double ring_copy_rate = 0.95;
+
+  /// kMajorityWrong knob: fraction of attributes with flipped truth.
+  double majority_wrong_share = 0.5;
+
+  /// kNearDuplicate knob: substitution count per decoy, in [1, 3].
+  int near_duplicate_edits = 1;
+
+  uint64_t seed = 42;
+};
+
+/// \brief Realized statistics of a generated scenario, the machine-readable
+/// half of the spec -> report contract.
+///
+/// Everything here is measured from the generated claims (not echoed from
+/// the spec), so property tests can check that generation delivered what
+/// the spec promised: the skew histogram has the right shape, the realized
+/// DCR is within tolerance of the target, the ring really agrees, and the
+/// majority-wrong attributes really flipped their majorities.
+struct ScenarioReport {
+  std::string name;
+  std::string skew;
+  std::string adversary;
+
+  int num_objects = 0;
+  int num_attributes = 0;
+  int num_sources = 0;
+  size_t num_claims = 0;
+
+  double target_dcr = 0.0;
+
+  /// claims / (sources * objects * attributes) — the spec's coverage
+  /// semantics. (Dataset::DataCoverageRate() conditions on the active
+  /// sources/attributes per object and so reads higher under sparsity.)
+  double realized_dcr = 0.0;
+
+  /// Claim count and realized truthful fraction per source id.
+  std::vector<int64_t> claims_per_source;
+  std::vector<double> source_accuracy;
+
+  /// kCopyRing: the ring (leader first) and the fraction of member claims
+  /// that equal the leader's claim on the same item (0 when not measured).
+  std::vector<int32_t> ring_members;
+  double ring_agreement = 0.0;
+
+  /// kMajorityWrong: the flipped attribute ids, and how many of their
+  /// items ended up with a false value strictly out-voting the truth.
+  std::vector<int32_t> majority_wrong_attributes;
+  int64_t majority_wrong_items = 0;
+
+  /// kNearDuplicate: items whose claim set contains >= 2 distinct values
+  /// (which are near-duplicates of each other by construction).
+  int64_t near_duplicate_items = 0;
+
+  /// Flat JSON object with all of the above (stable field order).
+  std::string ToJson() const;
+};
+
+/// \brief A generated scenario: the dataset, its exact planted truth, and
+/// the realized-statistics report.
+struct ScenarioData {
+  Dataset dataset;
+  GroundTruth truth;
+  ScenarioReport report;
+};
+
+/// Generates a dataset from `spec`. Deterministic in `spec.seed`; invalid
+/// specs (empty dimensions, rates outside [0, 1], oversized pools, bad
+/// ring size, unsafe names) are refused with InvalidArgument.
+[[nodiscard]] Result<ScenarioData> GenerateScenario(const ScenarioSpec& spec);
+
+/// The standard bench matrix: 3 skew profiles x 2 DCR regimes (0.3, 1.0)
+/// x {no adversary, copy ring} = 12 cells, plus majority-wrong and
+/// near-duplicate cells at both DCR regimes (16 cells total). Cell names
+/// are unique and filename-safe. `num_objects <= 0` keeps the per-spec
+/// default scale.
+std::vector<ScenarioSpec> DefaultScenarioMatrix(int num_objects,
+                                                uint64_t seed);
+
+/// The full sweep: 3 skew profiles x DCR {0.05, 0.3, 1.0} x all 4
+/// adversary modes = 36 cells.
+std::vector<ScenarioSpec> FullScenarioMatrix(int num_objects, uint64_t seed);
+
+}  // namespace tdac
+
+#endif  // TDAC_GEN_SCENARIO_H_

@@ -1,6 +1,7 @@
 #include "gen/synthetic.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -12,13 +13,30 @@ namespace tdac {
 
 namespace {
 
+/// The drawable domain of per-item candidate values, [0, kValuePool).
+constexpr int64_t kValuePool = 1000000000;
+
+/// Ceiling on distinct values drawable per item. Rejection sampling keeps
+/// its expected cost linear only while the pool stays mostly empty; at half
+/// the domain the expected redraws per accepted value are already 2x and
+/// grow without bound toward the full domain (an exact-domain request would
+/// never terminate once the pool is exhausted). Requests past the ceiling
+/// are a config error, refused up front.
+constexpr int64_t kMaxDistinctDraws = kValuePool / 2;
+
 /// Draws `count` distinct int64 values for one data item's candidate pool.
-std::vector<int64_t> DrawDistinctValues(Rng* rng, int count) {
+Result<std::vector<int64_t>> DrawDistinctValues(Rng* rng, int count) {
+  if (count < 0 || count > kMaxDistinctDraws) {
+    return Status::InvalidArgument(
+        "synthetic: cannot draw " + std::to_string(count) +
+        " distinct values from a pool of " + std::to_string(kValuePool) +
+        " (max " + std::to_string(kMaxDistinctDraws) + ")");
+  }
   std::unordered_set<int64_t> seen;
   std::vector<int64_t> out;
   out.reserve(static_cast<size_t>(count));
   while (static_cast<int>(out.size()) < count) {
-    int64_t v = rng->NextInt(0, 999999999);
+    int64_t v = rng->NextInt(0, kValuePool - 1);
     if (seen.insert(v).second) out.push_back(v);
   }
   return out;
@@ -35,6 +53,14 @@ Result<std::vector<std::vector<double>>> AssignReliability(
     return Status::InvalidArgument(
         "synthetic: level_weights must match reliability_levels");
   }
+  bool all_zero_weights = !weights.empty();
+  for (double x : weights) {
+    if (!std::isfinite(x) || x < 0.0) {
+      return Status::InvalidArgument(
+          "synthetic: level_weights must be finite and non-negative");
+    }
+    if (x > 0.0) all_zero_weights = false;
+  }
   std::vector<std::vector<double>> reliability(
       static_cast<size_t>(num_sources), std::vector<double>(num_groups, 0.0));
   auto perturb = [&](double level) {
@@ -46,10 +72,17 @@ Result<std::vector<std::vector<double>>> AssignReliability(
   if (stratified) {
     const size_t num_levels = levels.size();
     std::vector<double> w = weights;
-    if (w.empty()) w.assign(num_levels, 1.0);
+    // All-zero weights mean uniform, matching Rng::NextWeighted on the
+    // independent-draw path below. Without this, total_weight would be 0
+    // and the int cast of `exact` (inf/NaN) below is undefined behavior.
+    if (w.empty() || all_zero_weights) w.assign(num_levels, 1.0);
     double total_weight = 0.0;
     for (double x : w) total_weight += x;
     for (size_t g = 0; g < num_groups; ++g) {
+      // Largest-remainder apportionment of the sources over the levels:
+      // floors first, then the leftover seats to the largest fractional
+      // parts (ties broken toward the lower level index, so equal-weight
+      // splits of an odd source count are deterministic).
       std::vector<int> counts(num_levels, 0);
       std::vector<std::pair<double, size_t>> remainders;
       int assigned = 0;
@@ -99,6 +132,14 @@ Result<GeneratedData> GenerateSynthetic(const SyntheticConfig& config) {
   }
   if (config.num_false_values < 1) {
     return Status::InvalidArgument("synthetic: need >= 1 false value");
+  }
+  if (config.num_false_values >= kMaxDistinctDraws) {
+    // Checked before the +1 below can overflow and before any generation
+    // work: the per-item pool (false values plus the truth) must stay
+    // drawable from the finite value domain.
+    return Status::InvalidArgument(
+        "synthetic: num_false_values " +
+        std::to_string(config.num_false_values) + " exceeds the drawable pool");
   }
   if (config.coverage <= 0.0 || config.coverage > 1.0) {
     return Status::InvalidArgument("synthetic: coverage must be in (0, 1]");
@@ -150,8 +191,9 @@ Result<GeneratedData> GenerateSynthetic(const SyntheticConfig& config) {
   for (int o = 0; o < config.num_objects; ++o) {
     ObjectId oid = builder.AddObject("O" + std::to_string(o + 1));
     for (int a = 0; a < num_attrs; ++a) {
-      std::vector<int64_t> pool =
-          DrawDistinctValues(&rng, config.num_false_values + 1);
+      TDAC_ASSIGN_OR_RETURN(
+          std::vector<int64_t> pool,
+          DrawDistinctValues(&rng, config.num_false_values + 1));
       const Value truth(pool[0]);
       out.truth.Set(oid, attr_ids[static_cast<size_t>(a)], truth);
       const int g = group_of[static_cast<size_t>(a)];
@@ -194,6 +236,11 @@ Result<ObjectCorrelatedData> GenerateObjectCorrelated(
   }
   if (config.num_false_values < 1) {
     return Status::InvalidArgument("object-correlated: need >= 1 false value");
+  }
+  if (config.num_false_values >= kMaxDistinctDraws) {
+    return Status::InvalidArgument(
+        "object-correlated: num_false_values " +
+        std::to_string(config.num_false_values) + " exceeds the drawable pool");
   }
   if (config.coverage <= 0.0 || config.coverage > 1.0) {
     return Status::InvalidArgument(
@@ -245,8 +292,9 @@ Result<ObjectCorrelatedData> GenerateObjectCorrelated(
     ObjectId oid = builder.AddObject("O" + std::to_string(o + 1));
     const int g = group_of[static_cast<size_t>(o)];
     for (int a = 0; a < config.num_attributes; ++a) {
-      std::vector<int64_t> pool =
-          DrawDistinctValues(&rng, config.num_false_values + 1);
+      TDAC_ASSIGN_OR_RETURN(
+          std::vector<int64_t> pool,
+          DrawDistinctValues(&rng, config.num_false_values + 1));
       const Value truth(pool[0]);
       out.truth.Set(oid, attr_ids[static_cast<size_t>(a)], truth);
       for (int s = 0; s < config.num_sources; ++s) {

@@ -168,6 +168,10 @@ std::vector<ItemConflict> GroupClaimsByItemLegacy(const DatasetLike& data) {
 /// its Value materialized once from the dictionary instead of copied per
 /// claim. Sources within a run come out ascending for free.
 ///
+/// Callers must check GroupKeysFitPackedWidth before taking this path: a
+/// rank or source id at or past 2^32 would alias another key's high or low
+/// half and silently reorder the sort.
+///
 /// Known divergence (unreachable through checked ingestion): two claims
 /// with *distinct NaN* payloads on one item order by interning order here
 /// vs. source order on the legacy path. FromTextChecked rejects non-finite
@@ -226,8 +230,29 @@ std::vector<ItemConflict> GroupClaimsByItemSoa(const DatasetLike& data) {
 
 }  // namespace
 
+bool GroupKeysFitPackedWidth(int64_t num_ranks, int64_t num_sources) {
+  return num_ranks >= 0 && num_ranks <= kPackedGroupKeyWidth &&
+         num_sources >= 0 && num_sources <= kPackedGroupKeyWidth;
+}
+
+uint64_t PackGroupKey(int64_t rank, int64_t source) {
+  TDAC_CHECK(rank >= 0 && rank < kPackedGroupKeyWidth)
+      << "PackGroupKey: rank " << rank << " out of packed width";
+  TDAC_CHECK(source >= 0 && source < kPackedGroupKeyWidth)
+      << "PackGroupKey: source " << source << " out of packed width";
+  return (static_cast<uint64_t>(rank) << 32) | static_cast<uint64_t>(source);
+}
+
 std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data) {
-  if (SoaKernelsEnabled()) return GroupClaimsByItemSoa(data);
+  // Width guard: the packed sort is only lexicographic while ranks and
+  // source ids both fit their 32-bit half. Today's int32 id types cannot
+  // exceed it, but the fallback keeps the invariant explicit instead of
+  // baked into the type widths.
+  if (SoaKernelsEnabled() &&
+      GroupKeysFitPackedWidth(data.storage().value_dict().size(),
+                              data.storage().num_sources())) {
+    return GroupClaimsByItemSoa(data);
+  }
   return GroupClaimsByItemLegacy(data);
 }
 

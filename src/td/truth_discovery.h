@@ -1,6 +1,7 @@
 #ifndef TDAC_TD_TRUTH_DISCOVERY_H_
 #define TDAC_TD_TRUTH_DISCOVERY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -126,7 +127,29 @@ struct ItemConflict {
 /// comparisons. Outputs are bit-identical for any dataset that passed
 /// checked ingestion (distinct non-NaN values have distinct ranks in value
 /// order; equal values share one dictionary id).
+///
+/// The packed form assumes both halves fit in 32 bits. That assumption is
+/// enforced, not implicit: the columnar path first checks
+/// `GroupKeysFitPackedWidth` against the store's dictionary size and source
+/// count and falls back to the legacy comparator when either axis is too
+/// wide, so a future widening of the id types can never silently corrupt
+/// the sort order.
 std::vector<ItemConflict> GroupClaimsByItem(const DatasetLike& data);
+
+/// Number of distinct values representable in one half of a packed group
+/// key: ranks and source ids must both lie in [0, 2^32).
+inline constexpr int64_t kPackedGroupKeyWidth = int64_t{1} << 32;
+
+/// True when every rank in [0, num_ranks) and every source id in
+/// [0, num_sources) fits its 32-bit half of the packed `(rank << 32) |
+/// source` group key, i.e. packed-key order is exactly lexicographic
+/// (rank, source) order. The columnar grouping sort requires this.
+bool GroupKeysFitPackedWidth(int64_t num_ranks, int64_t num_sources);
+
+/// Packs one (value rank, source id) pair into the 64-bit group key.
+/// Aborts when either half is negative or out of packed width — callers
+/// must gate on GroupKeysFitPackedWidth first.
+uint64_t PackGroupKey(int64_t rank, int64_t source);
 
 /// Index of the value with maximal score; ties resolved to the smallest
 /// index (i.e. the smallest value, given sorted values).

@@ -1,5 +1,7 @@
 #include "clustering/silhouette.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace tdac {
@@ -106,6 +108,61 @@ TEST(SilhouetteFromDistancesTest, MatchesPointsVersion) {
 TEST(SilhouetteFromDistancesTest, RejectsNonSquareMatrix) {
   std::vector<std::vector<double>> dist{{0, 1}, {1}};
   EXPECT_FALSE(SilhouetteFromDistances(dist, {0, 1}, 2).ok());
+}
+
+// Regression: a NaN (or inf, or negative) distance cell used to propagate
+// silently into every point score and the partition score — and NaN
+// comparisons inside the k-sweep's ArgMax are order-dependent. Malformed
+// matrices must be refused with a Status instead.
+TEST(SilhouetteFromDistancesTest, RejectsNonFiniteAndNegativeDistances) {
+  std::vector<std::vector<double>> dist(3, std::vector<double>(3, 1.0));
+  for (size_t i = 0; i < 3; ++i) dist[i][i] = 0.0;
+  const std::vector<int> assignment{0, 0, 1};
+  ASSERT_TRUE(SilhouetteFromDistances(dist, assignment, 2).ok());
+
+  auto with = [&](double bad) {
+    auto d = dist;
+    d[0][1] = bad;
+    d[1][0] = bad;
+    return SilhouetteFromDistances(d, assignment, 2);
+  };
+  EXPECT_FALSE(with(std::numeric_limits<double>::quiet_NaN()).ok());
+  EXPECT_FALSE(with(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(with(-0.5).ok());
+}
+
+TEST(SilhouetteFromDistancesTest, RejectsAsymmetricMatrix) {
+  std::vector<std::vector<double>> dist{
+      {0.0, 1.0, 2.0}, {1.0, 0.0, 3.0}, {2.0, 3.5, 0.0}};  // [2][1] != [1][2]
+  auto r = SilhouetteFromDistances(dist, {0, 0, 1}, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Degenerate adversarial shape: every pairwise distance identical (all
+// sources look the same to the clustering features). alpha == beta for
+// every point, so all scores must be exactly 0 — no NaN from the 0/0 and
+// no accidental preference for any k.
+TEST(SilhouetteFromDistancesTest, AllIdenticalDistancesScoreZero) {
+  for (double d : {0.0, 2.5}) {
+    std::vector<std::vector<double>> dist(4, std::vector<double>(4, d));
+    for (size_t i = 0; i < 4; ++i) dist[i][i] = 0.0;
+    auto r = SilhouetteFromDistances(dist, {0, 0, 1, 1}, 2);
+    ASSERT_TRUE(r.ok()) << d;
+    for (double s : r->point_scores) EXPECT_DOUBLE_EQ(s, 0.0) << d;
+    EXPECT_DOUBLE_EQ(r->partition_score, 0.0) << d;
+  }
+}
+
+// Degenerate partition: k == n, every cluster a singleton. The singleton
+// convention pins every score to 0 (rather than dividing by size-1 == 0).
+TEST(SilhouetteFromDistancesTest, AllSingletonPartitionScoresZero) {
+  std::vector<std::vector<double>> dist{
+      {0.0, 1.0, 4.0}, {1.0, 0.0, 2.0}, {4.0, 2.0, 0.0}};
+  auto r = SilhouetteFromDistances(dist, {0, 1, 2}, 3);
+  ASSERT_TRUE(r.ok());
+  for (double s : r->point_scores) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(r->partition_score, 0.0);
 }
 
 }  // namespace

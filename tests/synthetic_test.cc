@@ -1,6 +1,7 @@
 #include "gen/synthetic.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <string>
 
@@ -250,6 +251,93 @@ TEST(SyntheticTest, LevelWeightsMustMatchLevels) {
   config.reliability_levels = {1.0, 0.0};
   config.level_weights = {1.0};  // wrong arity
   EXPECT_FALSE(GenerateSynthetic(config).ok());
+}
+
+// Regression: a per-item pool request larger than the drawable value
+// domain used to spin the rejection-sampling loop forever (and degrade
+// quadratically approaching it). It must be refused up front, before any
+// generation work.
+TEST(SyntheticTest, OversizedValuePoolIsRefusedNotLooped) {
+  SyntheticConfig config;
+  config.num_objects = 1;
+  config.num_sources = 1;
+  config.planted_groups = {{0}};
+  config.num_false_values = 600000000;  // > half the 1e9 value domain
+  auto data = GenerateSynthetic(config);
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+
+  ObjectCorrelatedConfig oc;
+  oc.planted_groups = {{0}};
+  oc.num_false_values = 600000000;
+  auto oc_data = GenerateObjectCorrelated(oc);
+  ASSERT_FALSE(oc_data.ok());
+  EXPECT_EQ(oc_data.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: all-zero level_weights in stratified mode divided by a zero
+// total weight and fed inf through an int cast (undefined behavior; in
+// practice a multi-billion-iteration loop). All-zero must mean uniform,
+// matching Rng::NextWeighted on the independent-draw path.
+TEST(SyntheticTest, StratifiedAllZeroWeightsMeansUniform) {
+  SyntheticConfig config;
+  config.num_objects = 2;
+  config.num_sources = 10;
+  config.planted_groups = {{0}, {1}};
+  config.reliability_levels = {1.0, 0.0};
+  config.level_weights = {0.0, 0.0};
+  config.stratified_levels = true;
+  config.seed = 11;
+  auto data = GenerateSynthetic(config);
+  ASSERT_TRUE(data.ok());
+  for (size_t g = 0; g < 2; ++g) {
+    int good = 0;
+    for (int s = 0; s < 10; ++s) {
+      if (data->reliability[static_cast<size_t>(s)][g] > 0.5) ++good;
+    }
+    EXPECT_EQ(good, 5) << "group " << g;
+  }
+}
+
+TEST(SyntheticTest, RejectsMalformedLevelWeights) {
+  SyntheticConfig config;
+  config.num_objects = 2;
+  config.num_sources = 4;
+  config.planted_groups = {{0}};
+  config.reliability_levels = {1.0, 0.0};
+  for (bool stratified : {false, true}) {
+    config.stratified_levels = stratified;
+    config.level_weights = {-0.5, 1.5};
+    EXPECT_FALSE(GenerateSynthetic(config).ok()) << stratified;
+    config.level_weights = {std::numeric_limits<double>::infinity(), 1.0};
+    EXPECT_FALSE(GenerateSynthetic(config).ok()) << stratified;
+    config.level_weights = {std::numeric_limits<double>::quiet_NaN(), 1.0};
+    EXPECT_FALSE(GenerateSynthetic(config).ok()) << stratified;
+  }
+}
+
+// Largest-remainder apportionment: exact ties on the fractional parts must
+// resolve deterministically (toward the lower level index) and the level
+// counts must sum to the source count exactly — no off-by-one drift.
+TEST(SyntheticTest, StratifiedLargestRemainderTiesAreDeterministic) {
+  SyntheticConfig config;
+  config.num_objects = 1;
+  config.planted_groups = {{0}};
+  config.reliability_levels = {1.0, 0.0};
+  config.level_weights = {0.5, 0.5};
+  config.stratified_levels = true;
+  for (int sources : {1, 2, 3, 5, 7, 9, 10}) {
+    config.num_sources = sources;
+    config.seed = 21;
+    auto data = GenerateSynthetic(config);
+    ASSERT_TRUE(data.ok()) << sources;
+    int good = 0;
+    for (int s = 0; s < sources; ++s) {
+      if (data->reliability[static_cast<size_t>(s)][0] > 0.5) ++good;
+    }
+    // Tie on .5 remainders goes to level 0 (the reliable one): ceil(n/2).
+    EXPECT_EQ(good, (sources + 1) / 2) << sources;
+  }
 }
 
 TEST(SyntheticTest, RejectsBadConfig) {

@@ -9,7 +9,10 @@ namespace {
 
 using td_internal::ArgMax;
 using td_internal::GroupClaimsByItem;
+using td_internal::GroupKeysFitPackedWidth;
+using td_internal::kPackedGroupKeyWidth;
 using td_internal::MeanAbsDelta;
+using td_internal::PackGroupKey;
 using testutil::BuildDataset;
 
 TEST(GroupClaimsByItemTest, GroupsValuesAndSupporters) {
@@ -65,6 +68,43 @@ TEST(GroupClaimsByItemTest, ItemsFollowDataItemOrder) {
   for (size_t i = 1; i < items.size(); ++i) {
     EXPECT_LT(items[i - 1].key, items[i].key);
   }
+}
+
+// Regression for the packed `(rank << 32) | source` grouping key: the
+// 32-bit halves are an enforced invariant now, not an implicit one. At
+// exactly 2^32 distinct ranks (ids 0..2^32-1) everything still fits; one
+// past it the packed sort would alias keys, so the guard must refuse and
+// GroupClaimsByItem falls back to the legacy (Value, SourceId) comparator.
+TEST(PackedGroupKeyTest, WidthGuardAtTheBoundary) {
+  EXPECT_TRUE(GroupKeysFitPackedWidth(0, 0));
+  EXPECT_TRUE(GroupKeysFitPackedWidth(kPackedGroupKeyWidth, 10));
+  EXPECT_TRUE(GroupKeysFitPackedWidth(10, kPackedGroupKeyWidth));
+  EXPECT_FALSE(GroupKeysFitPackedWidth(kPackedGroupKeyWidth + 1, 10));
+  EXPECT_FALSE(GroupKeysFitPackedWidth(10, kPackedGroupKeyWidth + 1));
+  EXPECT_FALSE(GroupKeysFitPackedWidth(-1, 10));
+  EXPECT_FALSE(GroupKeysFitPackedWidth(10, -1));
+}
+
+TEST(PackedGroupKeyTest, PackedOrderIsLexicographicAtExtremes) {
+  const int64_t max_half = kPackedGroupKeyWidth - 1;
+  // rank dominates source: the largest source under a smaller rank still
+  // sorts below the smallest source under a larger rank.
+  EXPECT_LT(PackGroupKey(0, max_half), PackGroupKey(1, 0));
+  EXPECT_LT(PackGroupKey(max_half - 1, max_half), PackGroupKey(max_half, 0));
+  // Within a rank, source order is preserved.
+  EXPECT_LT(PackGroupKey(max_half, 0), PackGroupKey(max_half, max_half));
+  // Round trip at the extreme corner.
+  const uint64_t key = PackGroupKey(max_half, max_half);
+  EXPECT_EQ(static_cast<int64_t>(key >> 32), max_half);
+  EXPECT_EQ(static_cast<int64_t>(key & 0xffffffffULL), max_half);
+}
+
+TEST(PackedGroupKeyDeathTest, OutOfWidthAborts) {
+  EXPECT_DEATH((void)PackGroupKey(kPackedGroupKeyWidth, 0),
+               "out of packed width");
+  EXPECT_DEATH((void)PackGroupKey(0, kPackedGroupKeyWidth),
+               "out of packed width");
+  EXPECT_DEATH((void)PackGroupKey(-1, 0), "out of packed width");
 }
 
 TEST(ArgMaxTest, FirstMaximumWinsOnTies) {
