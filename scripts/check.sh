@@ -5,7 +5,10 @@
 #   scripts/check.sh tsan     # ThreadSanitizer build + ctest, TDAC_THREADS=8
 #   scripts/check.sh asan     # AddressSanitizer+UBSan build + ctest
 #   scripts/check.sh ubsan    # standalone UBSan build + ctest
-#   scripts/check.sh lint     # tdac_lint + clang-tidy (if installed)
+#   scripts/check.sh lint     # tdac_lint (with stale-waiver audit) +
+#                             # clang-tidy (if installed)
+#   scripts/check.sh lint-fast [ref]  # tdac_lint on changed lines only
+#                             # (vs. origin/main or [ref]); no clang-tidy
 #   scripts/check.sh robust   # robustness/corruption/edge-case suites
 #                             # under ASan+UBSan (fault-injection gate)
 #   scripts/check.sh crash    # checkpoint/resume + kill-the-process
@@ -49,9 +52,20 @@ case "$mode" in
   lint)
     cmake -B build -S .
     cmake --build build -j "$(nproc)" --target tdac_lint
-    ./build/tools/tdac_lint --root .
+    ./build/tools/tdac_lint --root . --audit-waivers
     cmake --build build --target tidy
     echo "check.sh: lint OK"
+    exit 0
+    ;;
+  lint-fast)
+    # Pre-push mode: scan the whole tree for cross-file context but report
+    # only findings on lines changed vs. the base ref (default origin/main,
+    # override with: scripts/check.sh lint-fast <ref>). Skips clang-tidy.
+    base="${2:-origin/main}"
+    cmake -B build -S .
+    cmake --build build -j "$(nproc)" --target tdac_lint
+    ./build/tools/tdac_lint --root . --diff "$base" --audit-waivers
+    echo "check.sh: lint-fast OK (vs. $base)"
     exit 0
     ;;
   robust)
@@ -118,7 +132,7 @@ case "$mode" in
     exit 0
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|robust|crash|scenarios]" >&2
+    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|lint-fast|robust|crash|scenarios]" >&2
     exit 2
     ;;
 esac

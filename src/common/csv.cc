@@ -124,6 +124,10 @@ Result<std::vector<std::vector<std::string>>> ReadCsvFile(
 }
 
 Status WriteFile(const std::string& path, std::string_view text) {
+  // Deliberately non-durable: the crash-recovery tests use this writer to
+  // fabricate torn/corrupt files that AtomicWriteFile cannot produce.
+  // Durable paths go through src/common/io.
+  // lint: atomic-io-ok (non-durable by contract; tests fabricate torn files)
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out.write(text.data(), static_cast<std::streamsize>(text.size()));

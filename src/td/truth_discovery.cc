@@ -181,8 +181,10 @@ std::vector<ItemConflict> GroupClaimsByItemSoa(const DatasetLike& data) {
   const std::vector<int32_t>& ranks = storage.claim_value_ranks();
   const std::vector<int32_t>& sources = storage.claim_sources();
   const ValueDict& dict = storage.value_dict();
+  // lint: hot-path-alloc-ok (single result buffer, reserved below)
   std::vector<ItemConflict> out;
   out.reserve(data.DataItems().size());
+  // lint: hot-path-alloc-ok (one scratch buffer reused across all items)
   std::vector<uint64_t> packed;
   for (uint64_t key : data.DataItems()) {
     const auto& claim_indices =

@@ -423,6 +423,9 @@ Result<TdocReport> Tdoc::DiscoverWithReport(const DatasetLike& data,
       TDAC_ASSIGN_OR_RETURN(TruthDiscoveryResult partial,
                             options_.base->Discover(restricted, guard));
       merged.predicted.MergeFrom(partial.predicted);
+      // Groups restrict disjoint object sets, so per-group confidence maps
+      // carry disjoint item keys; key-wise insertion commutes.
+      // lint: unordered-ok (disjoint keys across groups)
       for (auto& [key, conf] : partial.confidence) {
         merged.confidence[key] = conf;
       }

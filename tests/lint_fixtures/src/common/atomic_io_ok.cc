@@ -1,0 +1,17 @@
+// Fixture: read-only I/O and a reasoned waiver — clean under atomic-io.
+#include <fcntl.h>
+
+#include <fstream>
+
+namespace tdac {
+
+int ReadOnly(const char* path) {
+  std::ifstream in(path);  // reads cannot tear anything
+  int fd = open(path, O_RDONLY);
+  return fd;
+}
+
+// lint: atomic-io-ok (fixture: deliberately torn-file writer for tests)
+void TornWriter(const char* path) { std::ofstream out(path); }
+
+}  // namespace tdac

@@ -1,0 +1,19 @@
+// Fixture: file writes outside src/common/io — each shape the atomic-io
+// rule recognises (stream, stdio, POSIX open with a write flag).
+#include <fcntl.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tdac {
+
+void WriteEverywhere(const char* path) {
+  std::ofstream out(path);
+  out << 1;
+  FILE* f = fopen(path, "w");
+  if (f != nullptr) fclose(f);
+  int fd = open(path, O_WRONLY | O_CREAT, 0644);
+  (void)fd;
+}
+
+}  // namespace tdac

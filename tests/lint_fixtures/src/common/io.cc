@@ -1,0 +1,9 @@
+// Fixture standing in for the real src/common/io.cc: the one designated
+// home for raw file-writing primitives, exempt from the atomic-io rule.
+#include <fstream>
+
+namespace tdac {
+
+void AtomicWriteFileImpl(const char* path) { std::ofstream out(path); }
+
+}  // namespace tdac

@@ -1,0 +1,18 @@
+// Fixture: a *Soa kernel that stays allocation-light — reserved buffers,
+// reference bindings, and one waived scratch buffer are all clean.
+#include <vector>
+
+namespace tdac {
+
+int PackSoa(const std::vector<int>& claims) {
+  // lint: hot-path-alloc-ok (single scratch buffer reused across items)
+  std::vector<int> packed;
+  packed.reserve(claims.size());
+  for (int c : claims) {
+    packed.push_back(c);
+  }
+  const std::vector<int>& view = packed;
+  return static_cast<int>(view.size());
+}
+
+}  // namespace tdac

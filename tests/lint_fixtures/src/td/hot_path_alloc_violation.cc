@@ -1,0 +1,26 @@
+// Fixture: allocation inside a *Soa columnar kernel — construction,
+// unreserved push_back, and raw new are all flagged; the identical shapes
+// in a non-Soa function below are out of the rule's scope.
+#include <string>
+#include <vector>
+
+namespace tdac {
+
+int TallySoa(const std::vector<int>& claims) {
+  std::vector<int> counts;
+  for (int c : claims) {
+    counts.push_back(c);
+  }
+  std::string label("x");
+  int* raw = new int(0);
+  delete raw;
+  return static_cast<int>(counts.size() + label.size());
+}
+
+int TallyRows(const std::vector<int>& claims) {
+  std::vector<int> counts;
+  for (int c : claims) counts.push_back(c);
+  return static_cast<int>(counts.size());
+}
+
+}  // namespace tdac

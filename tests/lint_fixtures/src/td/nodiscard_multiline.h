@@ -1,0 +1,26 @@
+// Fixture: waivers on multi-line declarations. The nodiscard finding is
+// reported at the return-type line, but the waiver may sit above the
+// declaration's *first* token (the qualifier line) — both placements
+// must suppress it.
+#ifndef TDAC_TESTS_LINT_FIXTURES_SRC_TD_NODISCARD_MULTILINE_H_
+#define TDAC_TESTS_LINT_FIXTURES_SRC_TD_NODISCARD_MULTILINE_H_
+
+namespace tdac {
+
+class Status;
+
+class Saver {
+ public:
+  // lint: nodiscard-ok (fixture: fire-and-forget flush)
+  virtual
+  Status Flush() = 0;
+
+  virtual
+  Status Persist() = 0;
+
+  virtual ~Saver();
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_TESTS_LINT_FIXTURES_SRC_TD_NODISCARD_MULTILINE_H_

@@ -1,0 +1,21 @@
+// Fixture for --audit-waivers: one live waiver (suppresses the unordered
+// finding below it), one stale waiver (its rule finds nothing here), and
+// one waiver naming no known rule. Without --audit-waivers this file is
+// clean; with it, exactly the last two are flagged.
+#include <unordered_map>
+
+namespace tdac {
+
+std::unordered_map<int, int> table;
+
+int SumValues() {
+  int sum = 0;
+  // lint: unordered-ok (order-independent sum)
+  for (const auto& [k, v] : table) sum += v + k;
+  // lint: random-ok (nothing random on this line)
+  int extra = sum;
+  // lint: foobar-ok (no such rule)
+  return sum + extra;
+}
+
+}  // namespace tdac

@@ -12,8 +12,13 @@ namespace tdac {
 inline const char* Motto() { return "we throw nothing"; }
 
 inline void RethrowCaptured(std::exception_ptr captured) {
-  // lint: throw-ok (rethrow of a worker-thread exception on the caller)
-  if (captured) std::rethrow_exception(captured);
+  if (!captured) return;
+  try {
+    std::rethrow_exception(captured);
+  } catch (...) {
+    // lint: throw-ok (rethrow of a worker-thread exception on the caller)
+    throw;
+  }
 }
 
 }  // namespace tdac

@@ -1,0 +1,13 @@
+// Fixture: const store handles and a waived assembly path — clean under
+// the frozen-store rule.
+namespace tdac {
+
+class Dataset;
+
+double Tally(const Dataset& store);
+double TallyQualified(const tdac::Dataset* store);
+
+// lint: frozen-store-ok (fixture: assembles a fresh store, not the frozen one)
+void AssembleScratch(Dataset* scratch);
+
+}  // namespace tdac

@@ -1,0 +1,17 @@
+// Fixture: kernel code holding mutable handles to the frozen claim store.
+namespace tdac {
+
+class Dataset;
+
+void SweepKernel(Dataset& store);
+
+void MutateKernel(Dataset* store) {
+  store->AppendClaim(0, 0, 0.0);
+}
+
+void RebuildKernel() {
+  DatasetBuilder builder;
+  (void)builder;
+}
+
+}  // namespace tdac

@@ -1,0 +1,29 @@
+// Fixture: guarded fixpoint loops, plain element loops, and a waived
+// bounded loop — all clean under the guard rule.
+namespace tdac {
+
+class RunGuard {
+ public:
+  bool OnIteration();
+  bool ShouldStop();
+};
+
+int ConvergeWithGuard(RunGuard& guard, int max_iterations) {
+  int value = 0;
+  // Fixpoint marker in the condition, but the body consults the guard.
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    if (!guard.OnIteration()) break;
+    value += 1;
+  }
+  // Plain element/count loop: no fixpoint marker, no guard needed.
+  while (value < 100) {
+    ++value;
+  }
+  // lint: guard-ok (bounded: walks at most max_iterations snapshots)
+  for (int i = 0; i < max_iterations; ++i) {
+    value -= 1;
+  }
+  return value;
+}
+
+}  // namespace tdac

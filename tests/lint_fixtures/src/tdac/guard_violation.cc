@@ -1,0 +1,22 @@
+// Fixture: fixpoint-shaped loops that never consult their RunGuard.
+// Lives under src/tdac/ because the guard rule is scoped to the kernel
+// directories (src/td, src/tdac, src/partition).
+namespace tdac {
+
+int ConvergeWithoutGuard(int max_iterations) {
+  int value = 0;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    value += 1;
+  }
+  bool improved = true;
+  while (improved) {
+    improved = ++value < 10;
+  }
+  while (true) {
+    if (value > 20) break;
+    ++value;
+  }
+  return value;
+}
+
+}  // namespace tdac

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,11 +30,13 @@ std::string LintBinary() {
   return bin != nullptr ? bin : TDAC_LINT_BIN;
 }
 
-// Runs `tdac_lint --root <root> [files...]` and captures stdout+stderr.
+// Runs `tdac_lint --root <root> [args...]` and captures stdout+stderr.
+// `args` mixes flags (--format=json, --audit-waivers, --diff BASE) and
+// relative file paths; the driver sorts them out.
 LintRun RunLint(const std::string& root,
-                const std::vector<std::string>& files = {}) {
+                const std::vector<std::string>& args = {}) {
   std::string cmd = "'" + LintBinary() + "' --root '" + root + "'";
-  for (const std::string& f : files) cmd += " '" + f + "'";
+  for (const std::string& a : args) cmd += " '" + a + "'";
   cmd += " 2>&1";
 
   LintRun run;
@@ -187,6 +190,208 @@ TEST_F(TdacLintTest, ClaimValueRule) {
       << run.output;
 }
 
+TEST_F(TdacLintTest, GuardRule) {
+  const LintRun& run = CorpusRun();
+  // Unguarded for-with-iteration-marker, while(improved), and while(true).
+  EXPECT_EQ(CountFindings(run, "src/tdac/guard_violation.cc", "guard"), 3)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/tdac/guard_violation.cc", 8, "guard"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/tdac/guard_violation.cc", 12, "guard"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/tdac/guard_violation.cc", 15, "guard"))
+      << run.output;
+  // Guard-consulting loop, plain count loop, and a waived bounded loop.
+  EXPECT_EQ(CountFindings(run, "src/tdac/guard_ok.cc", "guard"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, AtomicIoRule) {
+  const LintRun& run = CorpusRun();
+  // std::ofstream, fopen(), and open(..., O_WRONLY).
+  EXPECT_EQ(
+      CountFindings(run, "src/common/atomic_io_violation.cc", "atomic-io"), 3)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/common/atomic_io_violation.cc", 11,
+                           "atomic-io"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/common/atomic_io_violation.cc", 13,
+                           "atomic-io"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/common/atomic_io_violation.cc", 15,
+                           "atomic-io"))
+      << run.output;
+  // Read-only I/O and a reasoned waiver: clean.
+  EXPECT_EQ(CountFindings(run, "src/common/atomic_io_ok.cc", "atomic-io"), 0)
+      << run.output;
+  // src/common/io.* is the designated home for raw writes.
+  EXPECT_EQ(CountFindings(run, "src/common/io.cc", "atomic-io"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, FrozenStoreRule) {
+  const LintRun& run = CorpusRun();
+  // Non-const Dataset& and Dataset*, AppendClaim, DatasetBuilder.
+  EXPECT_EQ(
+      CountFindings(run, "src/tdac/frozen_store_violation.cc", "frozen-store"),
+      4)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/tdac/frozen_store_violation.cc", 6,
+                           "frozen-store"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/tdac/frozen_store_violation.cc", 9,
+                           "frozen-store"))
+      << run.output;
+  // const handles (plain and namespace-qualified) and a waived assembler.
+  EXPECT_EQ(CountFindings(run, "src/tdac/frozen_store_ok.cc", "frozen-store"),
+            0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, HotPathAllocRule) {
+  const LintRun& run = CorpusRun();
+  // Construction, unreserved push_back, std::string, and raw new inside
+  // TallySoa — and nothing from the identical non-Soa TallyRows below it.
+  EXPECT_EQ(CountFindings(run, "src/td/hot_path_alloc_violation.cc",
+                          "hot-path-alloc"),
+            4)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/hot_path_alloc_violation.cc", 10,
+                           "hot-path-alloc"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/hot_path_alloc_violation.cc", 12,
+                           "hot-path-alloc"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/hot_path_alloc_violation.cc", 15,
+                           "hot-path-alloc"))
+      << run.output;
+  // Reserved buffers, reference bindings, and a waived scratch buffer.
+  EXPECT_EQ(CountFindings(run, "src/td/hot_path_alloc_ok.cc",
+                          "hot-path-alloc"),
+            0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, NodiscardWaiverAttachesToMultilineDeclarations) {
+  const LintRun& run = CorpusRun();
+  // Flush: waiver above the `virtual` line suppresses the finding even
+  // though the Status token sits one line further down. Persist: flagged
+  // at the return-type line.
+  EXPECT_EQ(CountFindings(run, "src/td/nodiscard_multiline.h", "nodiscard"),
+            1)
+      << run.output;
+  EXPECT_TRUE(
+      HasFindingAt(run, "src/td/nodiscard_multiline.h", 19, "nodiscard"))
+      << run.output;
+}
+
+TEST_F(TdacLintTest, StaleWaiverAuditFlagsDeadAndUnknownWaivers) {
+  LintRun run = RunLint(TDAC_LINT_FIXTURES,
+                        {"--audit-waivers", "src/td/stale_waiver.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The live unordered waiver is not flagged; the dead random-ok and the
+  // unknown foobar-ok are.
+  EXPECT_EQ(CountFindings(run, "src/td/stale_waiver.cc", "stale-waiver"), 2)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/stale_waiver.cc", 15, "stale-waiver"))
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/td/stale_waiver.cc", 17, "stale-waiver"))
+      << run.output;
+  EXPECT_EQ(CountFindings(run, "src/td/stale_waiver.cc", "unordered"), 0)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, AuditIsOffByDefault) {
+  LintRun run = RunLint(TDAC_LINT_FIXTURES, {"src/td/stale_waiver.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(TdacLintTest, JsonFormat) {
+  LintRun run = RunLint(TDAC_LINT_FIXTURES,
+                        {"--format=json", "src/td/throw_violation.h"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("\"version\": 1"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"count\": 1"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("\"file\": \"src/td/throw_violation.h\""),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"line\": 10"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("\"rule\": \"throw\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"waiver\": \"throw-ok\""), std::string::npos)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, JsonFormatCleanFileHasZeroCount) {
+  LintRun run =
+      RunLint(TDAC_LINT_FIXTURES, {"--format=json", "src/td/throw_ok.h"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"count\": 0"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("\"findings\": []"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(TdacLintTest, ListRulesPrintsAllTen) {
+  LintRun run = RunLint(TDAC_LINT_FIXTURES, {"--list-rules"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  for (const char* rule :
+       {"nodiscard", "unordered", "random", "throw", "claim-value", "guard",
+        "atomic-io", "frozen-store", "hot-path-alloc", "stale-waiver"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos)
+        << rule << "\n" << run.output;
+  }
+}
+
+TEST_F(TdacLintTest, DiffModeReportsOnlyChangedLines) {
+  // Build a throwaway git repo: one committed violation, then a second
+  // one added on top. --diff HEAD must report only the new line.
+  std::string tmpl = ::testing::TempDir() + "tdac_lint_diff_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(mkdtemp(buf.data()), nullptr);
+  const std::string root(buf.data());
+  auto sh = [&](const std::string& cmd) {
+    const std::string full = "cd '" + root + "' && " + cmd + " >/dev/null 2>&1";
+    return std::system(full.c_str());
+  };
+  auto write_file = [&](const std::string& rel, const std::string& text) {
+    std::ofstream out(root + "/" + rel, std::ios::trunc);
+    out << text;
+  };
+  ASSERT_EQ(sh("git init -q . && git config user.email t@t && "
+               "git config user.name t && mkdir -p src/gen"),
+            0);
+  write_file("src/gen/seeded.cc",
+             "namespace tdac {\n"
+             "int Base() { return rand(); }\n"
+             "}  // namespace tdac\n");
+  ASSERT_EQ(sh("git add -A && git commit -qm base"), 0);
+  write_file("src/gen/seeded.cc",
+             "namespace tdac {\n"
+             "int Base() { return rand(); }\n"
+             "int Fresh() { return rand(); }\n"
+             "}  // namespace tdac\n");
+
+  LintRun diff_run = RunLint(root, {"--diff", "HEAD"});
+  EXPECT_EQ(diff_run.exit_code, 1) << diff_run.output;
+  EXPECT_EQ(CountFindings(diff_run, "src/gen/seeded.cc", "random"), 1)
+      << diff_run.output;
+  EXPECT_TRUE(HasFindingAt(diff_run, "src/gen/seeded.cc", 3, "random"))
+      << diff_run.output;
+
+  // Without --diff both violations surface.
+  LintRun full_run = RunLint(root);
+  EXPECT_EQ(CountFindings(full_run, "src/gen/seeded.cc", "random"), 2)
+      << full_run.output;
+
+  // An unknown ref is a usage error, not a silent full scan.
+  LintRun bad_ref = RunLint(root, {"--diff", "no-such-ref"});
+  EXPECT_EQ(bad_ref.exit_code, 2) << bad_ref.output;
+
+  sh("cd / && rm -rf '" + root + "'");
+}
+
 TEST_F(TdacLintTest, ExplicitFileListScansOnlyThoseFiles) {
   LintRun run =
       RunLint(TDAC_LINT_FIXTURES, {"src/td/throw_violation.h"});
@@ -207,10 +412,11 @@ TEST_F(TdacLintTest, MissingFileExitsWithUsageError) {
   EXPECT_EQ(run.exit_code, 2) << run.output;
 }
 
-// The gate the CI lint job enforces: the real tree must stay clean. Any
-// finding here means a change landed without its annotation or waiver.
+// The gate the CI lint job enforces: the real tree must stay clean, and
+// every waiver in it must still suppress something. Any finding here means
+// a change landed without its annotation, or left a waiver behind.
 TEST_F(TdacLintTest, RealTreeSelfCheckIsClean) {
-  LintRun run = RunLint(TDAC_SOURCE_ROOT);
+  LintRun run = RunLint(TDAC_SOURCE_ROOT, {"--audit-waivers"});
   EXPECT_EQ(run.exit_code, 0) << run.output;
   EXPECT_NE(run.output.find("OK"), std::string::npos) << run.output;
 }

@@ -1,0 +1,112 @@
+#include "lint_index.h"
+
+namespace tdac_lint {
+namespace {
+
+// Keywords that look like `kw ( ... ) {` but are not function definitions.
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "static_assert", "else", "do",
+      "new",    "delete", "throw",  "co_return", "co_await", "co_yield"};
+  return kw;
+}
+
+}  // namespace
+
+ScopeIndex BuildScopeIndex(const FileScan& scan) {
+  ScopeIndex index;
+  const std::vector<Token>& t = scan.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdentStart(t[i].text[0])) continue;
+    if (t[i + 1].text != "(") continue;
+    if (ControlKeywords().count(t[i].text) > 0) continue;
+    const size_t after_params = SkipParens(t, i + 1);
+    if (after_params == i + 1) continue;  // unbalanced
+    // Skip trailing qualifiers between the parameter list and the body.
+    size_t k = after_params;
+    while (k < t.size() &&
+           (t[k].text == "const" || t[k].text == "noexcept" ||
+            t[k].text == "override" || t[k].text == "final" ||
+            t[k].text == "mutable" || t[k].text == "&" || t[k].text == "&&")) {
+      // `noexcept(...)` carries its own parens.
+      if (t[k].text == "noexcept" && k + 1 < t.size() &&
+          t[k + 1].text == "(") {
+        k = SkipParens(t, k + 1);
+        continue;
+      }
+      ++k;
+    }
+    // Trailing return type: skip `-> Type` up to the body (or bail at a
+    // statement end — then this was a lambda-typed expression, not a def).
+    if (k < t.size() && t[k].text == "->") {
+      ++k;
+      while (k < t.size() && t[k].text != "{" && t[k].text != ";") {
+        if (t[k].text == "<") {
+          const size_t a = SkipAngles(t, k);
+          k = a == k ? k + 1 : a;
+          continue;
+        }
+        ++k;
+      }
+    }
+    // Constructors with member-init lists (`) : member_(x) {`) are never
+    // the named kernels the rules scope to; skip rather than mis-parse
+    // the braces of brace-initialized members.
+    if (k >= t.size() || t[k].text != "{") continue;
+    const size_t body_end = SkipBraces(t, k);
+    if (body_end == k) continue;
+    index.functions.push_back({t[i].text, k, body_end, t[i].line});
+  }
+  return index;
+}
+
+void CollectUnorderedNames(const FileScan& scan, UnorderedNames* names) {
+  const std::vector<Token>& t = scan.tokens;
+  std::set<std::string> alias_types;
+  // Two sweeps so `using Foo = std::unordered_map<...>` aliases declared
+  // after their first use are still honoured.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      const bool direct = t[i].text == "unordered_map" ||
+                          t[i].text == "unordered_set" ||
+                          t[i].text == "unordered_multimap" ||
+                          t[i].text == "unordered_multiset";
+      const bool via_alias = sweep == 1 && alias_types.count(t[i].text) > 0;
+      if (!direct && !via_alias) continue;
+      // `using Alias = std::unordered_map<...>`?
+      if (direct && i >= 3 && t[i - 1].text == "::" &&
+          t[i - 2].text == "std" && t[i - 3].text == "=" && i >= 5 &&
+          t[i - 5].text == "using") {
+        alias_types.insert(t[i - 4].text);
+        continue;
+      }
+      size_t k = i + 1;
+      if (direct) {
+        size_t after = SkipAngles(t, k);
+        if (after == k) continue;
+        k = after;
+      }
+      while (k < t.size() &&
+             (t[k].text == "&" || t[k].text == "*" || t[k].text == "const")) {
+        ++k;
+      }
+      if (k + 1 >= t.size() || !IsIdentStart(t[k].text[0])) continue;
+      const std::string& name = t[k].text;
+      const std::string& next = t[k + 1].text;
+      if (next == "(") {
+        names->global_fns.insert(name);
+      } else if (next == ";" || next == "=" || next == "{" || next == "," ||
+                 next == ")") {
+        if (EndsWith(name, "_")) {
+          names->global_vars.insert(name);
+        } else {
+          names->file_vars[scan.rel_path].insert(name);
+          if (IsHeader(scan.rel_path)) names->header_vars.insert(name);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tdac_lint

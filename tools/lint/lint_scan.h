@@ -1,0 +1,68 @@
+// tdac_lint scanner: file loading, comment/string/preprocessor blanking,
+// tokenization, and waiver bookkeeping.
+//
+// Every rule in lint_rules.h consumes the same `FileScan`: the raw lines
+// are gone, comments/strings/preprocessor lines are blanked to spaces (so
+// `throw` in a string literal never fires), and `// lint: <tag>` waivers
+// are harvested into a per-line table. `Waived()` is the single waiver
+// lookup — it also *records* which waivers actually suppressed a finding,
+// which is what the driver's stale-waiver audit consumes afterwards.
+#ifndef TDAC_TOOLS_LINT_LINT_SCAN_H_
+#define TDAC_TOOLS_LINT_LINT_SCAN_H_
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tdac_lint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+struct FileScan {
+  std::string rel_path;            // root-relative, forward slashes
+  std::vector<Token> tokens;       // tokens of the blanked code view
+  std::map<int, std::set<std::string>> waivers;  // line -> {"unordered-ok",..}
+
+  // Filled by Waived() as rules run: (waiver line, tag) pairs that
+  // suppressed at least one finding. A waiver absent from this set after
+  // all rules ran is stale.
+  mutable std::set<std::pair<int, std::string>> used_waivers;
+};
+
+bool IsIdentStart(char c);
+bool IsIdentChar(char c);
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+bool IsHeader(const std::string& rel);
+
+// Reads `abs`, blanks non-code, tokenizes, and harvests waivers into
+// `scan`. False on I/O failure.
+bool LoadFile(const std::filesystem::path& abs, const std::string& rel,
+              FileScan* scan);
+
+// A waiver covers the line it sits on and the line directly below it (the
+// NOLINTNEXTLINE pattern, for code that would overflow 80 columns). True
+// when `tag` is waived for `line`, recording the hit in `used_waivers`.
+bool Waived(const FileScan& scan, int line, const std::string& tag);
+
+// Skips a balanced <...> starting at tokens[i] == "<"; returns the index
+// one past the matching ">", or `i` if unbalanced.
+size_t SkipAngles(const std::vector<Token>& toks, size_t i);
+
+// Index one past the parenthesis matching tokens[open] == "("; `open` if
+// unbalanced.
+size_t SkipParens(const std::vector<Token>& toks, size_t open);
+
+// Index one past the brace matching tokens[open] == "{"; `open` if
+// unbalanced.
+size_t SkipBraces(const std::vector<Token>& toks, size_t open);
+
+}  // namespace tdac_lint
+
+#endif  // TDAC_TOOLS_LINT_LINT_SCAN_H_

@@ -1,630 +1,55 @@
-// tdac_lint — dependency-free source scanner for repo-specific invariants.
+// tdac_lint — dependency-free static-analysis driver for repo-specific
+// invariants.
 //
 // The library's headline guarantees (bit-identical results at any thread
-// count, no exceptions across the public API, reproducible randomness) rest
-// on source-level conventions that the compiler cannot check by itself.
-// This tool enforces them at tokenizer level — no libclang, no build — so
-// the check runs in milliseconds on the whole tree and in CI's lint job.
+// count, no exceptions across the public API, reproducible randomness,
+// deadline-bounded loops, torn-write-free files, a frozen claim store,
+// allocation-light columnar kernels) rest on source-level conventions the
+// compiler cannot check by itself. This tool enforces them at token level
+// — no libclang, no build — so the check runs in milliseconds on the
+// whole tree and in CI's lint job, before any fixpoint loop ever runs.
 //
-// Rules (see docs/static_analysis.md for the full contract):
-//
-//   nodiscard   Header declarations returning Status or Result<T> by value
-//               must be annotated [[nodiscard]]. Together with the
-//               class-level [[nodiscard]] on Status/Result themselves this
-//               makes a discarded error value a compiler warning (-Werror
-//               in CI).
-//   unordered   In src/td/, src/partition/, and src/data/, range-for or
-//               .begin() traversal of a std::unordered_map/unordered_set
-//               is order-dependent and therefore forbidden unless the line
-//               carries a reasoned waiver. This is the determinism
-//               invariant the parallel sweep and RestrictionCache rely on.
-//   random      std::rand/srand, time()-seeding, std::random_device, and
-//               the <random> engines are forbidden outside
-//               src/common/random.* — all randomness flows through the
-//               seeded tdac::Rng.
-//   throw       `throw` must not appear in the public API surface
-//               (headers under src/td/ and src/partition/).
-//   claim-value In kernel code (.cc files under src/td/ and src/tdac/),
-//               per-claim access through the row-struct accessor
-//               (`x.claim(i)` / `x->claim(i)`) is forbidden: it drags the
-//               whole Claim — variant Value included — through the cache
-//               for loops that typically need one integer column. Hot
-//               loops must read the columnar store (claim_sources(),
-//               claim_value_ids(), claim_items(), value_dict()); the
-//               legacy reference paths that the differential equivalence
-//               suite diffs against carry reasoned waivers.
-//
-// Waiver syntax (on the offending line or the line directly above it,
-// reason encouraged):
-//   // lint: unordered-ok (order-independent reduction)
-//   // lint: nodiscard-ok | random-ok | throw-ok | claim-value-ok
+// The engine is three passes (tools/lint/):
+//   lint_scan   blanks comments/strings/preprocessor lines, tokenizes,
+//               harvests `// lint: <rule>-ok` waivers
+//   lint_index  cross-file unordered-container names + per-file function
+//               scope index (the *Soa kernel extents)
+//   lint_rules  the nine rules (see docs/static_analysis.md for the full
+//               contract and `tdac_lint --list-rules` for one-liners)
 //
 // Usage:
-//   tdac_lint [--root DIR] [relative-files...]
+//   tdac_lint [--root DIR] [--format=text|json] [--diff BASE]
+//             [--audit-waivers] [--list-rules] [relative-files...]
+//
 // With no file arguments, scans DIR/{src,tools,bench,tests} recursively
 // (skipping tests/lint_fixtures/, which contains deliberate violations).
-// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+// `--diff BASE` reports only findings on lines changed vs. the git ref
+// BASE (fast pre-push mode; the whole tree is still scanned so cross-file
+// context stays exact). `--audit-waivers` additionally errors on waivers
+// that no longer suppress anything. Exit status: 0 clean, 1 findings,
+// 2 usage/IO error.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint_index.h"
+#include "lint_rules.h"
+#include "lint_scan.h"
 
 namespace {
 
 namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------------
-// Findings and waivers
-// ---------------------------------------------------------------------------
-
-enum class Rule { kNodiscard, kUnordered, kRandom, kThrow, kClaimValue };
-
-const char* RuleName(Rule r) {
-  switch (r) {
-    case Rule::kNodiscard:
-      return "nodiscard";
-    case Rule::kUnordered:
-      return "unordered";
-    case Rule::kRandom:
-      return "random";
-    case Rule::kThrow:
-      return "throw";
-    case Rule::kClaimValue:
-      return "claim-value";
-  }
-  return "?";
-}
-
-struct Finding {
-  std::string file;  // root-relative, forward slashes
-  int line = 0;
-  Rule rule = Rule::kNodiscard;
-  std::string message;
-};
-
-// ---------------------------------------------------------------------------
-// Lexing: blank out comments / strings / preprocessor lines, record waivers
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-struct FileScan {
-  std::string rel_path;              // forward slashes
-  std::vector<std::string> lines;    // raw source lines (for waiver lookup)
-  std::vector<Token> tokens;         // tokens of the blanked code view
-  std::map<int, std::set<std::string>> waivers;  // line -> {"unordered-ok",...}
-};
-
-bool IsIdentStart(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
-}
-bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
-
-// Records `lint: <word>` waivers found in a comment.
-void ParseWaivers(const std::string& comment, int line, FileScan* scan) {
-  size_t pos = 0;
-  while ((pos = comment.find("lint:", pos)) != std::string::npos) {
-    pos += 5;
-    while (pos < comment.size() && comment[pos] == ' ') ++pos;
-    size_t end = pos;
-    while (end < comment.size() &&
-           (IsIdentChar(comment[end]) || comment[end] == '-')) {
-      ++end;
-    }
-    if (end > pos) (*scan).waivers[line].insert(comment.substr(pos, end - pos));
-    pos = end;
-  }
-}
-
-// Produces a copy of `src` with comments, string/char literals, and
-// preprocessor lines replaced by spaces (newlines preserved), harvesting
-// waiver comments along the way.
-std::string BlankNonCode(const std::string& src, FileScan* scan) {
-  std::string out = src;
-  const size_t n = src.size();
-  size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;   // only whitespace seen so far on this line
-  bool pp_continues = false;   // previous line was a '\'-continued # line
-  auto blank = [&](size_t pos) {
-    if (out[pos] != '\n') out[pos] = ' ';
-  };
-  while (i < n) {
-    char c = src[i];
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-      ++i;
-      continue;
-    }
-    // Preprocessor lines (and their continuations) are not code.
-    if ((at_line_start && c == '#') || (at_line_start && pp_continues)) {
-      pp_continues = false;
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          pp_continues = true;
-        }
-        blank(i);
-        ++i;
-      }
-      continue;
-    }
-    if (c != ' ' && c != '\t') at_line_start = false;
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      size_t start = i;
-      while (i < n && src[i] != '\n') {
-        blank(i);
-        ++i;
-      }
-      ParseWaivers(src.substr(start, i - start), line, scan);
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      size_t start = i;
-      int start_line = line;
-      blank(i);
-      blank(i + 1);
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        blank(i);
-        ++i;
-      }
-      if (i + 1 < n) {
-        blank(i);
-        blank(i + 1);
-        i += 2;
-      }
-      ParseWaivers(src.substr(start, i - start), start_line, scan);
-      continue;
-    }
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      // Raw string literal R"delim( ... )delim".
-      size_t d0 = i + 2;
-      size_t dp = d0;
-      while (dp < n && src[dp] != '(') ++dp;
-      std::string close = ")" + src.substr(d0, dp - d0) + "\"";
-      blank(i);
-      ++i;
-      while (i < n) {
-        if (src.compare(i, close.size(), close) == 0) {
-          for (size_t k = 0; k < close.size(); ++k) blank(i + k);
-          i += close.size();
-          break;
-        }
-        if (src[i] == '\n') ++line;
-        blank(i);
-        ++i;
-      }
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      blank(i);
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) {
-          blank(i);
-          ++i;
-        }
-        if (src[i] == '\n') break;  // unterminated; tolerate
-        blank(i);
-        ++i;
-      }
-      if (i < n && src[i] == quote) {
-        blank(i);
-        ++i;
-      }
-      continue;
-    }
-    ++i;
-  }
-  return out;
-}
-
-void Tokenize(const std::string& code, std::vector<Token>* tokens) {
-  const size_t n = code.size();
-  size_t i = 0;
-  int line = 1;
-  while (i < n) {
-    char c = code[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r') {
-      ++i;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i;
-      while (j < n && IsIdentChar(code[j])) ++j;
-      tokens->push_back({code.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (c >= '0' && c <= '9') {
-      size_t j = i;
-      while (j < n && (IsIdentChar(code[j]) || code[j] == '.')) ++j;
-      tokens->push_back({code.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (c == ':' && i + 1 < n && code[i + 1] == ':') {
-      tokens->push_back({"::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && code[i + 1] == '>') {
-      tokens->push_back({"->", line});
-      i += 2;
-      continue;
-    }
-    tokens->push_back({std::string(1, c), line});
-    ++i;
-  }
-}
-
-bool LoadFile(const fs::path& abs, const std::string& rel, FileScan* scan) {
-  std::ifstream in(abs, std::ios::binary);
-  if (!in) return false;
-  std::stringstream ss;
-  ss << in.rdbuf();
-  std::string src = ss.str();
-  scan->rel_path = rel;
-  std::string code = BlankNonCode(src, scan);
-  Tokenize(code, &scan->tokens);
-  return true;
-}
-
-// A waiver covers the line it sits on and the line directly below it (the
-// NOLINTNEXTLINE pattern, for code that would overflow 80 columns).
-bool Waived(const FileScan& scan, int line, const std::string& tag) {
-  auto it = scan.waivers.find(line);
-  if (it != scan.waivers.end() && it->second.count(tag) > 0) return true;
-  it = scan.waivers.find(line - 1);
-  return it != scan.waivers.end() && it->second.count(tag) > 0;
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool IsHeader(const std::string& rel) { return EndsWith(rel, ".h"); }
-
-// Skips a balanced <...> starting at tokens[i] == "<"; returns the index one
-// past the matching ">", or `i` if unbalanced.
-size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
-  if (i >= toks.size() || toks[i].text != "<") return i;
-  int depth = 0;
-  size_t j = i;
-  while (j < toks.size()) {
-    if (toks[j].text == "<") ++depth;
-    if (toks[j].text == ">") {
-      --depth;
-      if (depth == 0) return j + 1;
-    }
-    // A template argument list never contains these at depth >= 1; bail
-    // rather than swallow half the file on a stray comparison operator.
-    if (toks[j].text == ";" || toks[j].text == "{") return i;
-    ++j;
-  }
-  return i;
-}
-
-// ---------------------------------------------------------------------------
-// Rule: nodiscard — header functions returning Status/Result<T> by value
-// ---------------------------------------------------------------------------
-
-void CheckNodiscard(const FileScan& scan, std::vector<Finding>* findings) {
-  if (!IsHeader(scan.rel_path)) return;
-  const std::vector<Token>& t = scan.tokens;
-  static const std::set<std::string> kQualifiers = {
-      "virtual", "static", "inline",    "constexpr", "friend",
-      "explicit", "const", "nodiscard", "tdac",      "::",
-      "[",        "]",     "maybe_unused"};
-  static const std::set<std::string> kBoundaries = {";", "{", "}", ":", ">"};
-  for (size_t i = 0; i < t.size(); ++i) {
-    const bool is_status = t[i].text == "Status";
-    const bool is_result = t[i].text == "Result";
-    if (!is_status && !is_result) continue;
-
-    // Declaration context: scanning backwards over qualifiers/attributes
-    // must hit a statement boundary (or the start of the file).
-    bool annotated = false;
-    bool decl_context = true;
-    size_t j = i;
-    while (j > 0) {
-      const std::string& prev = t[j - 1].text;
-      if (kQualifiers.count(prev)) {
-        if (prev == "nodiscard") annotated = true;
-        --j;
-        continue;
-      }
-      decl_context = kBoundaries.count(prev) > 0;
-      break;
-    }
-    if (!decl_context) continue;
-
-    // Return type: Status, or Result<...>; references/pointers are exempt
-    // (nothing to discard-check on an accessor returning a reference).
-    size_t k = i + 1;
-    if (is_result) {
-      size_t after = SkipAngles(t, k);
-      if (after == k) continue;  // `Result` without template args: not a type
-      k = after;
-    }
-    if (k >= t.size()) continue;
-    if (t[k].text == "&" || t[k].text == "*") continue;
-    if (t[k].text == "::") continue;  // Status::OK(...) etc.
-    // Function name: identifier, optionally qualified (Out-of-line
-    // `Result<T> Class::Member(` in a header).
-    if (!IsIdentStart(t[k].text[0])) continue;
-    size_t name_tok = k;
-    ++k;
-    while (k + 1 < t.size() && t[k].text == "::" &&
-           IsIdentStart(t[k + 1].text[0])) {
-      name_tok = k + 1;
-      k += 2;
-    }
-    if (k >= t.size() || t[k].text != "(") continue;
-    if (annotated) continue;
-    int line = t[i].line;
-    if (Waived(scan, line, "nodiscard-ok")) continue;
-    findings->push_back(
-        {scan.rel_path, line, Rule::kNodiscard,
-         "'" + t[name_tok].text + "' returns " +
-             (is_status ? std::string("Status") : std::string("Result<T>")) +
-             " by value and must be [[nodiscard]] "
-             "(or waive: // lint: nodiscard-ok)"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unordered — no order-dependent traversal of unordered containers in
-// the determinism-critical directories
-// ---------------------------------------------------------------------------
-
-bool UnorderedRuleApplies(const std::string& rel) {
-  return StartsWith(rel, "src/td/") || StartsWith(rel, "src/partition/") ||
-         StartsWith(rel, "src/data/");
-}
-
-struct UnorderedNames {
-  // Cross-file: trailing-underscore members and accessor functions returning
-  // unordered containers (visible through headers).
-  std::set<std::string> global_vars;
-  std::set<std::string> global_fns;
-  // Per file (locals, params, public struct members without the trailing
-  // underscore): rel_path -> names.
-  std::map<std::string, std::set<std::string>> file_vars;
-};
-
-void CollectUnorderedNames(const FileScan& scan, UnorderedNames* names) {
-  if (!UnorderedRuleApplies(scan.rel_path)) return;
-  const std::vector<Token>& t = scan.tokens;
-  std::set<std::string> alias_types;
-  // Two sweeps so `using Foo = std::unordered_map<...>` aliases declared
-  // after their first use are still honoured.
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    for (size_t i = 0; i < t.size(); ++i) {
-      const bool direct = t[i].text == "unordered_map" ||
-                          t[i].text == "unordered_set" ||
-                          t[i].text == "unordered_multimap" ||
-                          t[i].text == "unordered_multiset";
-      const bool via_alias = sweep == 1 && alias_types.count(t[i].text) > 0;
-      if (!direct && !via_alias) continue;
-      // `using Alias = std::unordered_map<...>`?
-      if (direct && i >= 3 && t[i - 1].text == "::" &&
-          t[i - 2].text == "std" && t[i - 3].text == "=" && i >= 5 &&
-          t[i - 5].text == "using") {
-        alias_types.insert(t[i - 4].text);
-        continue;
-      }
-      size_t k = i + 1;
-      if (direct) {
-        size_t after = SkipAngles(t, k);
-        if (after == k) continue;
-        k = after;
-      }
-      while (k < t.size() &&
-             (t[k].text == "&" || t[k].text == "*" || t[k].text == "const")) {
-        ++k;
-      }
-      if (k + 1 >= t.size() || !IsIdentStart(t[k].text[0])) continue;
-      const std::string& name = t[k].text;
-      const std::string& next = t[k + 1].text;
-      if (next == "(") {
-        names->global_fns.insert(name);
-      } else if (next == ";" || next == "=" || next == "{" || next == "," ||
-                 next == ")") {
-        if (EndsWith(name, "_")) {
-          names->global_vars.insert(name);
-        } else {
-          names->file_vars[scan.rel_path].insert(name);
-        }
-      }
-    }
-  }
-}
-
-void CheckUnordered(const FileScan& scan, const UnorderedNames& names,
-                    std::vector<Finding>* findings) {
-  if (!UnorderedRuleApplies(scan.rel_path)) return;
-  const std::vector<Token>& t = scan.tokens;
-  // Names declared in this file, plus its sibling (.h <-> .cc): members of
-  // structs declared in group_runner.h are iterated from group_runner.cc.
-  std::string sibling = scan.rel_path;
-  if (EndsWith(sibling, ".cc")) {
-    sibling = sibling.substr(0, sibling.size() - 3) + ".h";
-  } else if (EndsWith(sibling, ".h")) {
-    sibling = sibling.substr(0, sibling.size() - 2) + ".cc";
-  }
-  auto local_it = names.file_vars.find(scan.rel_path);
-  auto sibling_it = names.file_vars.find(sibling);
-  auto is_unordered_var = [&](const std::string& name) {
-    if (names.global_vars.count(name)) return true;
-    if (local_it != names.file_vars.end() && local_it->second.count(name) > 0) {
-      return true;
-    }
-    return sibling_it != names.file_vars.end() &&
-           sibling_it->second.count(name) > 0;
-  };
-  auto report = [&](int line, const std::string& what) {
-    if (Waived(scan, line, "unordered-ok")) return;
-    findings->push_back(
-        {scan.rel_path, line, Rule::kUnordered,
-         what +
-             " iterates an unordered container (order-dependent); iterate a "
-             "sorted copy or waive an order-independent reduction with "
-             "// lint: unordered-ok (reason)"});
-  };
-  for (size_t i = 0; i + 1 < t.size(); ++i) {
-    // Range-for: `for ( <decl> : <expr> )`.
-    if (t[i].text == "for" && t[i + 1].text == "(") {
-      int depth = 0;
-      size_t colon = 0;
-      size_t close = 0;
-      for (size_t j = i + 1; j < t.size(); ++j) {
-        if (t[j].text == "(") ++depth;
-        if (t[j].text == ")") {
-          --depth;
-          if (depth == 0) {
-            close = j;
-            break;
-          }
-        }
-        if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
-        if (t[j].text == ";") break;  // classic for loop
-      }
-      if (colon == 0 || close == 0) continue;
-      // Target: last identifier of the ranged expression; a trailing `()`
-      // marks an accessor call.
-      bool is_call = false;
-      size_t last = close;
-      if (close >= 2 && t[close - 1].text == ")" && t[close - 2].text == "(") {
-        is_call = true;
-        last = close - 2;
-      }
-      if (last == 0 || !IsIdentStart(t[last - 1].text[0])) continue;
-      const std::string& name = t[last - 1].text;
-      const bool hit = is_call ? names.global_fns.count(name) > 0
-                               : is_unordered_var(name);
-      if (hit) report(t[i].line, "range-for over '" + name + "'");
-    }
-    // Iterator traversal: `x.begin()` / `x->begin()` on an unordered name.
-    if ((t[i + 1].text == "." || t[i + 1].text == "->") && i + 2 < t.size() &&
-        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") &&
-        IsIdentStart(t[i].text[0]) && is_unordered_var(t[i].text)) {
-      report(t[i].line, "'" + t[i].text + "." + t[i + 2].text + "()'");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: random — all randomness flows through src/common/random.*
-// ---------------------------------------------------------------------------
-
-void CheckRandom(const FileScan& scan, std::vector<Finding>* findings) {
-  if (StartsWith(scan.rel_path, "src/common/random.")) return;
-  const std::vector<Token>& t = scan.tokens;
-  static const std::set<std::string> kForbiddenAlways = {
-      "random_device",  "random_shuffle", "mt19937",
-      "mt19937_64",     "minstd_rand",    "minstd_rand0",
-      "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
-  auto report = [&](int line, const std::string& what) {
-    if (Waived(scan, line, "random-ok")) return;
-    findings->push_back(
-        {scan.rel_path, line, Rule::kRandom,
-         what + " bypasses the seeded tdac::Rng (src/common/random.h); use "
-                "an explicit seed or waive with // lint: random-ok (reason)"});
-  };
-  for (size_t i = 0; i < t.size(); ++i) {
-    const std::string& s = t[i].text;
-    if (kForbiddenAlways.count(s)) {
-      report(t[i].line, "'" + s + "'");
-      continue;
-    }
-    const bool call_like = i + 1 < t.size() && t[i + 1].text == "(";
-    if ((s == "rand" || s == "srand") && call_like) {
-      report(t[i].line, "'" + s + "()'");
-      continue;
-    }
-    if (s == "time" && call_like && i + 2 < t.size() &&
-        (t[i + 2].text == "NULL" || t[i + 2].text == "nullptr" ||
-         t[i + 2].text == "0")) {
-      report(t[i].line, "'time(" + t[i + 2].text + ")' seeding");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: throw — no exceptions in the public API surface
-// ---------------------------------------------------------------------------
-
-void CheckThrow(const FileScan& scan, std::vector<Finding>* findings) {
-  if (!IsHeader(scan.rel_path)) return;
-  if (!StartsWith(scan.rel_path, "src/td/") &&
-      !StartsWith(scan.rel_path, "src/partition/")) {
-    return;
-  }
-  for (const Token& tok : scan.tokens) {
-    if (tok.text != "throw") continue;
-    if (Waived(scan, tok.line, "throw-ok")) continue;
-    findings->push_back(
-        {scan.rel_path, tok.line, Rule::kThrow,
-         "'throw' in a public API header (src/td/, src/partition/) violates "
-         "the no-exceptions-across-the-API rule (DESIGN.md §2); return a "
-         "Status or waive with // lint: throw-ok (reason)"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: claim-value — kernel loops read the columnar store, not Claim rows
-// ---------------------------------------------------------------------------
-
-void CheckClaimValue(const FileScan& scan, std::vector<Finding>* findings) {
-  if (!EndsWith(scan.rel_path, ".cc")) return;
-  if (!StartsWith(scan.rel_path, "src/td/") &&
-      !StartsWith(scan.rel_path, "src/tdac/")) {
-    return;
-  }
-  const std::vector<Token>& t = scan.tokens;
-  for (size_t i = 0; i + 2 < t.size(); ++i) {
-    // `<expr> . claim (` or `<expr> -> claim (` — the row-struct accessor.
-    // num_claims()/claims()/claim_sources() tokenize differently, so the
-    // exact-token match cannot false-positive on them.
-    if (t[i].text != "." && t[i].text != "->") continue;
-    if (t[i + 1].text != "claim" || t[i + 2].text != "(") continue;
-    const int line = t[i + 1].line;
-    if (Waived(scan, line, "claim-value-ok")) continue;
-    findings->push_back(
-        {scan.rel_path, line, Rule::kClaimValue,
-         "'claim(i)' materializes a whole Claim (Value included) inside "
-         "kernel code; read the columnar store (claim_sources(), "
-         "claim_value_ids(), claim_items()) instead, or waive a reference "
-         "path with // lint: claim-value-ok (reason)"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
+using tdac_lint::FileScan;
+using tdac_lint::Finding;
+using tdac_lint::LintContext;
+using tdac_lint::RuleName;
 
 bool ScannableFile(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -639,8 +64,159 @@ std::string RelPath(const fs::path& abs, const fs::path& root) {
 }
 
 int Usage() {
-  std::cerr << "usage: tdac_lint [--root DIR] [relative-files...]\n";
+  std::cerr << "usage: tdac_lint [--root DIR] [--format=text|json] "
+               "[--diff BASE] [--audit-waivers] [--list-rules] "
+               "[relative-files...]\n";
   return 2;
+}
+
+// ---------------------------------------------------------------------------
+// --diff BASE: changed-line sets from `git diff -U0`
+// ---------------------------------------------------------------------------
+
+// file -> set of line numbers added/modified vs. the base ref. False on
+// git failure (not a repo, unknown ref).
+bool ChangedLines(const fs::path& root, const std::string& base,
+                  std::map<std::string, std::set<int>>* out) {
+  const std::string cmd = "git -C '" + root.string() +
+                          "' diff --unified=0 --no-color '" + base +
+                          "' -- src tools bench tests 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::string current_file;
+  std::array<char, 4096> buf;
+  std::string pending;
+  auto handle_line = [&](const std::string& line) {
+    if (tdac_lint::StartsWith(line, "+++ b/")) {
+      current_file = line.substr(6);
+      return;
+    }
+    if (tdac_lint::StartsWith(line, "+++ ")) {
+      current_file.clear();  // deletion (+++ /dev/null)
+      return;
+    }
+    if (!tdac_lint::StartsWith(line, "@@ ") || current_file.empty()) return;
+    // @@ -a[,b] +c[,d] @@ — the new-file side is what we scan.
+    const size_t plus = line.find('+');
+    if (plus == std::string::npos) return;
+    int start = 0;
+    int count = 1;
+    size_t i = plus + 1;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      start = start * 10 + (line[i] - '0');
+      ++i;
+    }
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      count = 0;
+      while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        count = count * 10 + (line[i] - '0');
+        ++i;
+      }
+    }
+    for (int l = start; l < start + count; ++l) {
+      (*out)[current_file].insert(l);
+    }
+  };
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    pending += buf.data();
+    size_t nl;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      handle_line(pending.substr(0, nl));
+      pending.erase(0, nl + 1);
+    }
+  }
+  const int status = pclose(pipe);
+  if (!pending.empty()) handle_line(pending);
+  return status == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* WaiverTag(tdac_lint::Rule rule) {
+  for (const tdac_lint::RuleInfo& info : tdac_lint::Registry()) {
+    if (info.rule == rule) return info.waiver != nullptr ? info.waiver : "";
+  }
+  return "";
+}
+
+void PrintText(const std::vector<Finding>& findings, size_t files_scanned,
+               const std::string& diff_base) {
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << RuleName(f.rule) << "] "
+              << f.message << "\n";
+  }
+  const std::string scope =
+      diff_base.empty() ? "" : " (changed lines vs. " + diff_base + ")";
+  if (!findings.empty()) {
+    std::cout << "tdac_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " in " << files_scanned
+              << " files" << scope << "\n";
+  } else {
+    std::cout << "tdac_lint: OK (" << files_scanned << " files" << scope
+              << ")\n";
+  }
+}
+
+void PrintJson(const std::vector<Finding>& findings, size_t files_scanned,
+               const std::string& diff_base) {
+  std::cout << "{\n";
+  std::cout << "  \"version\": 1,\n";
+  std::cout << "  \"files_scanned\": " << files_scanned << ",\n";
+  std::cout << "  \"diff_base\": \"" << JsonEscape(diff_base) << "\",\n";
+  std::cout << "  \"count\": " << findings.size() << ",\n";
+  std::cout << "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::cout << (i == 0 ? "\n" : ",\n");
+    std::cout << "    {\"file\": \"" << JsonEscape(f.file)
+              << "\", \"line\": " << f.line << ", \"rule\": \""
+              << RuleName(f.rule) << "\", \"waiver\": \""
+              << WaiverTag(f.rule) << "\", \"message\": \""
+              << JsonEscape(f.message) << "\"}";
+  }
+  std::cout << (findings.empty() ? "]\n" : "\n  ]\n");
+  std::cout << "}\n";
+}
+
+int ListRules() {
+  for (const tdac_lint::RuleInfo& info : tdac_lint::Registry()) {
+    std::printf("%-14s %-18s %s\n", info.name,
+                info.waiver != nullptr ? info.waiver : "-", info.summary);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -648,25 +224,52 @@ int Usage() {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> explicit_files;
+  std::string format = "text";
+  std::string diff_base;
+  bool audit_waivers = false;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--help" || arg == "-h") return Usage();
-    if (arg == "--root") {
+    if (arg == "--list-rules") return ListRules();
+    if (arg == "--audit-waivers") {
+      audit_waivers = true;
+    } else if (arg == "--root") {
       if (a + 1 >= argc) return Usage();
       root = argv[++a];
-    } else if (StartsWith(arg, "--root=")) {
+    } else if (tdac_lint::StartsWith(arg, "--root=")) {
       root = arg.substr(7);
-    } else if (StartsWith(arg, "--")) {
+    } else if (arg == "--format") {
+      if (a + 1 >= argc) return Usage();
+      format = argv[++a];
+    } else if (tdac_lint::StartsWith(arg, "--format=")) {
+      format = arg.substr(9);
+    } else if (arg == "--diff") {
+      if (a + 1 >= argc) return Usage();
+      diff_base = argv[++a];
+    } else if (tdac_lint::StartsWith(arg, "--diff=")) {
+      diff_base = arg.substr(7);
+    } else if (tdac_lint::StartsWith(arg, "--")) {
       std::cerr << "tdac_lint: unknown flag: " << arg << "\n";
       return Usage();
     } else {
       explicit_files.push_back(arg);
     }
   }
+  if (format != "text" && format != "json") {
+    std::cerr << "tdac_lint: --format must be text or json\n";
+    return Usage();
+  }
   std::error_code ec;
   root = fs::canonical(root, ec);
   if (ec) {
     std::cerr << "tdac_lint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  std::map<std::string, std::set<int>> changed;
+  if (!diff_base.empty() && !ChangedLines(root, diff_base, &changed)) {
+    std::cerr << "tdac_lint: git diff against '" << diff_base
+              << "' failed (not a git checkout, or unknown ref)\n";
     return 2;
   }
 
@@ -687,7 +290,8 @@ int main(int argc, char** argv) {
       for (fs::recursive_directory_iterator it(d), end; it != end; ++it) {
         const std::string rel = RelPath(it->path(), root);
         if (it->is_directory() &&
-            (EndsWith(rel, "lint_fixtures") || StartsWith(rel, "build"))) {
+            (tdac_lint::EndsWith(rel, "lint_fixtures") ||
+             tdac_lint::StartsWith(rel, "build"))) {
           it.disable_recursion_pending();
           continue;
         }
@@ -703,40 +307,53 @@ int main(int argc, char** argv) {
   scans.reserve(files.size());
   for (const fs::path& p : files) {
     FileScan scan;
-    if (!LoadFile(p, RelPath(p, root), &scan)) {
+    if (!tdac_lint::LoadFile(p, RelPath(p, root), &scan)) {
       std::cerr << "tdac_lint: cannot read " << p << "\n";
       return 2;
     }
     scans.push_back(std::move(scan));
   }
 
-  UnorderedNames names;
-  for (const FileScan& s : scans) CollectUnorderedNames(s, &names);
+  LintContext context;
+  for (const FileScan& s : scans) {
+    if (tdac_lint::UnorderedRuleApplies(s.rel_path)) {
+      tdac_lint::CollectUnorderedNames(s, &context.unordered_names);
+    }
+    context.scopes.emplace(s.rel_path, tdac_lint::BuildScopeIndex(s));
+  }
 
   std::vector<Finding> findings;
   for (const FileScan& s : scans) {
-    CheckNodiscard(s, &findings);
-    CheckUnordered(s, names, &findings);
-    CheckRandom(s, &findings);
-    CheckThrow(s, &findings);
-    CheckClaimValue(s, &findings);
+    tdac_lint::RunRules(s, context, &findings);
   }
+  // The audit runs after every rule consulted Waived(): only then is
+  // "never suppressed anything" a fact rather than an ordering artifact.
+  if (audit_waivers) {
+    for (const FileScan& s : scans) {
+      tdac_lint::AuditWaivers(s, &findings);
+    }
+  }
+
+  if (!diff_base.empty()) {
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    auto it = changed.find(f.file);
+                                    return it == changed.end() ||
+                                           it->second.count(f.line) == 0;
+                                  }),
+                   findings.end());
+  }
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
-              return RuleName(a.rule) < RuleName(b.rule);
+              return std::string(RuleName(a.rule)) < RuleName(b.rule);
             });
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << RuleName(f.rule) << "] "
-              << f.message << "\n";
+  if (format == "json") {
+    PrintJson(findings, scans.size(), diff_base);
+  } else {
+    PrintText(findings, scans.size(), diff_base);
   }
-  if (!findings.empty()) {
-    std::cout << "tdac_lint: " << findings.size() << " finding"
-              << (findings.size() == 1 ? "" : "s") << " in " << scans.size()
-              << " files\n";
-    return 1;
-  }
-  std::cout << "tdac_lint: OK (" << scans.size() << " files)\n";
-  return 0;
+  return findings.empty() ? 0 : 1;
 }
