@@ -162,8 +162,9 @@ void BM_RestrictViewCached(benchmark::State& state) {
   tdac::RestrictionCache cache(&data.dataset);
   cache.Attributes(group);
   for (auto _ : state) {
-    const tdac::DatasetView& view = cache.Attributes(group);
-    benchmark::DoNotOptimize(view.num_claims());
+    const std::shared_ptr<const tdac::DatasetView> view =
+        cache.Attributes(group);
+    benchmark::DoNotOptimize(view->num_claims());
   }
 }
 BENCHMARK(BM_RestrictViewCached)->Arg(400)->Arg(2000);

@@ -17,6 +17,10 @@
 #   scripts/check.sh scenarios # scenario-generator contract + the edge-case
 #                             # regression suites under ASan+UBSan, plus a
 #                             # bench_scenario_matrix --smoke sweep
+#   scripts/check.sh serve    # serving-layer gate: the serve suites (both
+#                             # registrations, so TDAC_THREADS=8 included)
+#                             # plus the open-loop bench_serve_load run with
+#                             # its forced-overload phase (docs/serving.md)
 #
 # The sanitizer modes exist for the parallel execution layer
 # (src/common/thread_pool.*, parallel.*, and everything that fans out over
@@ -131,8 +135,28 @@ case "$mode" in
     echo "check.sh: scenarios OK"
     exit 0
     ;;
+  serve)
+    # The serving-layer gate (docs/serving.md): protocol/cache/engine/daemon
+    # suites — both ctest registrations, so the TDAC_THREADS=8 oversubscribed
+    # pass runs too — then bench_serve_load, whose built-in overload phase
+    # floods at 4x the admission limit and exits non-zero unless the engine
+    # sheds with labeled rejections and recovers cleanly afterwards.
+    build_dir=build
+    cmake -B "$build_dir" -S .
+    cmake --build "$build_dir" -j "$(nproc)" \
+      --target serve_test tdac_serve bench_serve_load
+    echo "== ctest (serve) =="
+    ctest --test-dir "$build_dir" --output-on-failure \
+      --timeout 300 -R 'serve_test'
+    echo "== bench_serve_load =="
+    serve_export="${TDAC_SERVE_EXPORT_DIR:-$build_dir/serve_export}"
+    mkdir -p "$serve_export"
+    "$build_dir/bench/bench_serve_load" --export-dir="$serve_export"
+    echo "check.sh: serve OK (JSON in $serve_export/BENCH_serve.json)"
+    exit 0
+    ;;
   *)
-    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|lint-fast|robust|crash|scenarios]" >&2
+    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|lint-fast|robust|crash|scenarios|serve]" >&2
     exit 2
     ;;
 esac

@@ -17,13 +17,16 @@ std::string_view StopReasonToString(StopReason reason) {
       return "Cancelled";
     case StopReason::kNonFinite:
       return "NonFinite";
+    case StopReason::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
 
 bool IsDegraded(StopReason reason) {
   return reason == StopReason::kDeadline || reason == StopReason::kCancelled ||
-         reason == StopReason::kNonFinite;
+         reason == StopReason::kNonFinite ||
+         reason == StopReason::kOverloaded;
 }
 
 StopReason CombineStopReasons(StopReason a, StopReason b) {

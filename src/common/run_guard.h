@@ -33,12 +33,19 @@ enum class StopReason {
   /// A non-finite value was caught by the numeric rails; the result was
   /// rolled back to the last finite iterate and/or sanitized.
   kNonFinite = 4,
+  /// The request was shed by admission control before any work ran: a
+  /// serving queue at capacity rejects instead of queueing unboundedly
+  /// (src/serve). There is no best-so-far result behind this reason —
+  /// rejection is immediate, so retrying later is always safe.
+  kOverloaded = 5,
 };
 
-/// "Converged", "MaxIterations", "Deadline", "Cancelled", "NonFinite".
+/// "Converged", "MaxIterations", "Deadline", "Cancelled", "NonFinite",
+/// "Overloaded".
 std::string_view StopReasonToString(StopReason reason);
 
-/// True for the degraded outcomes (kDeadline, kCancelled, kNonFinite).
+/// True for the degraded outcomes (kDeadline, kCancelled, kNonFinite,
+/// kOverloaded).
 bool IsDegraded(StopReason reason);
 
 /// The more severe of the two reasons (enum order doubles as severity),

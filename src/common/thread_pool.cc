@@ -34,6 +34,7 @@ bool ThreadPool::Enqueue(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
+    queued_.fetch_add(1, std::memory_order_release);
   }
   cv_.notify_one();
   return true;
@@ -46,8 +47,11 @@ bool ThreadPool::RunOneTask() {
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+    queued_.fetch_sub(1, std::memory_order_release);
   }
+  active_.fetch_add(1, std::memory_order_release);
   task();
+  active_.fetch_sub(1, std::memory_order_release);
   return true;
 }
 
@@ -60,8 +64,11 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_release);
     }
+    active_.fetch_add(1, std::memory_order_release);
     task();
+    active_.fetch_sub(1, std::memory_order_release);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef TDAC_COMMON_THREAD_POOL_H_
 #define TDAC_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -81,6 +82,22 @@ class ThreadPool {
   /// drain the pool instead of idling (used by ParallelFor).
   bool RunOneTask();
 
+  /// Tasks submitted but not yet started. Together with `active()` this is
+  /// the pool's instantaneous load — what a serving layer's admission
+  /// control compares against capacity before accepting more work. The two
+  /// counters are sampled independently (each is one atomic load), so
+  /// `queued() + active()` can transiently over- or under-count by one
+  /// per worker while a task moves between the states; exact accounting
+  /// needs a caller-side counter (see ServeEngine in src/serve/engine.h).
+  int queued() const {
+    return static_cast<int>(queued_.load(std::memory_order_acquire));
+  }
+
+  /// Tasks currently executing on a worker or a helping caller thread.
+  int active() const {
+    return static_cast<int>(active_.load(std::memory_order_acquire));
+  }
+
   /// The process-wide default pool, sized by `DefaultThreadCount()`.
   /// Constructed on first use; never destroyed (workers are detached-joined
   /// at process exit via static destruction order being irrelevant for a
@@ -106,6 +123,11 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+
+  /// Depth counters mirroring queue_/execution state; kept as atomics so
+  /// queued()/active() never take the pool lock on a monitoring path.
+  std::atomic<int64_t> queued_{0};
+  std::atomic<int64_t> active_{0};
 };
 
 }  // namespace tdac

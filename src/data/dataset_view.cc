@@ -1,5 +1,6 @@
 #include "data/dataset_view.h"
 
+#include <tuple>
 #include <utility>
 
 #include "common/logging.h"
@@ -104,8 +105,8 @@ Dataset DatasetView::Materialize() const {
   return out;
 }
 
-RestrictionCache::RestrictionCache(const DatasetLike* parent)
-    : parent_(parent) {
+RestrictionCache::RestrictionCache(const DatasetLike* parent, size_t capacity)
+    : parent_(parent), capacity_(capacity) {
   TDAC_CHECK(parent_ != nullptr) << "RestrictionCache requires a parent";
 }
 
@@ -120,31 +121,78 @@ size_t RestrictionCache::KeyHash::operator()(const Key& key) const {
   return static_cast<size_t>(h);
 }
 
-const DatasetView& RestrictionCache::ViewFor(Key key) {
-  Entry* entry;
-  const Key* stored;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = memo_.try_emplace(std::move(key));
-    if (inserted) it->second = std::make_unique<Entry>();
-    entry = it->second.get();
-    // References to map elements survive rehashing, and entries are never
-    // erased, so the stored key can be read outside the lock.
-    stored = &it->first;
-  }
+void RestrictionCache::Build(Entry* entry) {
   std::call_once(entry->once, [&]() {
-    if (stored->object_axis) {
-      entry->view = std::make_unique<DatasetView>(
-          *parent_, DatasetView::ObjectAxis{}, stored->ids);
+    if (entry->key.object_axis) {
+      entry->view = std::make_shared<const DatasetView>(
+          *parent_, DatasetView::ObjectAxis{}, entry->key.ids);
     } else {
-      entry->view = std::make_unique<DatasetView>(*parent_, stored->ids);
+      entry->view =
+          std::make_shared<const DatasetView>(*parent_, entry->key.ids);
     }
     built_.fetch_add(1, std::memory_order_acq_rel);
   });
-  return *entry->view;
 }
 
-const DatasetView& RestrictionCache::Attributes(
+void RestrictionCache::EvictIfOver(const Entry* keep) {
+  while (memo_.size() > capacity_) {
+    // LRU scan with a deterministic tie-break on the key itself, so which
+    // view gets dropped never depends on hash-table order. The map is at
+    // most `capacity_ + 1` entries here, and eviction only runs on inserts
+    // past capacity, so the linear scan is not a hot path.
+    auto victim = memo_.end();
+    // lint: unordered-ok (min-scan with total-order tie-break)
+    for (auto it = memo_.begin(); it != memo_.end(); ++it) {
+      if (it->second.get() == keep) continue;
+      if (victim == memo_.end()) {
+        victim = it;
+        continue;
+      }
+      const Entry& a = *it->second;
+      const Entry& b = *victim->second;
+      if (a.last_used < b.last_used ||
+          (a.last_used == b.last_used &&
+           std::tie(a.key.object_axis, a.key.ids) <
+               std::tie(b.key.object_axis, b.key.ids))) {
+        victim = it;
+      }
+    }
+    if (victim == memo_.end()) return;  // only `keep` is resident
+    memo_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const DatasetView> RestrictionCache::ViewFor(Key key) {
+  if (capacity_ == 0) {
+    // Uncached mode: build a fresh view per request, touch no shared state
+    // beyond the counters.
+    auto entry = std::make_shared<Entry>(std::move(key));
+    Build(entry.get());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    return entry->view;
+  }
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      ++hits_;
+    } else {
+      ++misses_;
+      auto fresh = std::make_shared<Entry>(std::move(key));
+      it = memo_.emplace(fresh->key, fresh).first;
+      EvictIfOver(fresh.get());
+    }
+    entry = it->second;
+    entry->last_used = ++tick_;
+  }
+  Build(entry.get());
+  return entry->view;
+}
+
+std::shared_ptr<const DatasetView> RestrictionCache::Attributes(
     const std::vector<AttributeId>& attributes) {
   Key key;
   key.object_axis = false;
@@ -152,7 +200,7 @@ const DatasetView& RestrictionCache::Attributes(
   return ViewFor(std::move(key));
 }
 
-const DatasetView& RestrictionCache::Objects(
+std::shared_ptr<const DatasetView> RestrictionCache::Objects(
     const std::vector<ObjectId>& objects) {
   Key key;
   key.object_axis = true;
@@ -162,6 +210,16 @@ const DatasetView& RestrictionCache::Objects(
 
 size_t RestrictionCache::views_built() const {
   return built_.load(std::memory_order_acquire);
+}
+
+RestrictionCache::Stats RestrictionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.live = memo_.size();
+  return out;
 }
 
 }  // namespace tdac

@@ -95,28 +95,61 @@ class DatasetView final : public DatasetLike {
   mutable std::vector<std::vector<int32_t>> by_source_;
 };
 
-/// \brief A small per-parent cache of restriction views, so the repeated
-/// groups produced by TD-AC refinement rounds and exhaustive/greedy
-/// partition search share one view instead of re-filtering per request.
+/// \brief A bounded per-parent cache of restriction views, so the repeated
+/// groups produced by TD-AC refinement rounds, exhaustive/greedy partition
+/// search, and long-lived serving share one view instead of re-filtering
+/// per request.
 ///
 /// Same memo discipline as `GroupRunner`: a mutex guards the map structure
 /// only, and each entry carries a once-latch, so a view requested from
 /// many threads at once is built exactly once, off the map lock, while
-/// distinct subsets build in parallel. Returned references stay valid for
-/// the cache's lifetime; the cache must not outlive `parent`.
+/// distinct subsets build in parallel.
+///
+/// Views are handed out as `shared_ptr`, which is what makes the capacity
+/// cap safe: evicting an entry drops the *cache's* reference, and the view
+/// is destroyed only once the last caller lets go of its handle — an
+/// eviction can never dangle a view somebody is still reading. Batch
+/// callers (one run, cache dies with the run) use the default unbounded
+/// capacity and behave exactly as before the cap existed; a long-lived
+/// server caps the cache so adversarial traffic over many distinct
+/// restrictions cannot grow it without bound (capacity 0 disables caching
+/// entirely — every request builds a fresh view).
+///
+/// The cache must not outlive `parent`, and neither must any view handle
+/// it returned.
 class RestrictionCache {
  public:
-  /// `parent` is not owned and must outlive the cache.
-  explicit RestrictionCache(const DatasetLike* parent);
+  /// Default capacity: no cap (every distinct restriction stays cached).
+  static constexpr size_t kUnbounded = static_cast<size_t>(-1);
+
+  /// Hit/miss/eviction counters, snapshotted atomically by `stats()`.
+  struct Stats {
+    size_t hits = 0;       // requests served by an already-built view
+    size_t misses = 0;     // requests that had to build (or rebuild) one
+    size_t evictions = 0;  // views dropped by the capacity cap
+    size_t live = 0;       // entries currently resident
+  };
+
+  /// `parent` is not owned and must outlive the cache. `capacity` caps the
+  /// number of resident views: when an insert exceeds it, the
+  /// least-recently-used entry is evicted. 0 means uncached.
+  explicit RestrictionCache(const DatasetLike* parent,
+                            size_t capacity = kUnbounded);
 
   /// The (shared) view of `parent` restricted to `attributes`.
-  const DatasetView& Attributes(const std::vector<AttributeId>& attributes);
+  std::shared_ptr<const DatasetView> Attributes(
+      const std::vector<AttributeId>& attributes);
 
   /// The (shared) view of `parent` restricted to `objects`.
-  const DatasetView& Objects(const std::vector<ObjectId>& objects);
+  std::shared_ptr<const DatasetView> Objects(
+      const std::vector<ObjectId>& objects);
 
-  /// Number of distinct views actually built (cache misses).
+  /// Number of distinct views actually built (cache misses, including
+  /// rebuilds of previously evicted subsets).
   size_t views_built() const;
+
+  /// Counter snapshot (consistent: taken under the cache lock).
+  Stats stats() const;
 
  private:
   /// Cache key: the restriction axis plus the (storage-space) id subset.
@@ -135,16 +168,35 @@ class RestrictionCache {
     size_t operator()(const Key& key) const;
   };
 
+  /// One memo slot. The entry owns a copy of its key (so the builder and
+  /// the LRU list never read a map node that eviction may have erased) and
+  /// is itself shared: an entry evicted mid-build finishes building for
+  /// the threads already holding it, then dies with the last holder.
   struct Entry {
+    explicit Entry(Key k) : key(std::move(k)) {}
+    const Key key;
     std::once_flag once;
-    std::unique_ptr<DatasetView> view;
+    std::shared_ptr<const DatasetView> view;
+    uint64_t last_used = 0;  // LRU tick, written under the cache lock
   };
 
-  const DatasetView& ViewFor(Key key);
+  std::shared_ptr<const DatasetView> ViewFor(Key key);
+
+  /// Builds the entry's view exactly once (off the lock).
+  void Build(Entry* entry);
+
+  /// Drops least-recently-used entries until `memo_` fits the capacity.
+  /// Caller holds `mutex_`. `keep` is never evicted.
+  void EvictIfOver(const Entry* keep);
 
   const DatasetLike* parent_;
-  mutable std::mutex mutex_;  // guards memo_'s structure only
-  std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash> memo_;
+  const size_t capacity_;
+  mutable std::mutex mutex_;  // guards memo_, the LRU state, and counters
+  std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> memo_;
+  uint64_t tick_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
   std::atomic<size_t> built_{0};
 };
 

@@ -46,7 +46,9 @@ Result<const GroupRunner::GroupRun*> GroupRunner::Run(
   // one finishes; the computation itself runs outside the map mutex so
   // distinct groups evaluate in parallel.
   std::call_once(entry->once, [&]() {
-    const DatasetView& restricted = restrictions_.Attributes(group);
+    const std::shared_ptr<const DatasetView> view =
+        restrictions_.Attributes(group);
+    const DatasetView& restricted = *view;
     GroupRun& run = entry->run;
     run.claim_counts.assign(static_cast<size_t>(data_->num_sources()), 0);
     if (restricted.num_claims() > 0) {

@@ -109,7 +109,8 @@ class GroupRunner {
 
   /// Zero-copy restriction views, shared across Run/Score/Aggregate; the
   /// run memo keys match the cache keys, so a group's view is built at
-  /// most once and stays alive for the runner's lifetime.
+  /// most once (the runner uses the cache's default unbounded capacity —
+  /// a run touches a bounded set of groups and the cache dies with it).
   RestrictionCache restrictions_;
 
   std::mutex mutex_;  // guards memo_'s structure only

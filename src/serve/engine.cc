@@ -1,0 +1,334 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "data/dataset_io.h"
+#include "data/dataset_like.h"
+#include "td/registry.h"
+#include "tdac/tdac.h"
+
+namespace tdac {
+namespace {
+
+/// Deadline handed to the RunGuard when a request's budget was already
+/// spent in the queue: small enough that the guard trips at its first
+/// check, so the run produces exactly one labeled best-so-far iterate
+/// instead of running unbounded.
+constexpr double kExpiredDeadlineMs = 1e-3;
+
+uint64_t MixHash(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  for (const char c : s) h = MixHash(h, static_cast<uint64_t>(c) + 1);
+  return MixHash(h, s.size());
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+uint64_t ServeOptionsHash(const ServeRequest& request) {
+  uint64_t h = 0x7464616320736572ULL;  // arbitrary domain tag
+  h = HashString(h, request.algorithm);
+  h = MixHash(h, static_cast<uint64_t>(request.mode));
+  return h;
+}
+
+ServeEngine::ServeEngine(const ServeOptions& options)
+    : options_(options),
+      admission_limit_(std::max(1, options.workers) +
+                       std::max(0, options.queue_capacity)),
+      results_(options.result_cache_capacity),
+      // workers + 1 because a ThreadPool of size n spawns n - 1 threads
+      // (size 1 runs Submit inline on the caller, which would turn Submit
+      // into a blocking call here).
+      pool_(std::make_unique<ThreadPool>(std::max(1, options.workers) + 1)) {}
+
+ServeEngine::~ServeEngine() { Shutdown(); }
+
+void ServeEngine::Submit(ServeRequest request, Callback callback) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point now = Clock::now();
+
+  // Admission control: claim a slot, then re-check. fetch_add before the
+  // comparison makes the bound exact under races — two late submitters
+  // both see the counter past the limit and both back out.
+  const bool closed = shutdown_.load(std::memory_order_acquire);
+  const int occupied = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (closed || occupied > admission_limit_) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ServeResponse response;
+    response.id = request.id;
+    response.outcome = ServeResponse::Outcome::kRejected;
+    response.stop_reason =
+        closed ? StopReason::kCancelled : StopReason::kOverloaded;
+    response.latency_ms = MillisSince(now);
+    callback(response);
+    return;
+  }
+
+  Admitted admitted;
+  admitted.request = std::move(request);
+  admitted.callback = std::move(callback);
+  admitted.admitted_at = now;
+  admitted.deadline_ms = admitted.request.deadline_ms > 0
+                             ? admitted.request.deadline_ms
+                             : options_.default_deadline_ms;
+
+  auto shared = std::make_shared<Admitted>(std::move(admitted));
+  pool_->Submit([this, shared]() { Execute(std::move(*shared)); });
+}
+
+ServeResponse ServeEngine::ExecuteBlocking(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  Submit(std::move(request), [&promise](const ServeResponse& response) {
+    promise.set_value(response);
+  });
+  return future.get();
+}
+
+void ServeEngine::Drain() {
+  shutdown_.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this]() {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ServeEngine::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  cancel_.Cancel();
+  Drain();
+}
+
+std::shared_ptr<ServeEngine::DatasetEntry> ServeEngine::DatasetFor(
+    const std::string& path) {
+  std::shared_ptr<DatasetEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    std::shared_ptr<DatasetEntry>& slot = datasets_[path];
+    if (slot == nullptr) slot = std::make_shared<DatasetEntry>();
+    slot->last_used = ++dataset_tick_;
+    entry = slot;
+    const size_t capacity = std::max<size_t>(1, options_.dataset_cache_capacity);
+    while (datasets_.size() > capacity) {
+      auto victim = datasets_.end();
+      // lint: unordered-ok (min-scan with total-order tie-break)
+      for (auto it = datasets_.begin(); it != datasets_.end(); ++it) {
+        if (it->second == entry) continue;  // never evict the fresh lookup
+        if (victim == datasets_.end() ||
+            it->second->last_used < victim->second->last_used ||
+            (it->second->last_used == victim->second->last_used &&
+             it->first < victim->first)) {
+          victim = it;
+        }
+      }
+      if (victim == datasets_.end()) break;
+      datasets_.erase(victim);  // holders of the shared entry keep it alive
+    }
+  }
+
+  // Load outside the map lock; concurrent requests for the same path block
+  // here (not on the map) and exactly one performs the load.
+  std::call_once(entry->once, [&entry, &path, this]() {
+    Result<Dataset> loaded = LoadDataset(path);
+    if (!loaded.ok()) {
+      entry->status = loaded.status();
+      return;
+    }
+    entry->dataset = std::make_shared<Dataset>(loaded.MoveValue());
+    entry->restrictions = std::make_unique<RestrictionCache>(
+        entry->dataset.get(), options_.restriction_cache_capacity);
+    entry->fingerprint = DatasetFingerprint(*entry->dataset);
+  });
+  return entry;
+}
+
+void ServeEngine::Respond(const Admitted& admitted, ServeResponse response) {
+  response.id = admitted.request.id;
+  response.latency_ms = MillisSince(admitted.admitted_at);
+  switch (response.outcome) {
+    case ServeResponse::Outcome::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (response.stop_reason == StopReason::kDeadline) {
+        deadline_degraded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case ServeResponse::Outcome::kError:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeResponse::Outcome::kRejected:
+      // Admission rejections never reach Respond; kept for completeness.
+      break;
+  }
+  admitted.callback(response);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  drain_cv_.notify_all();
+}
+
+void ServeEngine::Execute(Admitted admitted) {
+  const ServeRequest& request = admitted.request;
+
+  const std::shared_ptr<DatasetEntry> entry = DatasetFor(request.claims_path);
+  if (!entry->status.ok()) {
+    ServeResponse response;
+    response.outcome = ServeResponse::Outcome::kError;
+    response.status = entry->status;
+    Respond(admitted, response);
+    return;
+  }
+
+  // Resolve the DatasetLike this request actually runs on: the whole
+  // dataset or a cached zero-copy restriction. The fingerprint is taken
+  // over that exact data, so restrictions get their own cache identity.
+  std::shared_ptr<const DatasetView> view;
+  const DatasetLike* data = entry->dataset.get();
+  uint64_t fingerprint = entry->fingerprint;
+  if (!request.attributes.empty()) {
+    view = entry->restrictions->Attributes(request.attributes);
+    data = view.get();
+    fingerprint = DatasetFingerprint(*view);
+  }
+  const ResultCacheKey key{fingerprint, ServeOptionsHash(request)};
+
+  if (!request.no_cache) {
+    if (std::shared_ptr<const TruthDiscoveryResult> hit = results_.Get(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      ServeResponse response;
+      response.outcome = ServeResponse::Outcome::kOk;
+      response.stop_reason = hit->stop_reason;
+      response.items = hit->predicted.size();
+      response.iterations = hit->iterations;
+      response.cached = true;
+      Respond(admitted, response);
+      return;
+    }
+
+    // Coalescing: an identical execution already in flight adopts this
+    // request as a follower — one run, N responses. The follower's worker
+    // slot frees immediately; its admission slot is released when the
+    // leader responds on its behalf.
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      auto [it, inserted] = flights_.try_emplace(
+          std::make_pair(key.fingerprint, key.options_hash));
+      if (!inserted) {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        it->second->followers.push_back(std::move(admitted));
+        return;
+      }
+      it->second = std::make_shared<Flight>();
+    }
+  }
+
+  executions_.fetch_add(1, std::memory_order_relaxed);
+
+  // Deadline propagation: queue wait already spent part of the budget;
+  // only the remainder reaches the guard. An exhausted budget still runs
+  // one guarded iterate (kExpiredDeadlineMs) — exit-3 semantics, a labeled
+  // best-so-far answer rather than a stall or an unbounded run.
+  RunBudget budget;
+  if (admitted.deadline_ms > 0) {
+    const double remaining =
+        admitted.deadline_ms - MillisSince(admitted.admitted_at);
+    budget.deadline_ms = std::max(remaining, kExpiredDeadlineMs);
+  }
+  if (request.iteration_budget > 0) {
+    budget.max_total_iterations = request.iteration_budget;
+  }
+  const RunGuard guard(budget, &cancel_);
+
+  // Synthetic-work hook for saturation tests and the load generator:
+  // cancellation-aware, deadline-aware sleep in small slices.
+  if (options_.execution_delay_ms > 0) {
+    const Clock::time_point start = Clock::now();
+    while (MillisSince(start) < options_.execution_delay_ms) {
+      if (guard.ShouldStop().has_value()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  Result<TruthDiscoveryResult> outcome = [&]() -> Result<TruthDiscoveryResult> {
+    TDAC_ASSIGN_OR_RETURN(std::unique_ptr<TruthDiscovery> base,
+                          MakeAlgorithm(request.algorithm));
+    if (request.mode == ServeMode::kTdac) {
+      TdacOptions tdac_options;
+      tdac_options.base = base.get();
+      tdac_options.threads = std::max(1, request.threads);
+      const Tdac tdac_algo(tdac_options);
+      return tdac_algo.Discover(*data, guard);
+    }
+    return base->Discover(*data, guard);
+  }();
+
+  // Finish the flight first so late duplicates start a fresh run instead
+  // of attaching to a completed one.
+  std::vector<Admitted> followers;
+  if (!request.no_cache) {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = flights_.find(std::make_pair(key.fingerprint, key.options_hash));
+    if (it != flights_.end()) {
+      followers = std::move(it->second->followers);
+      flights_.erase(it);
+    }
+  }
+
+  ServeResponse response;
+  if (!outcome.ok()) {
+    response.outcome = ServeResponse::Outcome::kError;
+    response.status = outcome.status();
+  } else {
+    response.outcome = ServeResponse::Outcome::kOk;
+    response.stop_reason = outcome->stop_reason;
+    response.items = outcome->predicted.size();
+    response.iterations = outcome->iterations;
+    // Only clean results are cached: a degraded best-so-far iterate under
+    // one budget is not the answer under another.
+    if (!request.no_cache && !outcome->degraded()) {
+      results_.Put(key,
+                   std::make_shared<const TruthDiscoveryResult>(*outcome));
+    }
+  }
+
+  Respond(admitted, response);
+  for (const Admitted& follower : followers) {
+    ServeResponse shared = response;
+    shared.coalesced = true;
+    Respond(follower, shared);
+  }
+}
+
+ServeEngine::Stats ServeEngine::stats() const {
+  Stats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.executions = executions_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.deadline_degraded = deadline_degraded_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.in_flight = in_flight_.load(std::memory_order_acquire);
+  out.pool_queued = pool_->queued();
+  out.pool_active = pool_->active();
+  out.result_cache = results_.stats();
+  return out;
+}
+
+}  // namespace tdac

@@ -1,0 +1,264 @@
+#include "serve/protocol.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/checkpoint.h"
+#include "common/string_util.h"
+
+namespace tdac {
+namespace {
+
+/// Splits a line into whitespace-separated tokens (runs of spaces/tabs
+/// collapse; Split() would keep empties).
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) out.push_back(std::move(token));
+  return out;
+}
+
+/// Splits "key=value" (value may be empty); returns false when '=' is
+/// missing.
+bool SplitKeyValue(const std::string& token, std::string* key,
+                   std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed request line: " + what);
+}
+
+[[nodiscard]] Result<double> ParseDouble(const std::string& value,
+                                         const std::string& key) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Malformed("bad number for " + key + ": '" + value + "'");
+  }
+  return parsed;
+}
+
+[[nodiscard]] Result<int64_t> ParseInt(const std::string& value,
+                                       const std::string& key) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Malformed("bad integer for " + key + ": '" + value + "'");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+[[nodiscard]] Result<StopReason> ParseStopReason(const std::string& name) {
+  for (int i = static_cast<int>(StopReason::kConverged);
+       i <= static_cast<int>(StopReason::kOverloaded); ++i) {
+    const auto reason = static_cast<StopReason>(i);
+    if (name == StopReasonToString(reason)) return reason;
+  }
+  return Status::InvalidArgument("unknown stop reason '" + name + "'");
+}
+
+[[nodiscard]] Result<StatusCode> ParseStatusCode(const std::string& name) {
+  for (int i = static_cast<int>(StatusCode::kOk);
+       i <= static_cast<int>(StatusCode::kNotImplemented); ++i) {
+    const auto code = static_cast<StatusCode>(i);
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return Status::InvalidArgument("unknown status code '" + name + "'");
+}
+
+}  // namespace
+
+std::string_view ServeModeToString(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kBase:
+      return "base";
+    case ServeMode::kTdac:
+      return "tdac";
+  }
+  return "unknown";
+}
+
+Result<ServeCommand> ParseCommandLine(std::string_view line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0][0] == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+
+  ServeCommand command;
+  const std::string& word = tokens[0];
+  if (word == "run") {
+    command.kind = ServeCommand::Kind::kRun;
+  } else if (word == "stats") {
+    command.kind = ServeCommand::Kind::kStats;
+  } else if (word == "ping") {
+    command.kind = ServeCommand::Kind::kPing;
+  } else if (word == "shutdown") {
+    command.kind = ServeCommand::Kind::kShutdown;
+  } else {
+    return Malformed("unknown command '" + word + "'");
+  }
+
+  ServeRequest& run = command.run;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    std::string key, value;
+    if (!SplitKeyValue(tokens[i], &key, &value)) {
+      return Malformed("expected key=value, got '" + tokens[i] + "'");
+    }
+    if (key == "id") {
+      command.id = value;
+    } else if (command.kind != ServeCommand::Kind::kRun) {
+      return Malformed("'" + word + "' takes only id=, got '" + key + "'");
+    } else if (key == "claims") {
+      run.claims_path = value;
+    } else if (key == "algorithm") {
+      run.algorithm = value;
+    } else if (key == "mode") {
+      if (value == "base") {
+        run.mode = ServeMode::kBase;
+      } else if (value == "tdac") {
+        run.mode = ServeMode::kTdac;
+      } else {
+        return Malformed("unknown mode '" + value + "'");
+      }
+    } else if (key == "attrs") {
+      for (const std::string& part : Split(value, ',')) {
+        TDAC_ASSIGN_OR_RETURN(int64_t id, ParseInt(part, "attrs"));
+        if (id < 0) return Malformed("negative attribute id in attrs");
+        run.attributes.push_back(static_cast<AttributeId>(id));
+      }
+    } else if (key == "deadline-ms") {
+      TDAC_ASSIGN_OR_RETURN(run.deadline_ms, ParseDouble(value, key));
+    } else if (key == "iteration-budget") {
+      TDAC_ASSIGN_OR_RETURN(run.iteration_budget, ParseInt(value, key));
+    } else if (key == "threads") {
+      TDAC_ASSIGN_OR_RETURN(int64_t threads, ParseInt(value, key));
+      run.threads = static_cast<int>(threads);
+    } else if (key == "no-cache") {
+      run.no_cache = value != "0";
+    } else {
+      return Malformed("unknown key '" + key + "'");
+    }
+  }
+
+  if (command.id.empty()) return Malformed("missing id=");
+  if (command.kind == ServeCommand::Kind::kRun) {
+    if (run.claims_path.empty()) return Malformed("run requires claims=");
+    run.id = command.id;
+  }
+  return command;
+}
+
+std::string FormatRunLine(const ServeRequest& request) {
+  std::ostringstream out;
+  out << "run id=" << request.id << " claims=" << request.claims_path
+      << " algorithm=" << request.algorithm
+      << " mode=" << ServeModeToString(request.mode);
+  if (!request.attributes.empty()) {
+    out << " attrs=";
+    for (size_t i = 0; i < request.attributes.size(); ++i) {
+      out << (i > 0 ? "," : "") << request.attributes[i];
+    }
+  }
+  if (request.deadline_ms > 0) out << " deadline-ms=" << request.deadline_ms;
+  if (request.iteration_budget > 0) {
+    out << " iteration-budget=" << request.iteration_budget;
+  }
+  if (request.threads != 1) out << " threads=" << request.threads;
+  if (request.no_cache) out << " no-cache=1";
+  return out.str();
+}
+
+std::string FormatResponseLine(const ServeResponse& response) {
+  std::ostringstream out;
+  switch (response.outcome) {
+    case ServeResponse::Outcome::kOk:
+      out << "ok id=" << response.id
+          << " stop=" << StopReasonToString(response.stop_reason)
+          << " items=" << response.items
+          << " iterations=" << response.iterations
+          << " ms=" << response.latency_ms
+          << " cached=" << (response.cached ? 1 : 0)
+          << " coalesced=" << (response.coalesced ? 1 : 0)
+          << " degraded=" << (response.degraded() ? 1 : 0);
+      break;
+    case ServeResponse::Outcome::kRejected:
+      out << "reject id=" << response.id
+          << " reason=" << StopReasonToString(response.stop_reason)
+          << " ms=" << response.latency_ms;
+      break;
+    case ServeResponse::Outcome::kError:
+      out << "error id=" << response.id
+          << " code=" << StatusCodeToString(response.status.code())
+          << " ms=" << response.latency_ms
+          << " message=" << EncodeToken(response.status.message());
+      break;
+  }
+  return out.str();
+}
+
+Result<ServeResponse> ParseResponseLine(std::string_view line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return Status::NotFound("blank line");
+  const std::string& word = tokens[0];
+  ServeResponse response;
+  if (word == "ok") {
+    response.outcome = ServeResponse::Outcome::kOk;
+  } else if (word == "reject") {
+    response.outcome = ServeResponse::Outcome::kRejected;
+  } else if (word == "error") {
+    response.outcome = ServeResponse::Outcome::kError;
+  } else {
+    return Status::NotFound("not a terminal response line: '" + word + "'");
+  }
+
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    std::string key, value;
+    if (!SplitKeyValue(tokens[i], &key, &value)) {
+      return Status::InvalidArgument("malformed response token '" + tokens[i] +
+                                     "'");
+    }
+    if (key == "id") {
+      response.id = value;
+    } else if (key == "stop" || key == "reason") {
+      TDAC_ASSIGN_OR_RETURN(response.stop_reason, ParseStopReason(value));
+    } else if (key == "items") {
+      TDAC_ASSIGN_OR_RETURN(int64_t items, ParseInt(value, key));
+      response.items = static_cast<size_t>(items);
+    } else if (key == "iterations") {
+      TDAC_ASSIGN_OR_RETURN(int64_t iters, ParseInt(value, key));
+      response.iterations = static_cast<int>(iters);
+    } else if (key == "ms") {
+      TDAC_ASSIGN_OR_RETURN(response.latency_ms, ParseDouble(value, key));
+    } else if (key == "cached") {
+      response.cached = value != "0";
+    } else if (key == "coalesced") {
+      response.coalesced = value != "0";
+    } else if (key == "degraded") {
+      // Derived field; accepted and ignored on parse.
+    } else if (key == "code") {
+      TDAC_ASSIGN_OR_RETURN(code, ParseStatusCode(value));
+    } else if (key == "message") {
+      TDAC_ASSIGN_OR_RETURN(message, DecodeToken(value));
+    } else {
+      return Status::InvalidArgument("unknown response key '" + key + "'");
+    }
+  }
+  if (response.id.empty()) {
+    return Status::InvalidArgument("response line missing id=");
+  }
+  if (response.outcome == ServeResponse::Outcome::kError) {
+    response.status = Status(code, std::move(message));
+  }
+  return response;
+}
+
+}  // namespace tdac

@@ -1,0 +1,150 @@
+#ifndef TDAC_SERVE_PROTOCOL_H_
+#define TDAC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/run_guard.h"
+#include "common/status.h"
+#include "data/ids.h"
+
+namespace tdac {
+
+/// \brief The line-delimited request/response protocol spoken by
+/// `tdac_serve` (docs/serving.md).
+///
+/// One request per line, space-separated `key=value` tokens after the
+/// command word; one response line per request, tagged with the request id
+/// so responses may arrive out of order. Free-text fields (error messages)
+/// are token-escaped via EncodeToken, so a line never contains embedded
+/// whitespace surprises and the format stays trivially splittable.
+///
+///     run id=r1 claims=data.csv algorithm=Accu mode=tdac attrs=0,1,2
+///         deadline-ms=250 iteration-budget=1000 threads=2 no-cache=1
+///     stats id=s1
+///     ping id=p1
+///     shutdown id=q1
+///
+///     ok id=r1 stop=Converged items=1203 iterations=7 ms=41.3
+///         cached=0 coalesced=0 degraded=0
+///     reject id=r9 reason=Overloaded ms=0.02
+///     error id=r3 code=NotFound message=<escaped>
+///     pong id=p1
+///     stats id=s1 <counter>=<value>...
+
+/// How a `run` request executes its algorithm.
+enum class ServeMode {
+  kBase = 0,  // the registered algorithm, directly
+  kTdac = 1,  // wrapped in TD-AC (partition, per-group base runs)
+};
+
+std::string_view ServeModeToString(ServeMode mode);
+
+/// One `run` request.
+struct ServeRequest {
+  /// Client-chosen correlation id; echoed on the response line. Must be
+  /// non-empty and free of whitespace.
+  std::string id;
+
+  /// CSV claims file, loaded through the engine's dataset cache.
+  std::string claims_path;
+
+  /// Registered algorithm name (tdac_cli algorithms).
+  std::string algorithm = "Accu";
+
+  ServeMode mode = ServeMode::kBase;
+
+  /// Optional attribute restriction: run on the zero-copy view of these
+  /// attribute ids instead of the whole dataset. Empty = whole dataset.
+  std::vector<AttributeId> attributes;
+
+  /// Per-request wall-clock budget, measured from *admission* (queue wait
+  /// counts against it, which is what keeps a slow run from blocking the
+  /// queue). <= 0 defers to the engine default; 0 there too means
+  /// unlimited.
+  double deadline_ms = 0.0;
+
+  /// Per-request cap on total outer iterations. <= 0 means unlimited.
+  int64_t iteration_budget = 0;
+
+  /// Intra-request parallelism (threads handed to TD-AC's sweep etc.).
+  /// Serving concurrency comes from the engine's worker pool, so this
+  /// defaults to the exact serial path.
+  int threads = 1;
+
+  /// Skip the result cache for this request (both lookup and fill).
+  bool no_cache = false;
+};
+
+/// Parsed form of one request line.
+struct ServeCommand {
+  enum class Kind { kRun = 0, kStats, kPing, kShutdown };
+  Kind kind = Kind::kPing;
+  /// Correlation id (all commands carry one; defaulted when omitted).
+  std::string id;
+  /// Payload for kRun.
+  ServeRequest run;
+};
+
+/// Parses one request line. Blank lines and `#` comments yield NotFound
+/// (callers skip those); anything else malformed yields InvalidArgument
+/// naming the offending token.
+[[nodiscard]] Result<ServeCommand> ParseCommandLine(std::string_view line);
+
+/// Serializes a `run` request back into its line form (load generators,
+/// tests; ParseCommandLine round-trips it).
+std::string FormatRunLine(const ServeRequest& request);
+
+/// Terminal outcome of one request. Exactly one response is produced per
+/// submitted request — this is the admission-control contract the
+/// saturation test pins.
+struct ServeResponse {
+  enum class Outcome {
+    kOk = 0,      // a result exists (possibly degraded best-so-far)
+    kRejected,    // shed by admission control before any work ran
+    kError,       // the request itself failed (bad path, unknown algorithm)
+  };
+
+  std::string id;
+  Outcome outcome = Outcome::kOk;
+
+  /// kError details (code + message).
+  Status status;
+
+  /// kOk: why the run stopped (kDeadline etc. label best-so-far results).
+  /// kRejected: always kOverloaded (or kCancelled during shutdown).
+  StopReason stop_reason = StopReason::kConverged;
+
+  /// kOk: data items resolved.
+  size_t items = 0;
+
+  /// kOk: outer iterations executed.
+  int iterations = 0;
+
+  /// Submission-to-response latency as observed by the engine.
+  double latency_ms = 0.0;
+
+  /// Served from the fingerprint-keyed result cache.
+  bool cached = false;
+
+  /// Attached to an identical in-flight execution instead of running.
+  bool coalesced = false;
+
+  bool degraded() const {
+    return outcome == Outcome::kOk && IsDegraded(stop_reason);
+  }
+};
+
+/// One response line ("ok ..." / "reject ..." / "error ...").
+std::string FormatResponseLine(const ServeResponse& response);
+
+/// Inverse of FormatResponseLine (tests, load generators driving the
+/// daemon over a pipe). "pong"/"stats" lines yield NotFound.
+[[nodiscard]] Result<ServeResponse> ParseResponseLine(std::string_view line);
+
+}  // namespace tdac
+
+#endif  // TDAC_SERVE_PROTOCOL_H_

@@ -1,0 +1,64 @@
+#include "serve/result_cache.h"
+
+#include <tuple>
+#include <utility>
+
+namespace tdac {
+
+std::shared_ptr<const TruthDiscoveryResult> ServeResultCache::Get(
+    const ResultCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  it->second.last_used = ++tick_;
+  return it->second.result;
+}
+
+void ServeResultCache::Put(const ResultCacheKey& key,
+                           std::shared_ptr<const TruthDiscoveryResult> result) {
+  if (capacity_ == 0 || result == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = memo_[key];
+  entry.result = std::move(result);
+  entry.last_used = ++tick_;
+  while (memo_.size() > capacity_) {
+    // Same LRU-scan-with-deterministic-tie-break discipline as
+    // RestrictionCache: the map is tiny (capacity + 1) and eviction runs
+    // only on inserts past capacity.
+    auto victim = memo_.end();
+    // lint: unordered-ok (min-scan with total-order tie-break)
+    for (auto it = memo_.begin(); it != memo_.end(); ++it) {
+      if (it->first == key) continue;  // never evict the fresh insert
+      if (victim == memo_.end()) {
+        victim = it;
+        continue;
+      }
+      if (it->second.last_used < victim->second.last_used ||
+          (it->second.last_used == victim->second.last_used &&
+           std::tie(it->first.fingerprint, it->first.options_hash) <
+               std::tie(victim->first.fingerprint,
+                        victim->first.options_hash))) {
+        victim = it;
+      }
+    }
+    if (victim == memo_.end()) return;
+    memo_.erase(victim);
+    ++evictions_;
+  }
+}
+
+ServeResultCache::Stats ServeResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.live = memo_.size();
+  return out;
+}
+
+}  // namespace tdac

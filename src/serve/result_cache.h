@@ -1,0 +1,91 @@
+#ifndef TDAC_SERVE_RESULT_CACHE_H_
+#define TDAC_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "td/truth_discovery.h"
+
+namespace tdac {
+
+/// \brief Identity of a `run` request's answer: the dataset (or
+/// restriction) content plus the algorithm configuration.
+///
+/// `fingerprint` is DatasetFingerprint over the exact DatasetLike the run
+/// executes on — restricting to a different attribute subset changes the
+/// fingerprint, so restrictions never collide with the full dataset.
+/// `options_hash` covers algorithm name and mode but deliberately NOT
+/// resource limits (deadline, iteration budget, threads): a *clean* result
+/// is deterministic and thread-count-invariant by the library's contract,
+/// so requests that differ only in budgets share one cached answer.
+/// Degraded results are never cached (ServeEngine policy) — a best-so-far
+/// iterate under one budget is not the answer under another.
+struct ResultCacheKey {
+  uint64_t fingerprint = 0;
+  uint64_t options_hash = 0;
+
+  bool operator==(const ResultCacheKey& other) const {
+    return fingerprint == other.fingerprint &&
+           options_hash == other.options_hash;
+  }
+};
+
+/// \brief A bounded LRU cache of completed truth-discovery results, shared
+/// across serving requests.
+///
+/// Values are immutable and shared: a Get handed out survives eviction for
+/// as long as the caller holds it. Capacity 0 disables the cache (every
+/// Get misses, Put drops). All methods are thread-safe.
+class ServeResultCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t live = 0;
+  };
+
+  explicit ServeResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The cached result for `key`, or nullptr (recording a miss). A hit
+  /// refreshes the entry's LRU position.
+  std::shared_ptr<const TruthDiscoveryResult> Get(const ResultCacheKey& key);
+
+  /// Inserts (or refreshes) `key`; evicts the least-recently-used entry
+  /// when the capacity is exceeded. No-op at capacity 0.
+  void Put(const ResultCacheKey& key,
+           std::shared_ptr<const TruthDiscoveryResult> result);
+
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const ResultCacheKey& key) const {
+      // splitmix64-style mix of the two halves.
+      uint64_t h = key.fingerprint ^ (key.options_hash * 0x9e3779b97f4a7c15ULL);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct Entry {
+    std::shared_ptr<const TruthDiscoveryResult> result;
+    uint64_t last_used = 0;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<ResultCacheKey, Entry, KeyHash> memo_;
+  uint64_t tick_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace tdac
+
+#endif  // TDAC_SERVE_RESULT_CACHE_H_

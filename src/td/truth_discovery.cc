@@ -67,7 +67,7 @@ Result<TruthDiscoveryResult> DeserializeTruthDiscoveryResult(
     return malformed("bad R record");
   }
   if (stop < static_cast<int>(StopReason::kConverged) ||
-      stop > static_cast<int>(StopReason::kNonFinite)) {
+      stop > static_cast<int>(StopReason::kOverloaded)) {
     return malformed("unknown stop reason " + std::to_string(stop));
   }
   result.converged = converged != 0;

@@ -507,10 +507,10 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
   // Each group is restricted exactly once, to a zero-copy view served by
   // the shared cache; the same view instance feeds both the base run here
   // and the trust-weighting merge below.
-  std::vector<const DatasetView*> views(groups.size(), nullptr);
+  std::vector<std::shared_ptr<const DatasetView>> views(groups.size());
   auto run_group = [&](size_t g) -> Result<TruthDiscoveryResult> {
-    const DatasetView& restricted = cache->Attributes(groups[g]);
-    views[g] = &restricted;
+    views[g] = cache->Attributes(groups[g]);
+    const DatasetView& restricted = *views[g];
     if (restricted.num_claims() == 0) {
       return TruthDiscoveryResult{};
     }
@@ -541,7 +541,7 @@ Result<TdacReport> Tdac::RunPass(const DatasetLike& data,
           // Restored groups still serve the trust merge below from their
           // (cached, zero-copy) views.
           for (size_t g = 0; g < groups_done; ++g) {
-            views[g] = &cache->Attributes(groups[g]);
+            views[g] = cache->Attributes(groups[g]);
           }
         } else {
           TDAC_LOG_WARNING << name_

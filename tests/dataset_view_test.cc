@@ -1,6 +1,7 @@
 #include "data/dataset_view.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -153,26 +154,90 @@ TEST(DatasetViewTest, MaterializeEqualsCopyPath) {
 TEST(RestrictionCacheTest, SameSubsetSharesOneView) {
   Dataset d = SmallDataset();
   RestrictionCache cache(&d);
-  const DatasetView& a = cache.Attributes({0, 2});
-  const DatasetView& b = cache.Attributes({0, 2});
-  EXPECT_EQ(&a, &b);
+  const auto a = cache.Attributes({0, 2});
+  const auto b = cache.Attributes({0, 2});
+  EXPECT_EQ(a.get(), b.get());
   EXPECT_EQ(cache.views_built(), 1u);
-  const DatasetView& c = cache.Attributes({0});
-  EXPECT_NE(&a, &c);
+  const auto c = cache.Attributes({0});
+  EXPECT_NE(a.get(), c.get());
   EXPECT_EQ(cache.views_built(), 2u);
+  const RestrictionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.live, 2u);
 }
 
 TEST(RestrictionCacheTest, AxesDoNotCollide) {
   Dataset d = SmallDataset();
   RestrictionCache cache(&d);
-  const DatasetView& attrs = cache.Attributes({0, 1});
-  const DatasetView& objects = cache.Objects({0, 1});
-  EXPECT_NE(&attrs, &objects);
+  const auto attrs = cache.Attributes({0, 1});
+  const auto objects = cache.Objects({0, 1});
+  EXPECT_NE(attrs.get(), objects.get());
   EXPECT_EQ(cache.views_built(), 2u);
   // Objects {0,1} is the full object set, attributes {0,1} is a strict
   // subset — same ids, different axis, different contents.
-  EXPECT_EQ(objects.num_claims(), d.num_claims());
-  EXPECT_LT(attrs.num_claims(), d.num_claims());
+  EXPECT_EQ(objects->num_claims(), d.num_claims());
+  EXPECT_LT(attrs->num_claims(), d.num_claims());
+}
+
+TEST(RestrictionCacheTest, CapacityOneEvictsLeastRecentlyUsed) {
+  Dataset d = SmallDataset();
+  RestrictionCache cache(&d, /*capacity=*/1);
+  const auto a1 = cache.Attributes({0});
+  EXPECT_EQ(cache.views_built(), 1u);
+  // Repeat request: served from the single slot, no rebuild.
+  const auto a2 = cache.Attributes({0});
+  EXPECT_EQ(a1.get(), a2.get());
+  EXPECT_EQ(cache.views_built(), 1u);
+  // A different subset evicts {0}; requesting {0} again must rebuild.
+  const auto b = cache.Attributes({1});
+  EXPECT_EQ(cache.views_built(), 2u);
+  const auto a3 = cache.Attributes({0});
+  EXPECT_EQ(cache.views_built(), 3u);
+  EXPECT_NE(a3.get(), a1.get());
+  // The evicted view handle stays fully usable as long as we hold it.
+  EXPECT_EQ(a1->num_claims(), a3->num_claims());
+  EXPECT_EQ(b->claim_ids().size(), b->num_claims());
+  const RestrictionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.live, 1u);
+}
+
+TEST(RestrictionCacheTest, CapacityZeroDisablesCaching) {
+  Dataset d = SmallDataset();
+  RestrictionCache cache(&d, /*capacity=*/0);
+  const auto a = cache.Attributes({0, 2});
+  const auto b = cache.Attributes({0, 2});
+  // Every request builds a fresh view; both handles stay independently
+  // valid and identical in content.
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.views_built(), 2u);
+  EXPECT_EQ(a->num_claims(), b->num_claims());
+  const RestrictionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.live, 0u);
+}
+
+TEST(RestrictionCacheTest, LruPrefersEvictingTheColdestEntry) {
+  Dataset d = SmallDataset();
+  RestrictionCache cache(&d, /*capacity=*/2);
+  const auto a = cache.Attributes({0});
+  const auto b = cache.Attributes({1});
+  // Touch {0} so {1} is the least recently used when {2} is inserted.
+  cache.Attributes({0});
+  cache.Attributes({2});
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // {0} must still be resident (no rebuild), {1} must rebuild.
+  const size_t built_before = cache.views_built();
+  cache.Attributes({0});
+  EXPECT_EQ(cache.views_built(), built_before);
+  cache.Attributes({1});
+  EXPECT_EQ(cache.views_built(), built_before + 1);
 }
 
 TEST(RestrictionCacheTest, ConcurrentRequestsBuildEachViewOnce) {
@@ -195,7 +260,9 @@ TEST(RestrictionCacheTest, ConcurrentRequestsBuildEachViewOnce) {
     threads.emplace_back([&, t]() {
       for (int round = 0; round < 50; ++round) {
         const auto& subset = subsets[(t + round) % subsets.size()];
-        const DatasetView& view = cache.Attributes(subset);
+        const std::shared_ptr<const DatasetView> view_ptr =
+            cache.Attributes(subset);
+        const DatasetView& view = *view_ptr;
         size_t expected = 0;
         for (int32_t id : d.claim_ids()) {
           const Claim& c = d.claim(static_cast<size_t>(id));

@@ -15,10 +15,11 @@
 //       [--checkpoint-dir=DIR --checkpoint-interval-ms=N --resume]
 //
 // Exit codes: 0 clean run, 1 error, 2 usage, 3 degraded (the run hit the
-// deadline / iteration budget or was interrupted with Ctrl-C; outputs hold
-// the best result found so far, labeled with the stop reason). A degraded
-// run with --checkpoint-dir leaves a final checkpoint behind, so rerunning
-// the same command with --resume continues from where it stopped.
+// deadline / iteration budget or was stopped by SIGINT/SIGTERM; outputs
+// hold the best result found so far, labeled with the stop reason). A
+// degraded run with --checkpoint-dir leaves a final checkpoint behind, so
+// rerunning the same command with --resume continues from where it
+// stopped.
 
 #include <csignal>
 #include <iostream>
@@ -47,13 +48,15 @@ namespace {
 
 using tdac::Status;
 
-// Flipped by Ctrl-C. CancellationToken::Cancel() is a single lock-free
-// atomic store, so calling it from the signal handler is safe; every
-// iterative loop notices the token at its next guard check and unwinds
-// with its best-so-far result.
+// Flipped by Ctrl-C or SIGTERM (a supervisor's polite stop is honored the
+// same way as an interactive interrupt). CancellationToken::Cancel() is a
+// single lock-free atomic store, so calling it from the signal handler is
+// safe; every iterative loop notices the token at its next guard check and
+// unwinds with its best-so-far result — and, with --checkpoint-dir, a
+// final checkpoint for --resume.
 tdac::CancellationToken g_interrupt;
 
-extern "C" void HandleSigint(int /*signum*/) { g_interrupt.Cancel(); }
+extern "C" void HandleStopSignal(int /*signum*/) { g_interrupt.Cancel(); }
 
 struct Flags {
   std::string command;
@@ -108,7 +111,8 @@ Flags ParseFlags(int argc, char** argv) {
          "           [--deadline-ms=N] [--iteration-budget=N]\n"
          "           [--checkpoint-dir=DIR] [--checkpoint-interval-ms=N] "
          "[--resume]\n"
-         "exit codes: 0 ok, 1 error, 2 usage, 3 degraded (deadline/budget/^C;\n"
+         "exit codes: 0 ok, 1 error, 2 usage, 3 degraded "
+         "(deadline/budget/SIGINT/SIGTERM;\n"
          "            outputs hold the labeled best-so-far result, and with\n"
          "            --checkpoint-dir a final checkpoint for --resume)\n";
   std::exit(2);
@@ -273,7 +277,8 @@ int CmdRun(const Flags& flags) {
   if (flags.Has("iteration-budget")) {
     budget.max_total_iterations = std::stoll(flags.Get("iteration-budget"));
   }
-  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
   const tdac::RunGuard guard(budget, &g_interrupt);
   tdac::StopReason worst = tdac::StopReason::kConverged;
 

@@ -1,0 +1,233 @@
+// tdac_serve — long-lived serving daemon for the library.
+//
+// Speaks the line-delimited protocol of src/serve/protocol.h over
+// stdin/stdout (one request per line, one tagged response line per
+// request, responses possibly out of order), so it can sit behind a pipe,
+// a socket wrapper, or the bench_serve_load generator unchanged:
+//
+//   tdac_serve [--workers=N] [--queue-capacity=N] [--result-cache=N]
+//              [--dataset-cache=N] [--restriction-cache=N]
+//              [--default-deadline-ms=N] [--execution-delay-ms=N]
+//
+// Requests are admitted against a bounded queue (workers + queue-capacity
+// in flight); everything past that is rejected immediately with
+// `reject ... reason=Overloaded` instead of queueing unboundedly, so an
+// overloaded daemon stays responsive and recovers the moment load drops.
+// Per-request deadlines (deadline-ms=) are measured from admission and
+// produce labeled best-so-far results when they expire (docs/serving.md).
+//
+// Exit codes mirror tdac_cli: 0 clean (stdin EOF or `shutdown`, all
+// outstanding work completed), 3 terminated by SIGINT/SIGTERM (in-flight
+// runs were cancelled and answered with best-so-far results before exit).
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "serve/engine.h"
+#include "serve/protocol.h"
+
+namespace {
+
+// Signal plumbing: the handler only does async-signal-safe work — set the
+// flag and flip the engine's cancellation token (one lock-free atomic
+// store each). The main loop notices on its next getline return; in-flight
+// runs notice at their next guard check and unwind with best-so-far
+// results. Installed via sigaction *without* SA_RESTART so a blocking
+// stdin read returns EINTR instead of resuming.
+volatile std::sig_atomic_t g_signalled = 0;
+tdac::ServeEngine* g_engine = nullptr;
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  g_signalled = 1;
+  if (g_engine != nullptr) g_engine->cancellation()->Cancel();
+}
+
+void InstallStopHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: wake the blocked stdin read
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+// Reads one request line straight off fd 0 instead of through std::cin:
+// iostreams fold a signal-interrupted read into eofbit, but the loop below
+// must tell "the pipe closed" (clean exit 0) apart from "a signal woke the
+// read" (cancel + exit 3), and only errno can make that call.
+enum class ReadStatus { kLine, kEof, kInterrupted };
+
+ReadStatus ReadLineFromStdin(std::string* line) {
+  line->clear();
+  for (;;) {
+    char ch = 0;
+    const ssize_t n = read(STDIN_FILENO, &ch, 1);
+    if (n == 1) {
+      if (ch == '\n') return ReadStatus::kLine;
+      line->push_back(ch);
+    } else if (n == 0) {
+      // Pipe closed; a final unterminated line still gets served.
+      return line->empty() ? ReadStatus::kEof : ReadStatus::kLine;
+    } else if (errno == EINTR) {
+      return ReadStatus::kInterrupted;
+    } else {
+      return ReadStatus::kEof;
+    }
+  }
+}
+
+// All response lines (emitted from engine worker threads) and control
+// replies (main thread) go through one mutex so lines never interleave.
+std::mutex g_stdout_mutex;
+
+void EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_stdout_mutex);
+  std::cout << line << "\n" << std::flush;
+}
+
+std::string FormatStatsLine(const std::string& id,
+                            const tdac::ServeEngine::Stats& stats) {
+  std::ostringstream out;
+  out << "stats id=" << id << " submitted=" << stats.submitted
+      << " rejected=" << stats.rejected << " completed=" << stats.completed
+      << " executions=" << stats.executions
+      << " cache-hits=" << stats.cache_hits
+      << " coalesced=" << stats.coalesced
+      << " deadline-degraded=" << stats.deadline_degraded
+      << " errors=" << stats.errors << " in-flight=" << stats.in_flight
+      << " pool-queued=" << stats.pool_queued
+      << " pool-active=" << stats.pool_active
+      << " result-cache-live=" << stats.result_cache.live
+      << " result-cache-evictions=" << stats.result_cache.evictions;
+  return out.str();
+}
+
+[[noreturn]] void Usage() {
+  std::cerr << "usage: tdac_serve [--workers=N] [--queue-capacity=N]\n"
+               "                  [--result-cache=N] [--dataset-cache=N]\n"
+               "                  [--restriction-cache=N]\n"
+               "                  [--default-deadline-ms=N]\n"
+               "                  [--execution-delay-ms=N]\n"
+               "reads one request per line on stdin (see src/serve/protocol.h),"
+               "\nwrites one tagged response line per request on stdout.\n"
+               "exit codes: 0 clean shutdown, 2 usage, 3 stopped by "
+               "SIGINT/SIGTERM\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdac::ServeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) Usage();
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    try {
+      if (key == "workers") {
+        options.workers = std::stoi(value);
+      } else if (key == "queue-capacity") {
+        options.queue_capacity = std::stoi(value);
+      } else if (key == "result-cache") {
+        options.result_cache_capacity = std::stoul(value);
+      } else if (key == "dataset-cache") {
+        options.dataset_cache_capacity = std::stoul(value);
+      } else if (key == "restriction-cache") {
+        options.restriction_cache_capacity = std::stoul(value);
+      } else if (key == "default-deadline-ms") {
+        options.default_deadline_ms = std::stod(value);
+      } else if (key == "execution-delay-ms") {
+        options.execution_delay_ms = std::stod(value);
+      } else {
+        Usage();
+      }
+    } catch (const std::exception&) {
+      Usage();
+    }
+  }
+  if (options.workers < 1 || options.queue_capacity < 0) Usage();
+
+  tdac::ServeEngine engine(options);
+  g_engine = &engine;
+  InstallStopHandlers();
+  std::cerr << "tdac_serve: ready (workers=" << options.workers
+            << " queue-capacity=" << options.queue_capacity
+            << " admitting " << options.workers + options.queue_capacity
+            << " in flight)\n";
+
+  bool clean_shutdown = false;
+  std::string line;
+  while (g_signalled == 0) {
+    const ReadStatus read_status = ReadLineFromStdin(&line);
+    if (read_status == ReadStatus::kEof) break;
+    if (read_status == ReadStatus::kInterrupted) {
+      // A signal woke the read. The handler normally ran before the
+      // syscall returned EINTR, but some runtimes (TSan's interceptors)
+      // defer it until the next library call — wait boundedly for the
+      // flag so the exit path agrees with what actually happened, then
+      // let the loop condition decide (a spurious EINTR just resumes).
+      for (int i = 0; g_signalled == 0 && i < 1000; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    auto command = tdac::ParseCommandLine(line);
+    if (!command.ok()) {
+      if (command.status().code() == tdac::StatusCode::kNotFound) {
+        continue;  // blank line or comment
+      }
+      // A malformed line has no parseable id to tag; answer with id=?
+      // so the client's reader stays in sync.
+      tdac::ServeResponse response;
+      response.id = "?";
+      response.outcome = tdac::ServeResponse::Outcome::kError;
+      response.status = command.status();
+      EmitLine(tdac::FormatResponseLine(response));
+      continue;
+    }
+    switch (command->kind) {
+      case tdac::ServeCommand::Kind::kRun:
+        engine.Submit(command->run, [](const tdac::ServeResponse& response) {
+          EmitLine(tdac::FormatResponseLine(response));
+        });
+        break;
+      case tdac::ServeCommand::Kind::kStats:
+        EmitLine(FormatStatsLine(command->id, engine.stats()));
+        break;
+      case tdac::ServeCommand::Kind::kPing:
+        EmitLine("pong id=" + command->id);
+        break;
+      case tdac::ServeCommand::Kind::kShutdown:
+        engine.Drain();  // outstanding responses flush before the ack
+        EmitLine("bye id=" + command->id);
+        clean_shutdown = true;
+        break;
+    }
+    if (clean_shutdown) break;
+  }
+
+  if (g_signalled != 0) {
+    // The handler already cancelled the engine token; Shutdown() drains
+    // the (now fast-unwinding) in-flight runs, each answering with its
+    // labeled best-so-far result before the process exits.
+    engine.Shutdown();
+    g_engine = nullptr;
+    std::cerr << "tdac_serve: stopped by signal; in-flight runs answered "
+                 "with best-so-far results\n";
+    return 3;
+  }
+  engine.Drain();
+  g_engine = nullptr;
+  std::cerr << "tdac_serve: clean shutdown\n";
+  return 0;
+}
