@@ -1,0 +1,271 @@
+#!/bin/sh
+# Kill-the-daemon chaos loop against the real supervised serving stack.
+#
+#   scripts/chaos_loop.sh [build_dir] [iterations] [seed]
+#
+# The shell-level twin of tests/serve_chaos_test.cc, exercised the way an
+# operator would run it: tdac_supervise fronting tdac_serve with a request
+# journal, stdin fed through a FIFO the supervisor holds open across worker
+# generations, and SIGKILLs delivered to the pid-file pid at seeded
+# pseudo-random points. The contract checked is the one docs/serving.md
+# pins:
+#
+#   - every submitted request chain ends with at least one `ok` response,
+#   - no request id ever receives two *different* answers (duplicates from
+#     journal re-emission are flagged replayed=1 and normalize identical),
+#   - every response is byte-identical (modulo volatile ms=/cached=/
+#     coalesced=/replayed= provenance tokens) to the same request through
+#     an uninterrupted, journal-less daemon,
+#   - after a clean shutdown the journal has compacted to empty and no
+#     *.tmp from journal compaction or checkpointing is left behind.
+#
+# Clients retry unanswered requests under FRESH ids (`<base>rN`): the
+# journal guarantees at-most-once execution per admitted id, so resending
+# the same id could race a replay into two unflagged answers — fresh ids
+# keep the per-id dedup assertion exact (same reasoning as the C++ test).
+#
+# The kill schedule is a deterministic LCG seeded from $3 (default 1), so
+# a failing run replays exactly. Set TDAC_CHAOS_EXPORT_DIR to keep the
+# trace (requests sent, raw responses, kill log, final journal, supervisor
+# stderr) for CI artifact upload — it is exported on failure too.
+set -eu
+
+build="${1:-build}"
+iterations="${2:-20}"
+seed="${3:-1}"
+
+serve="$build/tools/tdac_serve"
+supervise="$build/tools/tdac_supervise"
+cli="$build/tools/tdac_cli"
+for bin in "$serve" "$supervise" "$cli"; do
+  if [ ! -x "$bin" ]; then
+    echo "chaos_loop.sh: binary not found: $bin" >&2
+    echo "usage: scripts/chaos_loop.sh [build_dir] [iterations] [seed]" >&2
+    exit 2
+  fi
+done
+case "$serve" in /*) ;; *) serve="$(pwd)/$serve" ;; esac
+case "$supervise" in /*) ;; *) supervise="$(pwd)/$supervise" ;; esac
+case "$cli" in /*) ;; *) cli="$(pwd)/$cli" ;; esac
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/tdac_chaos_loop.XXXXXX")"
+super_pid=""
+
+export_trace() {
+  if [ -n "${TDAC_CHAOS_EXPORT_DIR:-}" ]; then
+    mkdir -p "$TDAC_CHAOS_EXPORT_DIR"
+    for f in baseline.txt responses.txt sent.txt kills.log journal.log \
+             super.err; do
+      if [ -f "$work/$f" ]; then
+        cp "$work/$f" "$TDAC_CHAOS_EXPORT_DIR/" || true
+      fi
+    done
+  fi
+}
+cleanup() {
+  export_trace
+  [ -n "$super_pid" ] && kill "$super_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "chaos_loop.sh: FAIL: $1" >&2
+  exit 1
+}
+
+state=$seed
+next_random() {
+  state=$(( (state * 1103515245 + 12345) % 2147483648 ))
+  echo "$state"
+}
+
+claims="$work/claims.csv"
+journal="$work/journal.log"
+pidfile="$work/worker.pid"
+ckpt="$work/ckpt"
+resp="$work/responses.txt"
+sent="$work/sent.txt"
+mkdir -p "$ckpt"
+: > "$sent"
+
+echo "chaos_loop.sh: generating dataset (ds2, 300 objects)"
+"$cli" generate --dataset=ds2 --objects=300 --seed=7 \
+  --out-claims="$claims" --out-truth="$work/truth.csv" > /dev/null
+
+# The j-th request *content* class; ids are supplied per send so retries
+# and the baseline replay the same four classes.
+request_line() {
+  rq_id="$1"
+  rq_cls="$2"
+  rq="run id=$rq_id claims=$claims algorithm=Accu"
+  case "$rq_cls" in
+    1) rq="$rq attrs=0,1" ;;
+    2) rq="$rq mode=tdac" ;;
+    3) rq="$rq attrs=0" ;;
+  esac
+  printf '%s' "$rq"
+}
+
+# Shared response normalizer: drop the volatile provenance tokens; with
+# strip_id also drop id= so chaos responses compare against the baseline.
+awk_norm='
+function norm(line, strip_id,    n, f, i, out) {
+  n = split(line, f, " ")
+  out = ""
+  for (i = 1; i <= n; i++) {
+    if (f[i] ~ /^(ms|cached|coalesced|replayed)=/) continue
+    if (strip_id && f[i] ~ /^id=/) continue
+    out = out (out == "" ? "" : " ") f[i]
+  }
+  return out
+}'
+
+echo "chaos_loop.sh: recording uninterrupted journal-less baseline"
+{
+  j=0
+  while [ "$j" -lt 4 ]; do
+    printf '%s\n' "$(request_line "base$j" "$j")"
+    j=$((j + 1))
+  done
+  printf 'shutdown id=q\n'
+} | "$serve" --workers=2 --queue-capacity=8 \
+  > "$work/baseline_raw.txt" 2> /dev/null \
+  || fail "baseline daemon exited non-zero"
+awk "$awk_norm"'
+/^ok id=base/ { print substr($2, 8), norm($0, 1) }
+' "$work/baseline_raw.txt" > "$work/baseline.txt"
+[ "$(wc -l < "$work/baseline.txt")" -eq 4 ] \
+  || fail "baseline produced $(wc -l < "$work/baseline.txt")/4 ok responses"
+
+echo "chaos_loop.sh: starting supervised daemon ($iterations kill cycles)"
+mkfifo "$work/in.fifo"
+"$supervise" --backoff-initial-ms=20 --backoff-max-ms=200 --stable-ms=100 \
+  --seed="$seed" --crash-loop-limit=100 --pid-file="$pidfile" -- \
+  "$serve" --workers=2 --queue-capacity=8 --execution-delay-ms=25 \
+  --journal="$journal" --checkpoint-dir="$ckpt" \
+  < "$work/in.fifo" > "$resp" 2> "$work/super.err" &
+super_pid=$!
+# Holding the write end here keeps the FIFO open across worker deaths.
+exec 9> "$work/in.fifo"
+
+kills=0
+i=0
+while [ "$i" -lt "$iterations" ]; do
+  i=$((i + 1))
+  j=0
+  while [ "$j" -lt 4 ]; do
+    id="k${i}x${j}"
+    printf '%s %s\n' "$id" "$j" >> "$sent"
+    printf '%s\n' "$(request_line "$id" "$j")" >&9
+    j=$((j + 1))
+  done
+  sleep "$(awk "BEGIN { printf \"%.3f\", (5 + $(next_random) % 80) / 1000 }")"
+  pid="$(cat "$pidfile" 2>/dev/null || true)"
+  # Guard against a recycled pid: only SIGKILL something that is still a
+  # tdac_serve worker.
+  if [ -n "$pid" ] && ps -o args= -p "$pid" 2>/dev/null \
+       | grep -q tdac_serve; then
+    if kill -KILL "$pid" 2>/dev/null; then
+      kills=$((kills + 1))
+      printf 'iteration %s: SIGKILL worker %s\n' "$i" "$pid" \
+        >> "$work/kills.log"
+    fi
+  fi
+done
+
+# Drain every request chain: poll for its ok response, retrying unanswered
+# requests under fresh ids (see header comment for why never the same id).
+wait_chain() {
+  base_id="$1"
+  cls="$2"
+  cur="$base_id"
+  attempt=0
+  while [ "$attempt" -lt 20 ]; do
+    polls=0
+    while [ "$polls" -lt 80 ]; do
+      if grep -q "^ok id=$cur " "$resp"; then
+        return 0
+      fi
+      polls=$((polls + 1))
+      sleep 0.05
+    done
+    attempt=$((attempt + 1))
+    cur="${base_id}r${attempt}"
+    printf '%s %s\n' "$cur" "$cls" >> "$sent"
+    printf '%s\n' "$(request_line "$cur" "$cls")" >&9
+  done
+  fail "request chain $base_id never got an ok response"
+}
+
+i=0
+while [ "$i" -lt "$iterations" ]; do
+  i=$((i + 1))
+  j=0
+  while [ "$j" -lt 4 ]; do
+    wait_chain "k${i}x${j}" "$j"
+    j=$((j + 1))
+  done
+done
+
+printf 'shutdown id=q\n' >&9
+exec 9>&-
+waited=0
+while kill -0 "$super_pid" 2>/dev/null && [ "$waited" -lt 600 ]; do
+  sleep 0.1
+  waited=$((waited + 1))
+done
+kill -0 "$super_pid" 2>/dev/null \
+  && fail "supervisor still running 60s after shutdown"
+status=0
+wait "$super_pid" || status=$?
+super_pid=""
+[ "$status" -eq 0 ] || fail "supervisor exited $status after clean shutdown"
+grep -q '^bye' "$resp" || fail "no bye line after shutdown"
+
+# Response contract: per-id dedup and baseline equivalence, checked over
+# the full raw transcript (replayed duplicates must normalize identical).
+awk "$awk_norm"'
+FILENAME ~ /baseline\.txt$/ {
+  cls = $1
+  line = $0
+  sub(/^[0-9]+ /, "", line)
+  base[cls] = line
+  next
+}
+FILENAME ~ /sent\.txt$/ { cls_of[$1] = $2; next }
+/^ok id=/ {
+  id = substr($2, 4)
+  if (!(id in cls_of)) {
+    print "FAIL: ok response for an id never sent: " id
+    bad = 1
+    next
+  }
+  w = norm($0, 0)
+  if (!((id SUBSEP w) in seen)) {
+    seen[id, w] = 1
+    if (++distinct[id] > 1) {
+      print "FAIL: id " id " received two different answers"
+      bad = 1
+    }
+  }
+  s = norm($0, 1)
+  if (s != base[cls_of[id]]) {
+    print "FAIL: response for " id " diverges from baseline class " \
+          cls_of[id]
+    print "  got:  " s
+    print "  want: " base[cls_of[id]]
+    bad = 1
+  }
+}
+END { exit bad }
+' "$work/baseline.txt" "$sent" "$resp" \
+  || fail "response transcript violates the dedup/baseline contract"
+
+[ "$kills" -gt 0 ] || fail "no worker was ever killed; widen the window"
+[ ! -s "$journal" ] || fail "journal did not compact to empty on shutdown"
+leftover="$(find "$work" -name '*.tmp' | head -n 1)"
+[ -z "$leftover" ] || fail "torn temp file left behind: $leftover"
+
+echo "chaos_loop.sh: OK ($iterations iterations, $kills SIGKILLs," \
+  "$(wc -l < "$sent") requests, all chains answered once)"

@@ -21,6 +21,13 @@
 #                             # registrations, so TDAC_THREADS=8 included)
 #                             # plus the open-loop bench_serve_load run with
 #                             # its forced-overload phase (docs/serving.md)
+#   scripts/check.sh chaos    # crash-tolerant serving gate: journal replay,
+#                             # protocol fuzz, and the supervised SIGKILL
+#                             # chaos suites under ASan with
+#                             # TDAC_CRASH_ITERATIONS=20, then the
+#                             # shell-level chaos_loop.sh pass; exports the
+#                             # replay trace and fuzz corpus for CI
+#                             # artifact upload
 #
 # The sanitizer modes exist for the parallel execution layer
 # (src/common/thread_pool.*, parallel.*, and everything that fans out over
@@ -135,6 +142,40 @@ case "$mode" in
     echo "check.sh: scenarios OK"
     exit 0
     ;;
+  chaos)
+    # The crash-tolerant serving gate (docs/serving.md): the journal unit
+    # suite, the protocol fuzz corpus, and the supervised kill-the-worker
+    # chaos harness, all under ASan so a replay that resurrects freed
+    # memory fails twice, then the shell-level chaos loop against the
+    # freshly built daemon + supervisor. TDAC_CRASH_ITERATIONS raises the
+    # seeded SIGKILL cycles to 20 (the local ctest default stays low);
+    # the fuzz corpus and the journal-replay trace land in chaos_export/
+    # (override with TDAC_CHAOS_EXPORT_DIR) for CI artifact upload.
+    build_dir=build-asan
+    cmake -B "$build_dir" -S . -DTDAC_SANITIZE=address
+    cmake --build "$build_dir" -j "$(nproc)"
+    chaos_export="${TDAC_CHAOS_EXPORT_DIR:-$build_dir/chaos_export}"
+    # Absolutize: the ctest-spawned tests and chaos_loop.sh run from their
+    # own working directories.
+    case "$chaos_export" in
+      /*) ;;
+      *) chaos_export="$(pwd)/$chaos_export" ;;
+    esac
+    mkdir -p "$chaos_export/fuzz" "$chaos_export/trace"
+    echo "== ctest (chaos) =="
+    TDAC_CRASH_ITERATIONS=20 \
+    TDAC_FUZZ_EXPORT_DIR="$chaos_export/fuzz" \
+    ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}" \
+    UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}" \
+      ctest --test-dir "$build_dir" --output-on-failure \
+        --timeout 1200 \
+        -R 'serve_journal_test|serve_protocol_fuzz_test|serve_chaos_test'
+    echo "== chaos_loop.sh =="
+    TDAC_CHAOS_EXPORT_DIR="$chaos_export/trace" \
+      scripts/chaos_loop.sh "$build_dir" 20
+    echo "check.sh: chaos OK (trace + fuzz corpus in $chaos_export)"
+    exit 0
+    ;;
   serve)
     # The serving-layer gate (docs/serving.md): protocol/cache/engine/daemon
     # suites — both ctest registrations, so the TDAC_THREADS=8 oversubscribed
@@ -156,7 +197,7 @@ case "$mode" in
     exit 0
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|lint-fast|robust|crash|scenarios|serve]" >&2
+    echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|lint|lint-fast|robust|crash|scenarios|serve|chaos]" >&2
     exit 2
     ;;
 esac

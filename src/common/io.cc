@@ -39,9 +39,12 @@ Status FsyncDir(const std::string& dir) {
   return status;
 }
 
+}  // namespace
+
 /// write(2) the whole buffer in bounded chunks, applying the injector's
 /// write-level fault modes per chunk.
-Status WriteAll(int fd, std::string_view data, const std::string& path) {
+Status WriteFileDescriptor(int fd, std::string_view data,
+                           const std::string& path) {
   constexpr size_t kChunk = 1 << 16;
   size_t offset = 0;
   while (offset < data.size()) {
@@ -93,8 +96,6 @@ Status WriteAll(int fd, std::string_view data, const std::string& path) {
   return Status::OK();
 }
 
-}  // namespace
-
 std::string AtomicWriteTempPath(const std::string& path) {
   return path + ".tmp";
 }
@@ -119,7 +120,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return Errno("cannot open for writing", temp);
 
-  Status status = WriteAll(fd, contents, temp);
+  Status status = WriteFileDescriptor(fd, contents, temp);
   if (status.ok() && ::fsync(fd) != 0) {
     status = Errno("fsync failed", temp);
   }

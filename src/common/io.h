@@ -38,6 +38,17 @@ namespace tdac {
 /// The deterministic temp-file name AtomicWriteFile uses for `path`.
 std::string AtomicWriteTempPath(const std::string& path);
 
+/// write(2)s the whole buffer to an already-open descriptor, in bounded
+/// chunks, retrying EINTR. This is AtomicWriteFile's write loop exposed for
+/// the one caller that legitimately appends instead of atomically
+/// replacing: the serving request journal (src/serve/journal.cc), whose
+/// records are individually CRC-framed so torn appends are detected on
+/// replay rather than prevented up front. Routes through the same
+/// IoFaultInjector write hooks as AtomicWriteFile, so journal-append
+/// failures are unit-testable. `path` is used in error messages only.
+[[nodiscard]] Status WriteFileDescriptor(int fd, std::string_view data,
+                                         const std::string& path);
+
 /// True when `path` exists (any file type).
 bool FileExists(const std::string& path);
 

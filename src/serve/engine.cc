@@ -1,10 +1,12 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 #include <tuple>
 #include <utility>
 
+#include "common/checkpoint.h"
 #include "data/dataset_io.h"
 #include "data/dataset_like.h"
 #include "td/registry.h"
@@ -18,6 +20,11 @@ namespace {
 /// check, so the run produces exactly one labeled best-so-far iterate
 /// instead of running unbounded.
 constexpr double kExpiredDeadlineMs = 1e-3;
+
+/// Flat per-claim cost estimate for the dataset LRU: the Claim row itself
+/// plus its share of the column arrays and name tables. Coarse on purpose
+/// — eviction only needs big datasets to weigh proportionally more.
+constexpr size_t kBytesPerClaimRow = 96;
 
 uint64_t MixHash(uint64_t h, uint64_t value) {
   h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -38,6 +45,17 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+size_t ApproxDatasetBytes(const Dataset& dataset) {
+  return sizeof(Dataset) + dataset.num_claims() * kBytesPerClaimRow;
+}
+
+std::string Hex16(uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
 }  // namespace
 
 uint64_t ServeOptionsHash(const ServeRequest& request) {
@@ -51,7 +69,7 @@ ServeEngine::ServeEngine(const ServeOptions& options)
     : options_(options),
       admission_limit_(std::max(1, options.workers) +
                        std::max(0, options.queue_capacity)),
-      results_(options.result_cache_capacity),
+      results_(options.result_cache_bytes),
       // workers + 1 because a ThreadPool of size n spawns n - 1 threads
       // (size 1 runs Submit inline on the caller, which would turn Submit
       // into a blocking call here).
@@ -60,17 +78,25 @@ ServeEngine::ServeEngine(const ServeOptions& options)
 ServeEngine::~ServeEngine() { Shutdown(); }
 
 void ServeEngine::Submit(ServeRequest request, Callback callback) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
   const Clock::time_point now = Clock::now();
 
-  // Admission control: claim a slot, then re-check. fetch_add before the
-  // comparison makes the bound exact under races — two late submitters
-  // both see the counter past the limit and both back out.
-  const bool closed = shutdown_.load(std::memory_order_acquire);
-  const int occupied = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (closed || occupied > admission_limit_) {
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  // Admission control: counter updates and the bound check happen in one
+  // critical section, so the limit is exact and `submitted` can never
+  // drift from `rejected + completed + in_flight`.
+  bool rejected = false;
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++submitted_;
+    closed = shutdown_;
+    if (closed || in_flight_ >= admission_limit_) {
+      ++rejected_;
+      rejected = true;
+    } else {
+      ++in_flight_;
+    }
+  }
+  if (rejected) {
     ServeResponse response;
     response.id = request.id;
     response.outcome = ServeResponse::Outcome::kRejected;
@@ -103,15 +129,20 @@ ServeResponse ServeEngine::ExecuteBlocking(ServeRequest request) {
 }
 
 void ServeEngine::Drain() {
-  shutdown_.store(true, std::memory_order_release);
-  std::unique_lock<std::mutex> lock(drain_mutex_);
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  shutdown_ = true;
+  // Both gauges: a request whose accounting is done but whose callback is
+  // still emitting its response line has not fully left the building.
   drain_cv_.wait(lock, [this]() {
-    return in_flight_.load(std::memory_order_acquire) == 0;
+    return in_flight_ == 0 && callbacks_outstanding_ == 0;
   });
 }
 
 void ServeEngine::Shutdown() {
-  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    shutdown_ = true;
+  }
   cancel_.Cancel();
   Drain();
 }
@@ -125,8 +156,17 @@ std::shared_ptr<ServeEngine::DatasetEntry> ServeEngine::DatasetFor(
     if (slot == nullptr) slot = std::make_shared<DatasetEntry>();
     slot->last_used = ++dataset_tick_;
     entry = slot;
-    const size_t capacity = std::max<size_t>(1, options_.dataset_cache_capacity);
-    while (datasets_.size() > capacity) {
+    // Evict by resident bytes, least-recently-used first, never the entry
+    // this request is about to use (so one dataset larger than the whole
+    // budget still serves — the budget degrades to "keep only the current
+    // dataset", not "fail the request"). Entries still loading weigh 0
+    // and are protected by their holders' shared_ptr either way.
+    size_t resident = 0;
+    // lint: unordered-ok (order-independent byte sum)
+    for (const auto& [key, value] : datasets_) {
+      resident += value->bytes.load(std::memory_order_relaxed);
+    }
+    while (resident > options_.dataset_cache_bytes && datasets_.size() > 1) {
       auto victim = datasets_.end();
       // lint: unordered-ok (min-scan with total-order tie-break)
       for (auto it = datasets_.begin(); it != datasets_.end(); ++it) {
@@ -139,6 +179,7 @@ std::shared_ptr<ServeEngine::DatasetEntry> ServeEngine::DatasetFor(
         }
       }
       if (victim == datasets_.end()) break;
+      resident -= victim->second->bytes.load(std::memory_order_relaxed);
       datasets_.erase(victim);  // holders of the shared entry keep it alive
     }
   }
@@ -155,6 +196,8 @@ std::shared_ptr<ServeEngine::DatasetEntry> ServeEngine::DatasetFor(
     entry->restrictions = std::make_unique<RestrictionCache>(
         entry->dataset.get(), options_.restriction_cache_capacity);
     entry->fingerprint = DatasetFingerprint(*entry->dataset);
+    entry->bytes.store(ApproxDatasetBytes(*entry->dataset),
+                       std::memory_order_relaxed);
   });
   return entry;
 }
@@ -162,23 +205,38 @@ std::shared_ptr<ServeEngine::DatasetEntry> ServeEngine::DatasetFor(
 void ServeEngine::Respond(const Admitted& admitted, ServeResponse response) {
   response.id = admitted.request.id;
   response.latency_ms = MillisSince(admitted.admitted_at);
-  switch (response.outcome) {
-    case ServeResponse::Outcome::kOk:
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      if (response.stop_reason == StopReason::kDeadline) {
-        deadline_degraded_.fetch_add(1, std::memory_order_relaxed);
-      }
-      break;
-    case ServeResponse::Outcome::kError:
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ServeResponse::Outcome::kRejected:
-      // Admission rejections never reach Respond; kept for completeness.
-      break;
+  // Account before the callback, in one critical section: the request
+  // moves from in-flight to completed atomically (the stats invariant
+  // holds at every instant), and a caller woken by its callback (e.g.
+  // ExecuteBlocking) already observes itself counted. The callback slot
+  // gauge keeps Drain() honest: in-flight may be zero while the last
+  // callback is still writing its response line.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    switch (response.outcome) {
+      case ServeResponse::Outcome::kOk:
+        ++completed_;
+        if (response.stop_reason == StopReason::kDeadline) {
+          ++deadline_degraded_;
+        }
+        break;
+      case ServeResponse::Outcome::kError:
+        ++completed_;
+        ++errors_;
+        break;
+      case ServeResponse::Outcome::kRejected:
+        // Admission rejections never reach Respond; kept for completeness.
+        ++completed_;
+        break;
+    }
+    --in_flight_;
+    ++callbacks_outstanding_;
   }
   admitted.callback(response);
-  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    --callbacks_outstanding_;
+  }
   drain_cv_.notify_all();
 }
 
@@ -209,7 +267,10 @@ void ServeEngine::Execute(Admitted admitted) {
 
   if (!request.no_cache) {
     if (std::shared_ptr<const TruthDiscoveryResult> hit = results_.Get(key)) {
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++cache_hits_;
+      }
       ServeResponse response;
       response.outcome = ServeResponse::Outcome::kOk;
       response.stop_reason = hit->stop_reason;
@@ -229,7 +290,10 @@ void ServeEngine::Execute(Admitted admitted) {
       auto [it, inserted] = flights_.try_emplace(
           std::make_pair(key.fingerprint, key.options_hash));
       if (!inserted) {
-        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> state_lock(state_mutex_);
+          ++coalesced_;
+        }
         it->second->followers.push_back(std::move(admitted));
         return;
       }
@@ -237,7 +301,10 @@ void ServeEngine::Execute(Admitted admitted) {
     }
   }
 
-  executions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++executions_;
+  }
 
   // Deadline propagation: queue wait already spent part of the budget;
   // only the remainder reaches the guard. An exhausted budget still runs
@@ -271,6 +338,22 @@ void ServeEngine::Execute(Admitted admitted) {
       TdacOptions tdac_options;
       tdac_options.base = base.get();
       tdac_options.threads = std::max(1, request.threads);
+      // Warm restarts: with a checkpoint directory configured, the run
+      // snapshots into a slot named by its cache identity and resumes
+      // from it. The slot is unique among concurrent executions because
+      // identical cacheable requests coalesce onto one leader; no-cache
+      // requests skip coalescing, so they must skip checkpointing too.
+      std::unique_ptr<Checkpointer> checkpointer;
+      if (!options_.checkpoint_dir.empty() && !request.no_cache) {
+        CheckpointOptions ckpt_options;
+        ckpt_options.dir = options_.checkpoint_dir;
+        ckpt_options.interval_ms = options_.checkpoint_interval_ms;
+        ckpt_options.resume = true;
+        checkpointer = std::make_unique<Checkpointer>(ckpt_options);
+        tdac_options.checkpointer = checkpointer.get();
+        tdac_options.checkpoint_prefix =
+            "serve-" + Hex16(key.fingerprint) + "-" + Hex16(key.options_hash);
+      }
       const Tdac tdac_algo(tdac_options);
       return tdac_algo.Discover(*data, guard);
     }
@@ -316,17 +399,29 @@ void ServeEngine::Execute(Admitted admitted) {
 
 ServeEngine::Stats ServeEngine::stats() const {
   Stats out;
-  out.submitted = submitted_.load(std::memory_order_relaxed);
-  out.rejected = rejected_.load(std::memory_order_relaxed);
-  out.completed = completed_.load(std::memory_order_relaxed);
-  out.executions = executions_.load(std::memory_order_relaxed);
-  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  out.coalesced = coalesced_.load(std::memory_order_relaxed);
-  out.deadline_degraded = deadline_degraded_.load(std::memory_order_relaxed);
-  out.errors = errors_.load(std::memory_order_relaxed);
-  out.in_flight = in_flight_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    out.submitted = submitted_;
+    out.rejected = rejected_;
+    out.completed = completed_;
+    out.executions = executions_;
+    out.cache_hits = cache_hits_;
+    out.coalesced = coalesced_;
+    out.deadline_degraded = deadline_degraded_;
+    out.errors = errors_;
+    out.in_flight = in_flight_;
+  }
   out.pool_queued = pool_->queued();
   out.pool_active = pool_->active();
+  {
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    out.dataset_cache_live = datasets_.size();
+    // lint: unordered-ok (order-independent byte sum)
+    for (const auto& [key, value] : datasets_) {
+      out.dataset_cache_bytes += value->bytes.load(std::memory_order_relaxed);
+    }
+  }
+  out.dataset_cache_budget = options_.dataset_cache_bytes;
   out.result_cache = results_.stats();
   return out;
 }

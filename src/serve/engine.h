@@ -34,18 +34,33 @@ struct ServeOptions {
   /// StopReason::kOverloaded instead of queueing unboundedly.
   int queue_capacity = 8;
 
-  /// Completed clean results kept for repeat requests (LRU; 0 disables).
-  size_t result_cache_capacity = 64;
+  /// Byte budget for completed clean results kept for repeat requests
+  /// (LRU over approximate resident bytes — see ServeResultCache; 0
+  /// disables). A byte bound, not an entry count: a handful of
+  /// huge-dataset results would evade any count cap.
+  size_t result_cache_bytes = 8u << 20;
 
-  /// Loaded datasets kept resident, keyed by claims path (LRU; 0 would
-  /// reload per request, so the floor is 1).
-  size_t dataset_cache_capacity = 4;
+  /// Byte budget for loaded datasets kept resident, keyed by claims path
+  /// (LRU over approximate claim-row bytes). The dataset a request is
+  /// using always stays resident even when it alone exceeds the budget,
+  /// so the floor is one entry.
+  size_t dataset_cache_bytes = 128u << 20;
 
   /// Per-dataset restriction-view cache capacity (attrs= requests).
   size_t restriction_cache_capacity = 32;
 
   /// Deadline applied to requests that carry none. 0 = unlimited.
   double default_deadline_ms = 0.0;
+
+  /// When non-empty, TD-AC-mode executions checkpoint into this directory
+  /// (per-request slots named from the dataset fingerprint + options
+  /// hash) and resume from a matching slot — the warm half of a journal
+  /// replay: a re-executed request picks up mid-run state its killed
+  /// predecessor persisted (docs/checkpointing.md). Empty disables.
+  std::string checkpoint_dir;
+
+  /// Snapshot interval for the per-request checkpoint slots.
+  double checkpoint_interval_ms = 250.0;
 
   /// Test/bench hook: extra synthetic work (cancellation-aware sleep)
   /// inserted into every cold execution, so saturation tests and the load
@@ -63,8 +78,8 @@ struct ServeOptions {
 ///   1. **Admission.** Submit() bounds in-flight work at
 ///      `workers + queue_capacity`. Past that it fires the callback
 ///      immediately with a kRejected / kOverloaded response — the caller
-///      may retry later; no work ran. Admission is an atomic counter, so
-///      the bound is exact, not advisory.
+///      may retry later; no work ran. Admission runs under the engine's
+///      state mutex, so the bound is exact, not advisory.
 ///   2. **Deadline.** The request's deadline starts at *admission*.
 ///      Queue wait spends it: when a worker finally picks the request up,
 ///      only the remainder is handed to the RunGuard, and an already
@@ -87,8 +102,12 @@ class ServeEngine {
  public:
   using Callback = std::function<void(const ServeResponse&)>;
 
-  /// Counter snapshot; gauges (`in_flight`, pool depths) are sampled at
-  /// call time.
+  /// Counter snapshot, taken under the engine's one state mutex so the
+  /// request-lifecycle counters are mutually consistent: every snapshot
+  /// satisfies `submitted == rejected + completed + in_flight` exactly
+  /// (the TSan-registered consistency test pins this — the counters are
+  /// not independently-sampled atomics racing each other). Pool depths
+  /// and cache stats are sampled separately and are monitoring-only.
   struct Stats {
     uint64_t submitted = 0;
     uint64_t rejected = 0;       // kOverloaded at admission
@@ -101,6 +120,9 @@ class ServeEngine {
     int in_flight = 0;           // admitted, not yet responded
     int pool_queued = 0;         // ThreadPool depth counters
     int pool_active = 0;
+    size_t dataset_cache_live = 0;    // resident datasets
+    size_t dataset_cache_bytes = 0;   // their approximate resident bytes
+    size_t dataset_cache_budget = 0;  // the configured byte budget
     ServeResultCache::Stats result_cache;
   };
 
@@ -161,6 +183,10 @@ class ServeEngine {
     std::unique_ptr<RestrictionCache> restrictions;
     uint64_t fingerprint = 0;  // of the full dataset
     uint64_t last_used = 0;
+    /// Approximate resident bytes, set once the load completes (atomic
+    /// because the loader writes it outside the map lock the LRU scan
+    /// reads it under).
+    std::atomic<size_t> bytes{0};
   };
 
   /// An in-flight execution; followers share its eventual result.
@@ -181,23 +207,34 @@ class ServeEngine {
   const int admission_limit_;
 
   CancellationToken cancel_;
-  std::atomic<bool> shutdown_{false};
 
-  std::atomic<int> in_flight_{0};
-  std::mutex drain_mutex_;
+  /// One mutex owns the request-lifecycle state: admission (the in-flight
+  /// gauge vs. the limit), the shutdown flag, and every counter. That
+  /// makes the admission bound exact *and* every stats() snapshot
+  /// internally consistent — the previous scheme of independent relaxed
+  /// atomics let a snapshot observe a request as neither in flight nor
+  /// completed. All critical sections are a few arithmetic ops; execution
+  /// itself never holds the lock.
+  mutable std::mutex state_mutex_;
   std::condition_variable drain_cv_;
 
-  // Counters (relaxed; read via stats()).
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> executions_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> coalesced_{0};
-  std::atomic<uint64_t> deadline_degraded_{0};
-  std::atomic<uint64_t> errors_{0};
+  // Guarded by state_mutex_:
+  bool shutdown_ = false;
+  int in_flight_ = 0;
+  /// Responses whose accounting is done but whose callback has not yet
+  /// returned — Drain() waits for these too, so "drained" means every
+  /// response line was actually written, not just counted.
+  int callbacks_outstanding_ = 0;
+  uint64_t submitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t executions_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t deadline_degraded_ = 0;
+  uint64_t errors_ = 0;
 
-  std::mutex datasets_mutex_;
+  mutable std::mutex datasets_mutex_;
   std::unordered_map<std::string, std::shared_ptr<DatasetEntry>> datasets_;
   uint64_t dataset_tick_ = 0;
 

@@ -1,0 +1,336 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/checkpoint.h"
+#include "common/csv.h"
+#include "common/io.h"
+#include "common/logging.h"
+
+namespace tdac {
+namespace {
+
+constexpr std::string_view kJournalMagic = "TDACJ1";
+
+/// Threshold past which Emitted() compacts: enough delivered records that
+/// the rewrite amortizes, and a file large enough to be worth shrinking.
+constexpr uint64_t kCompactDeliveredThreshold = 64;
+constexpr size_t kCompactMinFileBytes = 64 * 1024;
+
+std::string CrcHex(std::string_view body) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", Crc32(body));
+  return buffer;
+}
+
+/// One record's body split into its space-separated head fields.
+struct ParsedBody {
+  std::string_view type;
+  uint64_t seq = 0;
+  std::string_view token;  // empty for emit records
+};
+
+bool ParseBody(std::string_view body, ParsedBody* out) {
+  const size_t first = body.find(' ');
+  if (first == std::string_view::npos) return false;
+  out->type = body.substr(0, first);
+  std::string_view rest = body.substr(first + 1);
+  const size_t second = rest.find(' ');
+  const std::string seq_text(
+      second == std::string_view::npos ? rest : rest.substr(0, second));
+  char* end = nullptr;
+  const unsigned long long seq = std::strtoull(seq_text.c_str(), &end, 10);
+  if (end == seq_text.c_str() || *end != '\0' || seq == 0) return false;
+  out->seq = static_cast<uint64_t>(seq);
+  out->token =
+      second == std::string_view::npos ? std::string_view() : rest.substr(second + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string FormatJournalRecord(std::string_view body) {
+  std::string line(kJournalMagic);
+  line += ' ';
+  line += CrcHex(body);
+  line += ' ';
+  line += body;
+  return line;
+}
+
+JournalReplay ClassifyJournal(std::string_view contents) {
+  JournalReplay out;
+
+  struct SeqState {
+    bool has_request = false;
+    bool has_response = false;
+    bool emitted = false;
+    ServeRequest request;
+    ServeResponse response;
+  };
+  std::map<uint64_t, SeqState> seqs;
+
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t newline = contents.find('\n', pos);
+    if (newline == std::string_view::npos) {
+      // Unterminated tail: a crash mid-append. The record is torn by
+      // definition; drop it.
+      ++out.dropped;
+      break;
+    }
+    const std::string_view line = contents.substr(pos, newline - pos);
+    pos = newline + 1;
+    if (line.empty()) continue;  // newline-recovery padding after a fault
+
+    // Frame: magic, CRC, body — any mismatch drops just this record.
+    if (line.size() < kJournalMagic.size() + 1 ||
+        line.substr(0, kJournalMagic.size()) != kJournalMagic ||
+        line[kJournalMagic.size()] != ' ') {
+      ++out.dropped;
+      continue;
+    }
+    const std::string_view rest = line.substr(kJournalMagic.size() + 1);
+    const size_t space = rest.find(' ');
+    if (space == std::string_view::npos) {
+      ++out.dropped;
+      continue;
+    }
+    const std::string crc_text(rest.substr(0, space));
+    const std::string_view body = rest.substr(space + 1);
+    char* end = nullptr;
+    const unsigned long crc = std::strtoul(crc_text.c_str(), &end, 16);
+    if (end == crc_text.c_str() || *end != '\0' ||
+        static_cast<uint32_t>(crc) != Crc32(body)) {
+      ++out.dropped;
+      continue;
+    }
+
+    ParsedBody parsed;
+    if (!ParseBody(body, &parsed)) {
+      ++out.dropped;
+      continue;
+    }
+    SeqState& state = seqs[parsed.seq];
+    if (parsed.type == "admit") {
+      Result<std::string> decoded = DecodeToken(parsed.token);
+      if (!decoded.ok()) {
+        ++out.dropped;
+        continue;
+      }
+      Result<ServeCommand> command = ParseCommandLine(*decoded);
+      if (!command.ok() || command->kind != ServeCommand::Kind::kRun) {
+        ++out.dropped;
+        continue;
+      }
+      state.request = std::move(command->run);
+      state.has_request = true;
+    } else if (parsed.type == "done") {
+      Result<std::string> decoded = DecodeToken(parsed.token);
+      if (!decoded.ok()) {
+        ++out.dropped;
+        continue;
+      }
+      Result<ServeResponse> response = ParseResponseLine(*decoded);
+      if (!response.ok()) {
+        ++out.dropped;
+        continue;
+      }
+      state.response = std::move(*response);
+      state.has_response = true;
+    } else if (parsed.type == "emit") {
+      state.emitted = true;
+    } else {
+      ++out.dropped;
+      continue;
+    }
+    ++out.records;
+  }
+
+  for (const auto& [seq, state] : seqs) {
+    if (state.emitted) {
+      ++out.delivered;
+    } else if (state.has_response) {
+      out.unacked.push_back({seq, state.response});
+    } else if (state.has_request) {
+      out.pending.push_back({seq, state.request});
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<RequestJournal>> RequestJournal::Open(
+    const std::string& path, JournalReplay* replay) {
+  std::unique_ptr<RequestJournal> journal(new RequestJournal(path));
+  *replay = {};
+  if (FileExists(path)) {
+    TDAC_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+    *replay = ClassifyJournal(contents);
+  }
+
+  std::lock_guard<std::mutex> lock(journal->mutex_);
+  uint64_t max_live_seq = 0;
+  for (const JournalReplay::Pending& pending : replay->pending) {
+    std::string body = "admit " + std::to_string(pending.seq) + " " +
+                       EncodeToken(FormatRunLine(pending.request));
+    journal->live_[pending.seq].admit_line = FormatJournalRecord(body);
+    max_live_seq = std::max(max_live_seq, pending.seq);
+  }
+  for (const JournalReplay::Unacked& unacked : replay->unacked) {
+    std::string body = "done " + std::to_string(unacked.seq) + " " +
+                       EncodeToken(FormatResponseLine(unacked.response));
+    journal->live_[unacked.seq].done_line = FormatJournalRecord(body);
+    max_live_seq = std::max(max_live_seq, unacked.seq);
+  }
+  journal->next_seq_ = max_live_seq + 1;
+
+  // The initial compaction drops the previous generation's delivered and
+  // torn records, clears any `.tmp` left by a crash mid-compaction, and
+  // makes the journal file itself durable (AtomicWriteFile fsyncs the
+  // parent directory).
+  TDAC_RETURN_NOT_OK(journal->CompactLocked());
+  journal->compactions_ = 0;  // bookkeeping starts after Open
+  return journal;
+}
+
+RequestJournal::~RequestJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status RequestJournal::OpenFdLocked() {
+  // The journal is the one deliberate exception to the atomic-replace
+  // discipline: an append-only WAL cannot go through AtomicWriteFile
+  // (rewriting the whole file per request would turn every admit into
+  // O(file) work and widen, not shrink, the crash window). Safety comes
+  // from the record framing instead — each line is individually
+  // CRC-checked and fsynced, and replay drops torn tails.
+  // lint: atomic-io-ok (append-only WAL; per-record CRC+fsync, torn tails drop)
+  const int fd = ::open(path_.c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open journal for append " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status RequestJournal::AppendLocked(const std::string& body, bool durable) {
+  Status status = Status::OK();
+  if (fd_ < 0) status = OpenFdLocked();
+  if (status.ok()) {
+    std::string line;
+    if (need_newline_recovery_) line += '\n';
+    line += FormatJournalRecord(body);
+    line += '\n';
+    status = WriteFileDescriptor(fd_, line, path_);
+    if (status.ok()) {
+      need_newline_recovery_ = false;
+      file_bytes_ += line.size();
+    }
+  }
+  if (status.ok() && durable && ::fsync(fd_) != 0) {
+    status = Status::IoError("fsync failed on journal " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  if (!status.ok()) {
+    // A failed write may have persisted a torn prefix without its newline;
+    // the next append leads with one so the torn bytes become their own
+    // (CRC-rejected) line instead of gluing onto a valid record.
+    need_newline_recovery_ = true;
+    ++append_failures_;
+    return status;
+  }
+  ++appends_;
+  return Status::OK();
+}
+
+Result<uint64_t> RequestJournal::Admit(const ServeRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t seq = next_seq_;
+  const std::string body = "admit " + std::to_string(seq) + " " +
+                           EncodeToken(FormatRunLine(request));
+  TDAC_RETURN_NOT_OK(AppendLocked(body, /*durable=*/true));
+  next_seq_ = seq + 1;
+  live_[seq].admit_line = FormatJournalRecord(body);
+  return seq;
+}
+
+Status RequestJournal::Complete(uint64_t seq, const ServeResponse& response) {
+  if (seq == 0) return Status::OK();  // unjournaled request
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string body = "done " + std::to_string(seq) + " " +
+                           EncodeToken(FormatResponseLine(response));
+  TDAC_RETURN_NOT_OK(AppendLocked(body, /*durable=*/true));
+  live_[seq].done_line = FormatJournalRecord(body);
+  return Status::OK();
+}
+
+void RequestJournal::Emitted(uint64_t seq) {
+  if (seq == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Best-effort by design: the response already reached stdout, so losing
+  // this record can only cause a flagged duplicate on replay.
+  (void)AppendLocked("emit " + std::to_string(seq), /*durable=*/false);
+  live_.erase(seq);
+  ++delivered_since_compact_;
+  if (delivered_since_compact_ >= kCompactDeliveredThreshold &&
+      file_bytes_ >= kCompactMinFileBytes) {
+    Status compacted = CompactLocked();
+    if (!compacted.ok()) {
+      TDAC_LOG_WARNING << "journal compaction failed (will retry): "
+                       << compacted.message();
+    }
+  }
+}
+
+Status RequestJournal::Compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CompactLocked();
+}
+
+Status RequestJournal::CompactLocked() {
+  std::string contents;
+  for (const auto& [seq, records] : live_) {
+    contents +=
+        records.done_line.empty() ? records.admit_line : records.done_line;
+    contents += '\n';
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Atomic swap: a crash anywhere in here leaves either the old journal
+  // (fully intact, replay just re-drops the delivered records) or the new
+  // one — never a torn mixture.
+  TDAC_RETURN_NOT_OK(AtomicWriteFile(path_, contents));
+  file_bytes_ = contents.size();
+  delivered_since_compact_ = 0;
+  need_newline_recovery_ = false;
+  ++compactions_;
+  return OpenFdLocked();
+}
+
+RequestJournal::Stats RequestJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.appends = appends_;
+  out.append_failures = append_failures_;
+  out.compactions = compactions_;
+  out.next_seq = next_seq_;
+  out.live = live_.size();
+  out.file_bytes = file_bytes_;
+  return out;
+}
+
+}  // namespace tdac

@@ -1,0 +1,177 @@
+#ifndef TDAC_SERVE_JOURNAL_H_
+#define TDAC_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace tdac {
+
+/// \brief What a restarted daemon owes its clients, reconstructed from the
+/// journal left behind by the previous process (docs/serving.md).
+///
+/// Each admitted request advances through three durable states; the replay
+/// classifies every journaled sequence number by how far it got:
+///
+///   - **pending** (admit, no done): the request was admitted but its
+///     execution never finished — it must be re-executed. Re-execution is
+///     safe because nothing was ever sent to the client.
+///   - **unacked** (admit + done, no emit): the execution finished and its
+///     response is recorded, but the crash window between the durable done
+///     record and the stdout write means the client may or may not have
+///     seen it. The recorded response is re-emitted verbatim (flagged
+///     `replayed=1`), never re-executed — this is what "the journal never
+///     double-executes completed work" pins.
+///   - **delivered** (admit + done + emit): nothing to do.
+///
+/// The emit record is written *after* the stdout write and without fsync,
+/// so a crash can only ever under-report delivery — a lost emit record
+/// turns into one duplicate flagged response, never a lost one. Exactly-
+/// once delivery over a non-acknowledging pipe is impossible; the contract
+/// is exactly-once execution-completion plus at-least-once delivery with
+/// duplicates flagged for client-side dedup by request id.
+struct JournalReplay {
+  struct Pending {
+    uint64_t seq = 0;
+    ServeRequest request;
+  };
+  struct Unacked {
+    uint64_t seq = 0;
+    ServeResponse response;
+  };
+
+  std::vector<Pending> pending;  // ascending seq
+  std::vector<Unacked> unacked;  // ascending seq
+  uint64_t delivered = 0;        // fully-emitted requests found
+  uint64_t records = 0;          // valid records read
+  uint64_t dropped = 0;          // torn/corrupt records skipped
+};
+
+/// \brief Write-ahead journal for serving requests: one append-only text
+/// file whose CRC-framed records make every admitted request's lifecycle
+/// durable, so a restarted daemon can honor the work its predecessor
+/// accepted.
+///
+/// Record format (one record per line, modeled on the checkpoint header's
+/// magic + CRC discipline, common/checkpoint.h):
+///
+///     TDACJ1 <crc32-hex> admit <seq> <EncodeToken(request line)>
+///     TDACJ1 <crc32-hex> done  <seq> <EncodeToken(response line)>
+///     TDACJ1 <crc32-hex> emit  <seq>
+///
+/// The CRC covers everything after the "<crc32-hex> " field, so any byte
+/// flip or torn tail is detected and the record dropped on replay (a torn
+/// *admit* loses at most a request the client never got an answer for and
+/// will retry; a torn *emit* costs at most one flagged duplicate).
+///
+/// Durability tiers: admit and done records are fsync'ed before the
+/// operation they cover proceeds (execution must not start before its
+/// admit record is durable; a response must not reach stdout before its
+/// done record is). emit records are best-effort appends — see
+/// JournalReplay for why that asymmetry is safe.
+///
+/// The file is bounded by compaction: once enough delivered records
+/// accumulate, the journal atomically rewrites itself (AtomicWriteFile)
+/// keeping only live records. Open() always compacts after replay, which
+/// also clears any `.tmp` a crash mid-compaction left behind.
+///
+/// All methods are thread-safe (Complete/Emitted run on engine worker
+/// threads while Admit runs on the daemon's main loop).
+class RequestJournal {
+ public:
+  struct Stats {
+    uint64_t appends = 0;          // records successfully appended
+    uint64_t append_failures = 0;  // failed appends (journal degraded)
+    uint64_t compactions = 0;
+    uint64_t next_seq = 1;
+    size_t live = 0;        // admitted, not yet fully delivered
+    size_t file_bytes = 0;  // journal size on disk (approximate)
+  };
+
+  /// Opens (creating if absent) the journal at `path`, classifies the
+  /// previous generation's records into `*replay`, compacts the file down
+  /// to live records, and leaves the journal ready for appends. Sequence
+  /// numbering continues above every live seq, so replayed work never
+  /// collides with new admissions.
+  [[nodiscard]] static Result<std::unique_ptr<RequestJournal>> Open(
+      const std::string& path, JournalReplay* replay);
+
+  ~RequestJournal();
+
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  /// Durably records `request` as admitted and returns its journal seq.
+  /// On failure nothing was persisted — the caller may proceed without
+  /// journal coverage for this request (availability over durability; the
+  /// failure is counted in stats and the daemon logs it).
+  [[nodiscard]] Result<uint64_t> Admit(const ServeRequest& request);
+
+  /// Durably records the terminal `response` for `seq`. After this
+  /// returns, a restart will re-emit the recorded response instead of
+  /// re-executing the request.
+  [[nodiscard]] Status Complete(uint64_t seq, const ServeResponse& response);
+
+  /// Records that `seq`'s response reached stdout. Best-effort (no fsync,
+  /// failures ignored): losing this record costs one flagged duplicate on
+  /// replay, never a lost response. May trigger compaction.
+  void Emitted(uint64_t seq);
+
+  /// Rewrites the journal keeping only live records (atomic swap via
+  /// AtomicWriteFile). Called automatically by Open() and by Emitted()
+  /// past a threshold; the daemon also calls it on clean shutdown so a
+  /// drained journal ends empty.
+  [[nodiscard]] Status Compact();
+
+  Stats stats() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit RequestJournal(std::string path) : path_(std::move(path)) {}
+
+  /// Appends one framed record; fsyncs when `durable`.
+  [[nodiscard]] Status AppendLocked(const std::string& body, bool durable);
+  [[nodiscard]] Status OpenFdLocked();
+  [[nodiscard]] Status CompactLocked();
+
+  /// The still-relevant records for one live seq (admit always, done once
+  /// completed) — exactly what compaction preserves.
+  struct LiveRecords {
+    std::string admit_line;
+    std::string done_line;  // empty until Complete
+  };
+
+  const std::string path_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 1;
+  std::map<uint64_t, LiveRecords> live_;
+  size_t file_bytes_ = 0;
+  bool need_newline_recovery_ = false;
+  uint64_t delivered_since_compact_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t append_failures_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+/// Frames `body` as one journal record line (magic + CRC + body, no
+/// trailing newline). Exposed for tests that craft corrupt journals.
+std::string FormatJournalRecord(std::string_view body);
+
+/// Parses raw journal `contents` into a replay classification without
+/// touching the filesystem. Exposed for tests and for chaos-harness trace
+/// analysis.
+JournalReplay ClassifyJournal(std::string_view contents);
+
+}  // namespace tdac
+
+#endif  // TDAC_SERVE_JOURNAL_H_

@@ -200,6 +200,9 @@ std::string FormatResponseLine(const ServeResponse& response) {
           << " message=" << EncodeToken(response.status.message());
       break;
   }
+  // Only replayed responses carry the flag, so the common-case line format
+  // (and everything that greps it) is unchanged.
+  if (response.replayed) out << " replayed=1";
   return out.str();
 }
 
@@ -242,6 +245,8 @@ Result<ServeResponse> ParseResponseLine(std::string_view line) {
       response.cached = value != "0";
     } else if (key == "coalesced") {
       response.coalesced = value != "0";
+    } else if (key == "replayed") {
+      response.replayed = value != "0";
     } else if (key == "degraded") {
       // Derived field; accepted and ignored on parse.
     } else if (key == "code") {

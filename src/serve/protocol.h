@@ -133,6 +133,12 @@ struct ServeResponse {
   /// Attached to an identical in-flight execution instead of running.
   bool coalesced = false;
 
+  /// Produced by journal replay after a daemon restart (either a re-
+  /// executed pending request or a re-emitted recorded response whose
+  /// original delivery was unconfirmed). A client that saw the original
+  /// should dedup by id; the flag is why duplicates are detectable.
+  bool replayed = false;
+
   bool degraded() const {
     return outcome == Outcome::kOk && IsDegraded(stop_reason);
   }

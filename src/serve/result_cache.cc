@@ -4,6 +4,23 @@
 #include <utility>
 
 namespace tdac {
+namespace {
+
+/// Flat per-element cost estimates (node/bucket overhead plus payload).
+/// Deliberately coarse: eviction only needs results to weigh in proportion
+/// to the data they hold.
+constexpr size_t kBytesPerPredictedItem = 64;
+constexpr size_t kBytesPerConfidenceEntry = 48;
+constexpr size_t kBytesPerSourceTrust = sizeof(double);
+
+}  // namespace
+
+size_t ApproxResultBytes(const TruthDiscoveryResult& result) {
+  return sizeof(TruthDiscoveryResult) +
+         result.predicted.size() * kBytesPerPredictedItem +
+         result.confidence.size() * kBytesPerConfidenceEntry +
+         result.source_trust.size() * kBytesPerSourceTrust;
+}
 
 std::shared_ptr<const TruthDiscoveryResult> ServeResultCache::Get(
     const ResultCacheKey& key) {
@@ -20,15 +37,25 @@ std::shared_ptr<const TruthDiscoveryResult> ServeResultCache::Get(
 
 void ServeResultCache::Put(const ResultCacheKey& key,
                            std::shared_ptr<const TruthDiscoveryResult> result) {
-  if (capacity_ == 0 || result == nullptr) return;
+  if (max_bytes_ == 0 || result == nullptr) return;
+  const size_t entry_bytes = ApproxResultBytes(*result);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (entry_bytes > max_bytes_) {
+    // Oversized: caching it would flush the entire working set for one
+    // entry that can never have company. Drop it instead.
+    ++oversized_;
+    return;
+  }
   Entry& entry = memo_[key];
+  bytes_ -= entry.bytes;  // zero for a fresh insert
   entry.result = std::move(result);
+  entry.bytes = entry_bytes;
   entry.last_used = ++tick_;
-  while (memo_.size() > capacity_) {
+  bytes_ += entry_bytes;
+  while (bytes_ > max_bytes_ && memo_.size() > 1) {
     // Same LRU-scan-with-deterministic-tie-break discipline as
-    // RestrictionCache: the map is tiny (capacity + 1) and eviction runs
-    // only on inserts past capacity.
+    // RestrictionCache: the map is small and eviction runs only on inserts
+    // past the budget.
     auto victim = memo_.end();
     // lint: unordered-ok (min-scan with total-order tie-break)
     for (auto it = memo_.begin(); it != memo_.end(); ++it) {
@@ -46,6 +73,7 @@ void ServeResultCache::Put(const ResultCacheKey& key,
       }
     }
     if (victim == memo_.end()) return;
+    bytes_ -= victim->second.bytes;
     memo_.erase(victim);
     ++evictions_;
   }
@@ -57,7 +85,10 @@ ServeResultCache::Stats ServeResultCache::stats() const {
   out.hits = hits_;
   out.misses = misses_;
   out.evictions = evictions_;
+  out.oversized = oversized_;
   out.live = memo_.size();
+  out.bytes = bytes_;
+  out.max_bytes = max_bytes_;
   return out;
 }
 

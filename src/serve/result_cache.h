@@ -32,11 +32,26 @@ struct ResultCacheKey {
   }
 };
 
-/// \brief A bounded LRU cache of completed truth-discovery results, shared
-/// across serving requests.
+/// Approximate resident size of one cached result: the struct itself plus
+/// per-item, per-confidence-entry, and per-source costs (hash-map nodes
+/// and small strings included as flat estimates — the point is to make a
+/// million-object result weigh a million times a thirty-object one, not to
+/// be byte-exact).
+size_t ApproxResultBytes(const TruthDiscoveryResult& result);
+
+/// \brief A byte-bounded LRU cache of completed truth-discovery results,
+/// shared across serving requests.
+///
+/// Bounded by approximate resident **bytes** (ApproxResultBytes), not
+/// entry count: an entry-count cap lets a handful of huge-dataset results
+/// occupy unbounded memory while tiny results are evicted on schedule.
+/// Inserting past the budget evicts least-recently-used entries until the
+/// total fits; a single result larger than the whole budget is dropped on
+/// Put (never cached, counted in `stats().oversized`) rather than allowed
+/// to flush everything else.
 ///
 /// Values are immutable and shared: a Get handed out survives eviction for
-/// as long as the caller holds it. Capacity 0 disables the cache (every
+/// as long as the caller holds it. A budget of 0 disables the cache (every
 /// Get misses, Put drops). All methods are thread-safe.
 class ServeResultCache {
  public:
@@ -44,17 +59,21 @@ class ServeResultCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t evictions = 0;
+    size_t oversized = 0;  // Puts dropped for exceeding the whole budget
     size_t live = 0;
+    size_t bytes = 0;      // approximate resident bytes
+    size_t max_bytes = 0;  // the configured budget
   };
 
-  explicit ServeResultCache(size_t capacity) : capacity_(capacity) {}
+  explicit ServeResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
 
   /// The cached result for `key`, or nullptr (recording a miss). A hit
   /// refreshes the entry's LRU position.
   std::shared_ptr<const TruthDiscoveryResult> Get(const ResultCacheKey& key);
 
-  /// Inserts (or refreshes) `key`; evicts the least-recently-used entry
-  /// when the capacity is exceeded. No-op at capacity 0.
+  /// Inserts (or refreshes) `key`; evicts least-recently-used entries
+  /// until the byte budget is respected. No-op at budget 0; oversized
+  /// results (alone larger than the budget) are dropped.
   void Put(const ResultCacheKey& key,
            std::shared_ptr<const TruthDiscoveryResult> result);
 
@@ -74,16 +93,19 @@ class ServeResultCache {
 
   struct Entry {
     std::shared_ptr<const TruthDiscoveryResult> result;
+    size_t bytes = 0;
     uint64_t last_used = 0;
   };
 
-  const size_t capacity_;
+  const size_t max_bytes_;
   mutable std::mutex mutex_;
   std::unordered_map<ResultCacheKey, Entry, KeyHash> memo_;
   uint64_t tick_ = 0;
+  size_t bytes_ = 0;
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
+  size_t oversized_ = 0;
 };
 
 }  // namespace tdac

@@ -1,0 +1,24 @@
+// Fixture: the serving layer gets no blanket atomic-io exemption. A plain
+// ofstream in src/serve is exactly the bug the journal exists to prevent —
+// state written outside the WAL/AtomicWriteFile discipline vanishes or
+// tears on crash, so the rule must flag it (the real journal.cc earns its
+// append fd through a reasoned same-line waiver, not a path carve-out).
+#include <fstream>
+#include <string>
+
+namespace tdac {
+
+void PersistServeStateTheWrongWay(const std::string& path) {
+  std::ofstream out(path);
+  out << "live=1\n";
+}
+
+// The journal's own pattern, reproduced here to pin that a *reasoned*
+// waiver — not the serve/ path — is what makes an append fd acceptable.
+void AppendRecordTheJournalWay(const std::string& path) {
+  // lint: atomic-io-ok (append-only WAL; per-record CRC+fsync, torn tails drop)
+  std::ofstream out(path, std::ios::app);
+  out << "TDACJ1 00000000 emit 1\n";
+}
+
+}  // namespace tdac

@@ -135,14 +135,24 @@ TEST(ServeProtocolTest, ResponseLinesRoundTrip) {
 // ---------------------------------------------------------------------------
 // Result cache
 
-std::shared_ptr<const TruthDiscoveryResult> FakeResult(int iterations) {
+/// A result whose approximate byte weight scales with `trust_entries`
+/// (ApproxResultBytes counts source_trust at sizeof(double) per entry), so
+/// tests can dial entry sizes against a byte budget precisely.
+std::shared_ptr<const TruthDiscoveryResult> FakeResult(
+    int iterations, size_t trust_entries = 0) {
   auto result = std::make_shared<TruthDiscoveryResult>();
   result->iterations = iterations;
+  result->source_trust.assign(trust_entries, 0.5);
   return result;
 }
 
-TEST(ServeResultCacheTest, HitMissAndLruEviction) {
-  ServeResultCache cache(2);
+/// The byte weight of a minimal FakeResult — the "unit" the budget tests
+/// are denominated in.
+size_t UnitBytes() { return ApproxResultBytes(*FakeResult(0)); }
+
+TEST(ServeResultCacheTest, HitMissAndLruEvictionByBytes) {
+  // Budget of exactly two minimal entries: the third insert must evict.
+  ServeResultCache cache(2 * UnitBytes());
   EXPECT_EQ(cache.Get({1, 1}), nullptr);
   cache.Put({1, 1}, FakeResult(1));
   cache.Put({2, 2}, FakeResult(2));
@@ -156,9 +166,11 @@ TEST(ServeResultCacheTest, HitMissAndLruEviction) {
   EXPECT_EQ(stats.live, 2u);
   EXPECT_EQ(stats.hits, 3u);
   EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.bytes, 2 * UnitBytes());  // accounting matches residency
+  EXPECT_EQ(stats.max_bytes, 2 * UnitBytes());
 }
 
-TEST(ServeResultCacheTest, CapacityZeroDisables) {
+TEST(ServeResultCacheTest, BudgetZeroDisables) {
   ServeResultCache cache(0);
   cache.Put({1, 1}, FakeResult(1));
   EXPECT_EQ(cache.Get({1, 1}), nullptr);
@@ -166,13 +178,40 @@ TEST(ServeResultCacheTest, CapacityZeroDisables) {
 }
 
 TEST(ServeResultCacheTest, EvictedHandleStaysValid) {
-  ServeResultCache cache(1);
+  ServeResultCache cache(UnitBytes());  // room for exactly one entry
   cache.Put({1, 1}, FakeResult(11));
   auto held = cache.Get({1, 1});
   ASSERT_NE(held, nullptr);
   cache.Put({2, 2}, FakeResult(22));  // evicts {1,1}
   EXPECT_EQ(cache.Get({1, 1}), nullptr);
   EXPECT_EQ(held->iterations, 11);  // survives via shared ownership
+}
+
+TEST(ServeResultCacheTest, OversizedEntryIsDroppedNotAdmitted) {
+  // One entry bigger than the whole budget must not flush the working
+  // set for a result that can never have company: it is dropped and
+  // counted, and the resident entries stay put.
+  ServeResultCache cache(2 * UnitBytes());
+  cache.Put({1, 1}, FakeResult(1));
+  auto big = FakeResult(2, /*trust_entries=*/4096);  // 32 KiB of trust
+  ASSERT_GT(ApproxResultBytes(*big), 2 * UnitBytes());
+  cache.Put({2, 2}, big);
+  EXPECT_EQ(cache.Get({2, 2}), nullptr);
+  ASSERT_NE(cache.Get({1, 1}), nullptr);  // working set untouched
+  const ServeResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.oversized, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.live, 1u);
+  EXPECT_LE(stats.bytes, stats.max_bytes);
+}
+
+TEST(ServeResultCacheTest, RefreshingAKeyReplacesItsByteAccounting) {
+  ServeResultCache cache(64 * UnitBytes());
+  cache.Put({1, 1}, FakeResult(1, /*trust_entries=*/16));
+  const size_t first_bytes = cache.stats().bytes;
+  cache.Put({1, 1}, FakeResult(2, /*trust_entries=*/4));  // same key, smaller
+  EXPECT_LT(cache.stats().bytes, first_bytes);  // not double-counted
+  EXPECT_EQ(cache.stats().live, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -379,6 +418,59 @@ TEST_F(ServeEngineTest, SaturationFloodShedsCleanlyAndRecovers) {
   const ServeResponse after = engine.ExecuteBlocking(Request("after"));
   EXPECT_EQ(after.outcome, ServeResponse::Outcome::kOk)
       << FormatResponseLine(after);
+}
+
+// The stats() consistency contract: because admission, completion, and
+// the in-flight gauge share one mutex, every snapshot — taken from a
+// hostile sampler thread while a flood is in progress — satisfies
+// `submitted == rejected + completed + in_flight` exactly. The previous
+// independently-sampled-atomics scheme failed this (a request could be
+// observed as neither in flight nor completed); the _threads8 TSan
+// registration keeps the locking honest too.
+TEST_F(ServeEngineTest, StatsSnapshotIsInternallyConsistent) {
+  ServeOptions options;
+  options.workers = 2;
+  options.queue_capacity = 2;
+  options.execution_delay_ms = 5.0;
+  ServeEngine engine(options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread sampler([&]() {
+    while (!stop.load()) {
+      const ServeEngine::Stats snapshot = engine.stats();
+      if (snapshot.submitted != snapshot.rejected + snapshot.completed +
+                                    static_cast<uint64_t>(snapshot.in_flight)) {
+        violations.fetch_add(1);
+      }
+    }
+  });
+
+  std::atomic<int> responses{0};
+  constexpr int kRequests = 48;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    submitters.emplace_back([&, i]() {
+      ServeRequest request = Request("c" + std::to_string(i));
+      request.no_cache = true;
+      engine.Submit(std::move(request),
+                    [&](const ServeResponse&) { responses.fetch_add(1); });
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  while (responses.load() < kRequests) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  sampler.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  const ServeEngine::Stats final_stats = engine.stats();
+  EXPECT_EQ(final_stats.submitted, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(final_stats.rejected + final_stats.completed,
+            static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(final_stats.in_flight, 0);
 }
 
 // Identical concurrent requests coalesce onto one execution: park the

@@ -227,6 +227,15 @@ TEST_F(TdacLintTest, AtomicIoRule) {
   // src/common/io.* is the designated home for raw writes.
   EXPECT_EQ(CountFindings(run, "src/common/io.cc", "atomic-io"), 0)
       << run.output;
+  // The serving layer is NOT a carve-out: an unjournaled ofstream in
+  // src/serve is flagged like anywhere else, and only the journal-style
+  // reasoned waiver on the line above suppresses the append-mode one.
+  EXPECT_EQ(
+      CountFindings(run, "src/serve/unjournaled_write.cc", "atomic-io"), 1)
+      << run.output;
+  EXPECT_TRUE(HasFindingAt(run, "src/serve/unjournaled_write.cc", 12,
+                           "atomic-io"))
+      << run.output;
 }
 
 TEST_F(TdacLintTest, FrozenStoreRule) {
